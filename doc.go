@@ -1,0 +1,29 @@
+// Package xorpuf is a library-scale reproduction of "Secure and Reliable
+// XOR Arbiter PUF Design: An Experimental Study based on 1 Trillion
+// Challenge Response Pair Measurements" (Zhou, Parhi, Kim — DAC 2017).
+//
+// The library provides, in dependency order:
+//
+//   - a calibrated silicon model of 32 nm MUX arbiter PUF test chips —
+//     per-stage process variation, per-evaluation arbiter noise,
+//     voltage/temperature sensitivity, on-chip soft-response counters and
+//     one-time enrollment fuses (internal/silicon);
+//   - the n-input XOR arbiter PUF composition with exact response and
+//     stability arithmetic (internal/xorpuf);
+//   - the paper's contribution: linear-regression delay extraction from
+//     soft responses, three-category stability thresholding, β threshold
+//     adjustment, model-based stable-challenge selection and
+//     zero-Hamming-distance authentication (internal/core);
+//   - from-scratch modeling attacks: an MLP (35-25-25) trained with L-BFGS
+//     and a logistic-regression baseline (internal/mlattack);
+//   - authentication-protocol comparators: measurement-based selection,
+//     classic Hamming-threshold, noise bifurcation, lockdown
+//     (internal/authproto);
+//   - per-figure experiment drivers reproducing the paper's evaluation
+//     (internal/experiments) and the puflab CLI (cmd/puflab).
+//
+// This root package is the public facade: it re-exports the library's main
+// types as aliases and wraps the constructors, so downstream code never
+// imports internal/ paths.  See the examples/ directory for runnable
+// walkthroughs and EXPERIMENTS.md for the paper-versus-measured record.
+package xorpuf

@@ -1,0 +1,62 @@
+package xorpuf_test
+
+import (
+	"fmt"
+
+	"xorpuf"
+)
+
+// ExampleEnroll walks the full enrollment + authentication lifecycle.
+func ExampleEnroll() {
+	chip := xorpuf.NewChip(42, xorpuf.DefaultParams(), 4)
+
+	cfg := xorpuf.DefaultEnrollConfig()
+	cfg.TrainingSize = 2000
+	cfg.ValidationSize = 5000
+	cfg.BlowFuses = true
+	enr, err := xorpuf.Enroll(chip, 7, cfg)
+	if err != nil {
+		fmt.Println("enroll failed:", err)
+		return
+	}
+
+	res, err := xorpuf.Authenticate(enr.Model, chip, 99, 50, xorpuf.Nominal)
+	if err != nil {
+		fmt.Println("auth failed:", err)
+		return
+	}
+	fmt.Printf("approved=%v mismatches=%d fusesBlown=%v\n",
+		res.Approved, res.Mismatches, chip.FusesBlown())
+	// Output: approved=true mismatches=0 fusesBlown=true
+}
+
+// ExampleXORPUF_StableCRPs harvests attack-ready stable CRPs.
+func ExampleXORPUF_StableCRPs() {
+	chip := xorpuf.NewChip(1, xorpuf.DefaultParams(), 2)
+	x := xorpuf.NewXORPUF(chip, 2)
+	crps, _ := x.StableCRPs(xorpuf.NewSource(2), 3, xorpuf.Nominal, 0.999)
+	for _, crp := range crps {
+		fmt.Printf("response=%d stability>=%v\n", crp.Response, crp.Stability >= 0.999)
+	}
+	// Output:
+	// response=1 stability>=true
+	// response=1 stability>=true
+	// response=1 stability>=true
+}
+
+// ExampleFeatures shows the parity transform every model consumes.
+func ExampleFeatures() {
+	c := xorpuf.Challenge{0, 1, 0}
+	fmt.Println(xorpuf.Features(c))
+	// Output: [-1 -1 1 1]
+}
+
+// ExampleChip_ReadXOR reads the only output available after the fuses blow.
+func ExampleChip_ReadXOR() {
+	chip := xorpuf.NewChip(3, xorpuf.DefaultParams(), 3)
+	chip.BlowFuses()
+	c := xorpuf.RandomChallenges(4, 1, chip.Stages())[0]
+	bit := chip.ReadXOR(c, xorpuf.Nominal)
+	fmt.Println(bit <= 1)
+	// Output: true
+}

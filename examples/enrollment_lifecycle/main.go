@@ -1,0 +1,69 @@
+// Enrollment lifecycle (paper Figs 5–6): one-time fuses expose the
+// individual PUFs to the enrolling tester, then permanently lock the chip
+// down to its XOR output; the server keeps only the model database.
+//
+//	go run ./examples/enrollment_lifecycle
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"xorpuf"
+)
+
+func main() {
+	params := xorpuf.DefaultParams()
+	chip := xorpuf.NewChip(7777, params, 4)
+	probe := xorpuf.RandomChallenges(1, 1, chip.Stages())[0]
+
+	// Phase 1 — enrollment access: individual soft responses readable.
+	soft, err := chip.SoftResponse(2, probe, xorpuf.Nominal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrollment phase: PUF 2 soft response for probe challenge = %.5f\n", soft)
+
+	// Enroll and blow the fuses in one step.
+	cfg := xorpuf.DefaultEnrollConfig()
+	cfg.BlowFuses = true
+	enr, err := xorpuf.Enroll(chip, 5, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled %d PUF models; fuses blown\n", enr.Model.Width())
+
+	// Phase 2 — the fuses are gone: individual access must fail, XOR
+	// access must survive.
+	if _, err := chip.SoftResponse(2, probe, xorpuf.Nominal); errors.Is(err, xorpuf.ErrFusesBlown) {
+		fmt.Println("individual access now returns ErrFusesBlown ✓")
+	} else {
+		log.Fatalf("expected ErrFusesBlown, got %v", err)
+	}
+	fmt.Printf("XOR output still readable: bit=%d ✓\n", chip.ReadXOR(probe, xorpuf.Nominal))
+
+	// Re-enrollment must be impossible.
+	if _, err := xorpuf.Enroll(chip, 6, cfg); err != nil {
+		fmt.Printf("re-enrollment rejected: %v ✓\n", err)
+	} else {
+		log.Fatal("re-enrollment unexpectedly succeeded")
+	}
+
+	// Phase 3 — the server database round-trips through serialization;
+	// a restored model authenticates the chip years later.
+	blob, err := xorpuf.EncodeChipModel(enr.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := xorpuf.DecodeChipModel(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := xorpuf.Authenticate(restored, chip, 9, 100, xorpuf.Nominal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("authentication with restored %d-byte model database: approved=%v (%d mismatches)\n",
+		len(blob), res.Approved, res.Mismatches)
+}

@@ -1,0 +1,40 @@
+// Modeling attack walkthrough (paper §2.3): train the 35-25-25 MLP and the
+// logistic-regression baseline on stable XOR-PUF CRPs and watch security
+// grow with the XOR width.
+//
+//	go run ./examples/modeling_attack
+package main
+
+import (
+	"fmt"
+
+	"xorpuf"
+)
+
+func main() {
+	params := xorpuf.DefaultParams()
+	const trainN, testN = 6000, 1500
+
+	fmt.Println("attacking XOR arbiter PUFs with 6,000 stable CRPs (paper §2.3 methodology)")
+	fmt.Printf("%-6s  %-18s  %-18s  %s\n", "width", "logistic test acc", "MLP test acc", "notes")
+	for _, width := range []int{1, 2, 3, 6} {
+		chip := xorpuf.NewChip(uint64(100+width), params, width)
+		x := xorpuf.NewXORPUF(chip, width)
+		// The attacker harvests only 100 %-stable CRPs — the paper
+		// found unstable CRPs mislead model training.
+		crps, examined := x.StableCRPs(xorpuf.NewSource(uint64(500+width)),
+			trainN+testN, xorpuf.Nominal, 0.999)
+		train := xorpuf.DatasetFromCRPs(crps[:trainN])
+		test := xorpuf.DatasetFromCRPs(crps[trainN:])
+
+		lr := xorpuf.RunLogisticAttack(train, test, 1e-4)
+		mlp := xorpuf.RunMLPAttack(uint64(900+width), train, test, xorpuf.DefaultMLPAttackConfig())
+
+		fmt.Printf("%-6d  %16.1f%%  %16.1f%%  %.0f µs/CRP, %d stable of %d examined\n",
+			width, 100*lr.TestAccuracy, 100*mlp.TestAccuracy,
+			float64(mlp.PerCRP.Microseconds()), trainN+testN, examined)
+	}
+	fmt.Println("\nreading: logistic regression breaks a single PUF outright; the MLP")
+	fmt.Println("still breaks narrow XORs, but accuracy collapses toward chance as the")
+	fmt.Println("width grows — the paper's case for n ≥ 10.")
+}

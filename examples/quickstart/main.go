@@ -1,0 +1,59 @@
+// Quickstart: fabricate a chip, enroll it, and authenticate it with the
+// paper's model-assisted zero-Hamming-distance protocol.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xorpuf"
+)
+
+func main() {
+	// Fabricate a chip with 4 parallel arbiter PUFs (a 4-input XOR PUF)
+	// using the parameters calibrated against the paper's 32 nm silicon.
+	params := xorpuf.DefaultParams()
+	chip := xorpuf.NewChip(42, params, 4)
+	fmt.Printf("fabricated chip: %d PUFs × %d stages, counter depth %d\n",
+		chip.NumPUFs(), chip.Stages(), params.CounterDepth)
+
+	// Enrollment (paper Fig 6): while the one-time fuses are intact,
+	// measure soft responses of each PUF, fit the linear delay models,
+	// and tighten the stability thresholds with the β search.
+	cfg := xorpuf.DefaultEnrollConfig()
+	cfg.BlowFuses = true // revoke individual-PUF access afterwards
+	enr, err := xorpuf.Enroll(chip, 7, cfg)
+	if err != nil {
+		log.Fatalf("enrollment failed: %v", err)
+	}
+	fmt.Printf("enrolled: %d PUF models, β0=%.2f β1=%.2f, fuses blown: %v\n",
+		enr.Model.Width(), enr.Model.Beta0, enr.Model.Beta1, chip.FusesBlown())
+
+	// The server database stores only the models — not a CRP table.
+	blob, err := xorpuf.EncodeChipModel(enr.Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server database entry: %d bytes of model parameters\n", len(blob))
+
+	// Authentication (paper Fig 7): the server picks fresh random
+	// challenges predicted stable on every member PUF, the chip answers
+	// with one-shot XOR responses, and approval requires a 100 % match.
+	res, err := xorpuf.Authenticate(enr.Model, chip, 99, 100, xorpuf.Nominal)
+	if err != nil {
+		log.Fatalf("authentication error: %v", err)
+	}
+	fmt.Printf("genuine chip:   approved=%v (%d/%d mismatches, %d challenges examined)\n",
+		res.Approved, res.Mismatches, res.Challenges, res.Examined)
+
+	// An impostor chip from the same process cannot answer correctly.
+	impostor := xorpuf.NewChip(1337, params, 4)
+	res, err = xorpuf.Authenticate(enr.Model, impostor, 99, 100, xorpuf.Nominal)
+	if err != nil {
+		log.Fatalf("authentication error: %v", err)
+	}
+	fmt.Printf("impostor chip:  approved=%v (%d/%d mismatches)\n",
+		res.Approved, res.Mismatches, res.Challenges)
+}

@@ -1,0 +1,77 @@
+// Remote authentication: the paper's server/chip split over a real TCP
+// connection — the verification server holds only the model database; the
+// device side holds the chip and answers freshly selected challenges with
+// one-shot XOR reads.
+//
+//	go run ./examples/remote_auth
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"xorpuf"
+	"xorpuf/internal/netauth"
+)
+
+func main() {
+	// Enrollment facility: fabricate and enroll the chip, then hand the
+	// model to the server and the chip to the device.
+	params := xorpuf.DefaultParams()
+	chip := xorpuf.NewChip(31337, params, 6)
+	cfg := xorpuf.DefaultEnrollConfig()
+	cfg.Conditions = xorpuf.Corners()
+	cfg.BlowFuses = true
+	enr, err := xorpuf.Enroll(chip, 8, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enrolled 6-XOR chip (β0=%.2f β1=%.2f), fuses blown\n",
+		enr.Model.Beta0, enr.Model.Beta1)
+
+	// Verification server.
+	srv := netauth.NewServer(100, 99)
+	if err := srv.Register("device-0042", enr.Model); err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+	fmt.Printf("verification server listening on %s\n\n", ln.Addr())
+
+	// Genuine device authenticates from several operating corners.
+	for _, cond := range []xorpuf.Condition{
+		xorpuf.Nominal,
+		{VDD: 0.8, TempC: 0},
+		{VDD: 1.0, TempC: 60},
+	} {
+		res, err := netauth.Authenticate(ln.Addr().String(), "device-0042",
+			chip, cond, 5*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("genuine device at %-12s → approved=%v (%d/%d mismatches)\n",
+			cond, res.Approved, res.Mismatches, res.Challenges)
+	}
+
+	// A counterfeit device with its own silicon fails.
+	counterfeit := xorpuf.NewChip(666, params, 6)
+	res, err := netauth.Authenticate(ln.Addr().String(), "device-0042",
+		counterfeit, xorpuf.Nominal, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counterfeit device        → approved=%v (%d/%d mismatches)\n",
+		res.Approved, res.Mismatches, res.Challenges)
+
+	// Note: a software clone built from the stolen *model database* would
+	// succeed — the database, unlike the PUF, must be kept secret
+	// (paper §1: the server stores delay parameters).
+	approved, denied := srv.Stats()
+	fmt.Printf("\nserver decision log: %d approved, %d denied\n", approved, denied)
+}

@@ -1,0 +1,3 @@
+module xorpuf
+
+go 1.22

@@ -1,0 +1,215 @@
+// Package authproto implements complete chip-authentication protocols over
+// the silicon substrate: the paper's model-assisted zero-Hamming-distance
+// scheme plus the published comparators the paper positions itself against —
+// measurement-based stable-CRP selection (ref [1]), the classic stored-CRP
+// Hamming-threshold policy, noise bifurcation (ref [6]) and the lockdown
+// CRP-budget technique (ref [7]).
+//
+// All protocols share the same shape: an enrollment step that runs while the
+// chip's fuses are intact and produces a server-side verifier, and an
+// authentication step that talks to a Device (XOR output only) and returns a
+// Decision.  The experiment harness scores them on false-reject rate across
+// operating corners, false-accept rate against impostor chips, server
+// storage, and enrollment measurement cost.
+package authproto
+
+import (
+	"errors"
+	"fmt"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// Decision is the outcome of one authentication attempt.
+type Decision struct {
+	Approved   bool
+	Challenges int // CRPs exchanged
+	Mismatches int // response bits that disagreed with the verifier
+}
+
+// StoredCRP is one server-database entry for the CRP-storing protocols.
+type StoredCRP struct {
+	Challenge challenge.Challenge
+	Response  uint8
+}
+
+// EnrollmentCost records what an enrollment run consumed, for the protocol
+// comparison tables.
+type EnrollmentCost struct {
+	// Measurements is the number of counter-based soft-response
+	// measurements performed on the chip.
+	Measurements int
+	// StoredBytes approximates server storage: stored CRPs are costed at
+	// one challenge (stages bits → bytes) plus one response bit; model
+	// parameters at 8 bytes per coefficient.
+	StoredBytes int
+}
+
+// ---------------------------------------------------------------------------
+// Model-assisted protocol (the paper)
+// ---------------------------------------------------------------------------
+
+// ModelAssisted is the paper's protocol: the verifier is a per-PUF linear
+// model; challenges are selected at authentication time and never reused.
+type ModelAssisted struct {
+	Model *core.ChipModel
+	Cost  EnrollmentCost
+}
+
+// EnrollModelAssisted runs the paper's enrollment (package core) and wraps
+// the result as a protocol instance.
+func EnrollModelAssisted(chip *silicon.Chip, src *rng.Source, cfg core.EnrollConfig) (*ModelAssisted, error) {
+	enr, err := core.EnrollChip(chip, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	coeffs := 0
+	for _, m := range enr.Model.PUFs {
+		coeffs += len(m.Theta)
+	}
+	// Each PUF consumed TrainingSize training measurements plus up to
+	// ValidationSize validation measurements.
+	return &ModelAssisted{
+		Model: enr.Model,
+		Cost: EnrollmentCost{
+			Measurements: chip.NumPUFs() * (cfg.TrainingSize + cfg.ValidationSize),
+			StoredBytes:  8*coeffs + 8*2, // θ vectors + β pair
+		},
+	}, nil
+}
+
+// Authenticate runs the zero-HD protocol with freshly selected challenges.
+func (p *ModelAssisted) Authenticate(dev core.Device, src *rng.Source, count int, cond silicon.Condition) (Decision, error) {
+	res, err := core.Authenticate(p.Model, dev, src, count, cond)
+	if err != nil {
+		return Decision{}, err
+	}
+	return Decision{Approved: res.Approved, Challenges: res.Challenges, Mismatches: res.Mismatches}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Measurement-based stable-CRP selection (ref [1])
+// ---------------------------------------------------------------------------
+
+// MeasurementBased is the prior-work baseline: during enrollment the tester
+// measures soft responses of every candidate challenge and stores only the
+// CRPs observed 100 %-stable on all member PUFs.  Efficient for a single
+// PUF; wasteful for wide XOR PUFs where most candidates are discarded
+// (paper §3 discussion).
+type MeasurementBased struct {
+	DB   []StoredCRP
+	Cost EnrollmentCost
+}
+
+// EnrollMeasurementBased tests `candidates` random challenges on the chip
+// and stores the stable ones.
+func EnrollMeasurementBased(chip *silicon.Chip, src *rng.Source, candidates int, cond silicon.Condition) (*MeasurementBased, error) {
+	p := &MeasurementBased{}
+	challengeSrc := src.Split("challenges")
+	for i := 0; i < candidates; i++ {
+		c := challenge.Random(challengeSrc, chip.Stages())
+		allStable := true
+		var xor uint8
+		for j := 0; j < chip.NumPUFs(); j++ {
+			soft, err := chip.SoftResponse(j, c, cond)
+			if err != nil {
+				return nil, fmt.Errorf("authproto: measurement-based enrollment: %w", err)
+			}
+			p.Cost.Measurements++
+			if !core.StableMeasurement(soft) {
+				allStable = false
+				break
+			}
+			if soft == 1 {
+				xor ^= 1
+			}
+		}
+		if allStable {
+			p.DB = append(p.DB, StoredCRP{Challenge: c, Response: xor})
+		}
+	}
+	p.Cost.StoredBytes = len(p.DB) * (chip.Stages()/8 + 1)
+	return p, nil
+}
+
+// ErrDBExhausted is returned when a stored-CRP protocol runs out of unused
+// database entries (stored CRPs must never be replayed to a device the
+// adversary can observe).
+var ErrDBExhausted = errors.New("authproto: CRP database exhausted")
+
+// Authenticate pops `count` stored CRPs (never reusing them) and applies the
+// zero-HD criterion.
+func (p *MeasurementBased) Authenticate(dev core.Device, count int, cond silicon.Condition) (Decision, error) {
+	if count > len(p.DB) {
+		return Decision{}, ErrDBExhausted
+	}
+	batch := p.DB[:count]
+	p.DB = p.DB[count:]
+	d := Decision{Challenges: count}
+	for _, crp := range batch {
+		if dev.ReadXOR(crp.Challenge, cond) != crp.Response {
+			d.Mismatches++
+		}
+	}
+	d.Approved = d.Mismatches == 0
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// Classic stored-CRP Hamming-threshold protocol
+// ---------------------------------------------------------------------------
+
+// ClassicHD is the traditional scheme: random (unselected) CRPs recorded at
+// enrollment with single-shot reads, authentication accepts when the
+// fractional Hamming distance stays below a threshold.  It tolerates noise
+// by construction but must keep the threshold loose enough for the XOR
+// PUF's instability, which erodes security.
+type ClassicHD struct {
+	DB        []StoredCRP
+	Threshold float64 // maximum accepted fractional Hamming distance
+	Cost      EnrollmentCost
+}
+
+// EnrollClassicHD stores single-shot XOR responses for `count` random
+// challenges (majority-of-3 reads to de-noise the reference slightly, as
+// deployments typically do).
+func EnrollClassicHD(chip *silicon.Chip, src *rng.Source, count int, threshold float64, cond silicon.Condition) *ClassicHD {
+	p := &ClassicHD{Threshold: threshold}
+	challengeSrc := src.Split("challenges")
+	for i := 0; i < count; i++ {
+		c := challenge.Random(challengeSrc, chip.Stages())
+		votes := 0
+		for r := 0; r < 3; r++ {
+			votes += int(chip.ReadXOR(c, cond))
+		}
+		var resp uint8
+		if votes >= 2 {
+			resp = 1
+		}
+		p.DB = append(p.DB, StoredCRP{Challenge: c, Response: resp})
+		p.Cost.Measurements += 3
+	}
+	p.Cost.StoredBytes = len(p.DB) * (chip.Stages()/8 + 1)
+	return p
+}
+
+// Authenticate pops `count` stored CRPs and accepts if the mismatch
+// fraction is at most Threshold.
+func (p *ClassicHD) Authenticate(dev core.Device, count int, cond silicon.Condition) (Decision, error) {
+	if count > len(p.DB) {
+		return Decision{}, ErrDBExhausted
+	}
+	batch := p.DB[:count]
+	p.DB = p.DB[count:]
+	d := Decision{Challenges: count}
+	for _, crp := range batch {
+		if dev.ReadXOR(crp.Challenge, cond) != crp.Response {
+			d.Mismatches++
+		}
+	}
+	d.Approved = float64(d.Mismatches) <= p.Threshold*float64(count)
+	return d, nil
+}

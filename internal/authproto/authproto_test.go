@@ -1,0 +1,283 @@
+package authproto
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+func enrollCfg() core.EnrollConfig {
+	cfg := core.DefaultEnrollConfig()
+	cfg.TrainingSize = 2000
+	cfg.ValidationSize = 6000
+	return cfg
+}
+
+func TestModelAssistedAcceptsGenuine(t *testing.T) {
+	chip := silicon.NewChip(rng.New(1), silicon.DefaultParams(), 4)
+	p, err := EnrollModelAssisted(chip, rng.New(2), enrollCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Authenticate(chip, rng.New(3), 80, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Approved {
+		t.Errorf("genuine chip denied: %+v", d)
+	}
+	if p.Cost.Measurements != 4*(2000+6000) {
+		t.Errorf("measurement cost %d, want %d", p.Cost.Measurements, 4*8000)
+	}
+	if p.Cost.StoredBytes == 0 {
+		t.Error("storage cost should be nonzero")
+	}
+}
+
+func TestModelAssistedRejectsImpostor(t *testing.T) {
+	chip := silicon.NewChip(rng.New(4), silicon.DefaultParams(), 4)
+	p, err := EnrollModelAssisted(chip, rng.New(5), enrollCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	impostor := silicon.NewChip(rng.New(77), silicon.DefaultParams(), 4)
+	d, err := p.Authenticate(impostor, rng.New(6), 80, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Approved {
+		t.Error("impostor approved by model-assisted protocol")
+	}
+}
+
+func TestMeasurementBasedYieldAndAuth(t *testing.T) {
+	chip := silicon.NewChip(rng.New(7), silicon.DefaultParams(), 4)
+	p, err := EnrollMeasurementBased(chip, rng.New(8), 3000, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yield should be ≈ 0.8⁴ ≈ 0.41 of candidates.
+	yield := float64(len(p.DB)) / 3000
+	if yield < 0.25 || yield > 0.55 {
+		t.Errorf("stable yield %.3f, want ≈0.41", yield)
+	}
+	// Enrollment must have measured at least one soft response per
+	// candidate and at most NumPUFs per candidate.
+	if p.Cost.Measurements < 3000 || p.Cost.Measurements > 4*3000 {
+		t.Errorf("measurements = %d out of expected range", p.Cost.Measurements)
+	}
+	before := len(p.DB)
+	d, err := p.Authenticate(chip, 50, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Approved {
+		t.Errorf("genuine chip denied: %+v", d)
+	}
+	if len(p.DB) != before-50 {
+		t.Error("stored CRPs must be consumed, not reused")
+	}
+}
+
+func TestMeasurementBasedExhaustion(t *testing.T) {
+	chip := silicon.NewChip(rng.New(9), silicon.DefaultParams(), 2)
+	p, err := EnrollMeasurementBased(chip, rng.New(10), 50, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Authenticate(chip, len(p.DB)+1, silicon.Nominal); !errors.Is(err, ErrDBExhausted) {
+		t.Errorf("err = %v, want ErrDBExhausted", err)
+	}
+}
+
+func TestMeasurementBasedRequiresIntactFuses(t *testing.T) {
+	chip := silicon.NewChip(rng.New(11), silicon.DefaultParams(), 2)
+	chip.BlowFuses()
+	if _, err := EnrollMeasurementBased(chip, rng.New(12), 10, silicon.Nominal); err == nil {
+		t.Error("enrollment should fail on blown fuses")
+	}
+}
+
+func TestClassicHDToleratesNoiseButAcceptsLooseMatches(t *testing.T) {
+	chip := silicon.NewChip(rng.New(13), silicon.DefaultParams(), 4)
+	p := EnrollClassicHD(chip, rng.New(14), 400, 0.25, silicon.Nominal)
+	d, err := p.Authenticate(chip, 100, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Approved {
+		t.Errorf("genuine chip denied by classic HD: %+v", d)
+	}
+	// Unselected XOR-4 CRPs are noisy: single-shot reads should show a
+	// nonzero mismatch count that zero-HD would have rejected.
+	if d.Mismatches == 0 {
+		t.Log("note: no mismatches observed; acceptable but unusual for XOR-4 single-shot reads")
+	}
+	impostor := silicon.NewChip(rng.New(88), silicon.DefaultParams(), 4)
+	d2, err := p.Authenticate(impostor, 100, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Approved {
+		t.Error("impostor approved by classic HD")
+	}
+}
+
+func TestClassicHDFalseRejectVsModelAssisted(t *testing.T) {
+	// At a harsh corner, the classic protocol with a tight threshold
+	// should reject the genuine chip more often than the model-assisted
+	// protocol hardened for V/T.
+	chip := silicon.NewChip(rng.New(15), silicon.DefaultParams(), 6)
+	cfg := enrollCfg()
+	cfg.Conditions = silicon.Corners()
+	ma, err := EnrollModelAssisted(chip, rng.New(16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := EnrollClassicHD(chip, rng.New(17), 2000, 0.02, silicon.Nominal)
+	corner := silicon.Condition{VDD: 0.8, TempC: 60}
+	maRejects, classicRejects := 0, 0
+	for i := 0; i < 10; i++ {
+		d, err := ma.Authenticate(chip, rng.New(uint64(100+i)), 50, corner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Approved {
+			maRejects++
+		}
+		d2, err := classic.Authenticate(chip, 50, corner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d2.Approved {
+			classicRejects++
+		}
+	}
+	if maRejects > classicRejects {
+		t.Errorf("model-assisted rejected %d/10 vs classic %d/10; expected at most as many",
+			maRejects, classicRejects)
+	}
+}
+
+func TestNoiseBifurcationAcceptsGenuineRejectsImpostor(t *testing.T) {
+	chip := silicon.NewChip(rng.New(18), silicon.DefaultParams(), 4)
+	p := EnrollNoiseBifurcation(chip, rng.New(19), 3000, 0.25, 0.10)
+	d, err := p.Authenticate(chip, 400, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Approved {
+		t.Errorf("genuine chip denied under bifurcation: %+v", d)
+	}
+	// Mismatch fraction should hover near the disturbance probability.
+	frac := float64(d.Mismatches) / float64(d.Challenges)
+	if math.Abs(frac-0.25) > 0.12 {
+		t.Errorf("mismatch fraction %.3f, want ≈0.25", frac)
+	}
+	impostor := silicon.NewChip(rng.New(99), silicon.DefaultParams(), 4)
+	d2, err := p.Authenticate(impostor, 400, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Approved {
+		t.Error("impostor approved under bifurcation")
+	}
+}
+
+func TestNoiseBifurcationTapIsDisturbed(t *testing.T) {
+	chip := silicon.NewChip(rng.New(20), silicon.DefaultParams(), 1)
+	p := EnrollNoiseBifurcation(chip, rng.New(21), 10, 0.25, 0.10)
+	crps := p.TapCRPs(chip, rng.New(22), 4000, chip.Stages(), silicon.Nominal)
+	// Compare tapped responses with the chip's noiseless truth: ≈25 %
+	// (plus PUF noise) must be wrong.
+	wrong := 0
+	for _, crp := range crps {
+		truth := uint8(0)
+		if chip.PUF(0).Delay(crp.Challenge, silicon.Nominal) > 0 {
+			truth = 1
+		}
+		if crp.Response != truth {
+			wrong++
+		}
+	}
+	frac := float64(wrong) / float64(len(crps))
+	if frac < 0.18 || frac > 0.40 {
+		t.Errorf("tapped CRP error rate %.3f, want ≈0.25–0.30", frac)
+	}
+}
+
+func TestLockdownBudget(t *testing.T) {
+	chip := silicon.NewChip(rng.New(23), silicon.DefaultParams(), 2)
+	l := NewLockdown(chip)
+	c := make([]uint8, chip.Stages())
+	if _, err := l.TryReadXOR(c, silicon.Nominal); !errors.Is(err, ErrLockdown) {
+		t.Error("unauthorized read should fail")
+	}
+	l.Authorize(5)
+	for i := 0; i < 5; i++ {
+		if _, err := l.TryReadXOR(c, silicon.Nominal); err != nil {
+			t.Fatalf("authorized read %d failed: %v", i, err)
+		}
+	}
+	if _, err := l.TryReadXOR(c, silicon.Nominal); !errors.Is(err, ErrLockdown) {
+		t.Error("budget overrun should fail")
+	}
+	if l.Used() != 5 || l.Remaining() != 0 {
+		t.Errorf("Used/Remaining = %d/%d, want 5/0", l.Used(), l.Remaining())
+	}
+}
+
+func TestLockdownHarvestStopsAtBudget(t *testing.T) {
+	chip := silicon.NewChip(rng.New(24), silicon.DefaultParams(), 2)
+	l := NewLockdown(chip)
+	l.Authorize(100)
+	crps := l.HarvestCRPs(rng.New(25), 10000, chip.Stages(), silicon.Nominal)
+	if len(crps) != 100 {
+		t.Errorf("harvested %d CRPs, want 100", len(crps))
+	}
+}
+
+func TestEnrollXORSoftSalvagesMoreCRPs(t *testing.T) {
+	// The XOR-soft salvage (paper §2.2 aside) must recover at least as
+	// many usable CRPs as the strict all-members-stable rule, and must
+	// work with blown fuses.
+	chip := silicon.NewChip(rng.New(30), silicon.DefaultParams(), 4)
+	strict, err := EnrollMeasurementBased(chip, rng.New(31), 800, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.BlowFuses() // salvage only needs the XOR output
+	salvage, err := EnrollXORSoft(chip, rng.New(31), 800, 60, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(salvage.DB) <= len(strict.DB) {
+		t.Errorf("salvage found %d CRPs, strict %d; salvage should find more",
+			len(salvage.DB), len(strict.DB))
+	}
+	// Salvaged references should still authenticate the genuine chip
+	// under a loose-HD policy (one-shot reads can flip on marginal CRPs,
+	// so zero-HD is not guaranteed here).
+	d, err := salvage.Authenticate(chip, 100, silicon.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(d.Mismatches) > 0.15*float64(d.Challenges) {
+		t.Errorf("salvaged CRPs mismatched %d/%d against the genuine chip",
+			d.Mismatches, d.Challenges)
+	}
+}
+
+func TestEnrollXORSoftValidation(t *testing.T) {
+	chip := silicon.NewChip(rng.New(32), silicon.DefaultParams(), 2)
+	if _, err := EnrollXORSoft(chip, rng.New(33), 10, 0, 0.1, 0.9); err == nil {
+		t.Error("zero trials should fail")
+	}
+	if _, err := EnrollXORSoft(chip, rng.New(34), 10, 10, 0.6, 0.9); err == nil {
+		t.Error("lo >= 0.5 should fail")
+	}
+}

@@ -1,0 +1,145 @@
+package authproto
+
+import (
+	"errors"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/xorpuf"
+)
+
+// ---------------------------------------------------------------------------
+// Noise bifurcation (ref [6])
+// ---------------------------------------------------------------------------
+
+// NoiseBifurcation models Yu et al.'s architecture: the device deliberately
+// randomizes which responses reach the verifier, so an eavesdropper sees
+// CRPs whose responses are disturbed with probability DisturbProb, making
+// model training much harder.  The cost is that the verifier must relax its
+// acceptance criterion and spend more CRPs per decision (the tradeoff the
+// paper cites as this scheme's drawback).
+type NoiseBifurcation struct {
+	DB          []StoredCRP
+	DisturbProb float64 // probability an observed response bit is disturbed
+	Threshold   float64 // max accepted mismatch fraction among *undisturbed* comparisons
+	Cost        EnrollmentCost
+	mix         *rng.Source // device-side decimation randomness
+}
+
+// EnrollNoiseBifurcation records reference CRPs like ClassicHD and fixes the
+// disturbance rate (0.25 in ref [6]'s 2:1 decimation).
+func EnrollNoiseBifurcation(chip *silicon.Chip, src *rng.Source, count int, disturbProb, threshold float64) *NoiseBifurcation {
+	base := EnrollClassicHD(chip, src, count, threshold, silicon.Nominal)
+	return &NoiseBifurcation{
+		DB:          base.DB,
+		DisturbProb: disturbProb,
+		Threshold:   threshold,
+		Cost:        base.Cost,
+		mix:         src.Split("bifurcation"),
+	}
+}
+
+// Authenticate exchanges `count` CRPs.  Each returned bit is disturbed with
+// probability DisturbProb; the verifier, which knows the expected
+// disturbance statistics, accepts when the mismatch fraction stays below
+// DisturbProb + Threshold.
+func (p *NoiseBifurcation) Authenticate(dev core.Device, count int, cond silicon.Condition) (Decision, error) {
+	if count > len(p.DB) {
+		return Decision{}, ErrDBExhausted
+	}
+	batch := p.DB[:count]
+	p.DB = p.DB[count:]
+	d := Decision{Challenges: count}
+	for _, crp := range batch {
+		bit := dev.ReadXOR(crp.Challenge, cond)
+		if p.mix.Float64() < p.DisturbProb {
+			bit ^= 1
+		}
+		if bit != crp.Response {
+			d.Mismatches++
+		}
+	}
+	limit := (p.DisturbProb + p.Threshold) * float64(count)
+	d.Approved = float64(d.Mismatches) <= limit
+	return d, nil
+}
+
+// TapCRPs simulates an eavesdropper harvesting `count` CRPs from
+// authentication traffic: the challenges are visible, but the responses
+// carry the bifurcation disturbance.  The genuine device is queried for
+// fresh responses (this does not consume the verifier DB).
+func (p *NoiseBifurcation) TapCRPs(dev core.Device, src *rng.Source, count int, stages int, cond silicon.Condition) []xorpuf.CRP {
+	out := make([]xorpuf.CRP, count)
+	for i := range out {
+		c := challenge.Random(src, stages)
+		bit := dev.ReadXOR(c, cond)
+		if p.mix.Float64() < p.DisturbProb {
+			bit ^= 1
+		}
+		out[i] = xorpuf.CRP{Challenge: c, Response: bit}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Lockdown (ref [7])
+// ---------------------------------------------------------------------------
+
+// ErrLockdown is returned when the device's CRP budget is exhausted.
+var ErrLockdown = errors.New("authproto: lockdown budget exhausted")
+
+// Lockdown wraps any device so that only a server-authorized number of CRPs
+// can ever be extracted from it — Yu et al.'s defense that starves modeling
+// attacks of training data.  The paper's critique is the system-level
+// support it requires; here that support is the explicit Authorize call.
+type Lockdown struct {
+	dev    core.Device
+	budget int
+	used   int
+}
+
+// NewLockdown wraps dev with a zero budget; the server must Authorize
+// queries before any CRP can be read.
+func NewLockdown(dev core.Device) *Lockdown {
+	return &Lockdown{dev: dev}
+}
+
+// Authorize grants the device permission to answer n more challenges.
+func (l *Lockdown) Authorize(n int) {
+	if n > 0 {
+		l.budget += n
+	}
+}
+
+// Used returns the number of CRPs extracted so far.
+func (l *Lockdown) Used() int { return l.used }
+
+// Remaining returns the unused budget.
+func (l *Lockdown) Remaining() int { return l.budget - l.used }
+
+// ReadXOR answers only while budget remains; outside the budget it returns
+// an unusable constant and the caller can detect refusal via TryReadXOR.
+func (l *Lockdown) TryReadXOR(c challenge.Challenge, cond silicon.Condition) (uint8, error) {
+	if l.used >= l.budget {
+		return 0, ErrLockdown
+	}
+	l.used++
+	return l.dev.ReadXOR(c, cond), nil
+}
+
+// HarvestCRPs models an attacker extracting as many CRPs as the lockdown
+// allows; it returns however many it got before the budget ran out.
+func (l *Lockdown) HarvestCRPs(src *rng.Source, count, stages int, cond silicon.Condition) []xorpuf.CRP {
+	out := make([]xorpuf.CRP, 0, count)
+	for i := 0; i < count; i++ {
+		c := challenge.Random(src, stages)
+		bit, err := l.TryReadXOR(c, cond)
+		if err != nil {
+			break
+		}
+		out = append(out, xorpuf.CRP{Challenge: c, Response: bit})
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package authproto
+
+import (
+	"fmt"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// EnrollXORSoft implements the paper's §2.2 aside: instead of requiring
+// 100 %-stable responses on every individual PUF, measure the soft response
+// of the *final XOR output* and salvage challenges whose XOR soft response
+// clears thresholds (soft ≤ lo → response 0, soft ≥ hi → response 1).  This
+// recovers marginally stable CRPs that the all-members-stable rule discards,
+// at the price of sampling the XOR output repeatedly during authentication
+// (one-shot reads are no longer guaranteed correct).
+//
+// Because it needs only the XOR output, this enrollment works even after the
+// fuses are blown — useful for re-provisioning deployed chips.
+func EnrollXORSoft(chip *silicon.Chip, src *rng.Source, candidates, trials int, lo, hi float64) (*MeasurementBased, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("authproto: EnrollXORSoft trials %d, want > 0", trials)
+	}
+	if !(lo >= 0 && lo < 0.5 && hi > 0.5 && hi <= 1) {
+		return nil, fmt.Errorf("authproto: EnrollXORSoft thresholds (%g, %g) must satisfy 0 ≤ lo < 0.5 < hi ≤ 1", lo, hi)
+	}
+	p := &MeasurementBased{}
+	challengeSrc := src.Split("challenges")
+	for i := 0; i < candidates; i++ {
+		c := challenge.Random(challengeSrc, chip.Stages())
+		ones := 0
+		for t := 0; t < trials; t++ {
+			ones += int(chip.ReadXOR(c, silicon.Nominal))
+		}
+		p.Cost.Measurements += trials
+		soft := float64(ones) / float64(trials)
+		switch {
+		case soft <= lo:
+			p.DB = append(p.DB, StoredCRP{Challenge: c, Response: 0})
+		case soft >= hi:
+			p.DB = append(p.DB, StoredCRP{Challenge: c, Response: 1})
+		}
+	}
+	p.Cost.StoredBytes = len(p.DB) * (chip.Stages()/8 + 1)
+	return p, nil
+}

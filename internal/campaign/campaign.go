@@ -1,0 +1,206 @@
+// Package campaign orchestrates measurement campaigns over a chip lot —
+// the simulated equivalent of the paper's PXI test infrastructure that
+// produced the "1 trillion CRP" dataset (10 chips × 1 M challenges ×
+// 100,000 evaluations × V/T corners) — and streams the results to a CSV
+// dataset for external analysis.
+//
+// CSV schema (header included):
+//
+//	chip,puf,vdd,temp_c,challenge,soft
+//
+// where challenge is a bit string (stage 0 first) and soft is the counter-
+// averaged soft response in [0,1] with enough digits to be exact for the
+// configured counter depth.
+package campaign
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// Config describes a measurement campaign.
+type Config struct {
+	Seed       uint64
+	Params     silicon.Params
+	Chips      int
+	PUFsEach   int
+	Challenges int // per chip; the same challenges are applied to every PUF
+	Conditions []silicon.Condition
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Chips <= 0:
+		return errors.New("campaign: need at least one chip")
+	case c.PUFsEach <= 0:
+		return errors.New("campaign: need at least one PUF per chip")
+	case c.Challenges <= 0:
+		return errors.New("campaign: need at least one challenge")
+	case len(c.Conditions) == 0:
+		return errors.New("campaign: need at least one condition")
+	}
+	return c.Params.Validate()
+}
+
+// Record is one measurement row.
+type Record struct {
+	Chip, PUF int
+	Condition silicon.Condition
+	Challenge challenge.Challenge
+	Soft      float64
+}
+
+// Summary aggregates a finished campaign.
+type Summary struct {
+	Records      int
+	StableCount  int // rows with soft exactly 0 or 1
+	Evaluations  int64
+	StableFrac   float64
+	ChipsCovered int
+}
+
+// Run executes the campaign and writes the CSV dataset to w.  It returns
+// the summary.  Measurement order is chip-major, then challenge, then PUF,
+// then condition — the order a real tester would sweep.
+func Run(cfg Config, w io.Writer) (Summary, error) {
+	if err := cfg.Validate(); err != nil {
+		return Summary{}, err
+	}
+	root := rng.New(cfg.Seed)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"chip", "puf", "vdd", "temp_c", "challenge", "soft"}); err != nil {
+		return Summary{}, err
+	}
+	var sum Summary
+	depth := float64(cfg.Params.CounterDepth)
+	for chipIdx := 0; chipIdx < cfg.Chips; chipIdx++ {
+		chip := silicon.NewChip(root.Fork("chip", chipIdx), cfg.Params, cfg.PUFsEach)
+		cs := root.Fork("challenges", chipIdx)
+		sum.ChipsCovered++
+		for i := 0; i < cfg.Challenges; i++ {
+			c := challenge.Random(cs, cfg.Params.Stages)
+			bits := c.String()
+			for puf := 0; puf < cfg.PUFsEach; puf++ {
+				for _, cond := range cfg.Conditions {
+					soft, err := chip.SoftResponse(puf, c, cond)
+					if err != nil {
+						return sum, fmt.Errorf("campaign: chip %d puf %d: %w", chipIdx, puf, err)
+					}
+					sum.Records++
+					sum.Evaluations += int64(cfg.Params.CounterDepth)
+					if soft == 0 || soft == 1 {
+						sum.StableCount++
+					}
+					row := []string{
+						strconv.Itoa(chipIdx),
+						strconv.Itoa(puf),
+						strconv.FormatFloat(cond.VDD, 'g', -1, 64),
+						strconv.FormatFloat(cond.TempC, 'g', -1, 64),
+						bits,
+						formatSoft(soft, depth),
+					}
+					if err := cw.Write(row); err != nil {
+						return sum, err
+					}
+				}
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return sum, err
+	}
+	if err := bw.Flush(); err != nil {
+		return sum, err
+	}
+	if sum.Records > 0 {
+		sum.StableFrac = float64(sum.StableCount) / float64(sum.Records)
+	}
+	return sum, nil
+}
+
+// formatSoft renders the soft response exactly: counter values are integer
+// multiples of 1/depth, so print the count over the depth.
+func formatSoft(soft, depth float64) string {
+	return strconv.FormatFloat(soft, 'f', digitsFor(depth), 64)
+}
+
+func digitsFor(depth float64) int {
+	d := 0
+	for v := 1.0; v < depth; v *= 10 {
+		d++
+	}
+	return d
+}
+
+// ReadAll parses a campaign CSV back into records.
+func ReadAll(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reading header: %w", err)
+	}
+	if len(header) != 6 || header[0] != "chip" || header[5] != "soft" {
+		return nil, fmt.Errorf("campaign: unexpected header %v", header)
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec, err := parseRecord(row)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseRecord(row []string) (Record, error) {
+	var rec Record
+	var err error
+	if rec.Chip, err = strconv.Atoi(row[0]); err != nil {
+		return rec, fmt.Errorf("chip: %w", err)
+	}
+	if rec.PUF, err = strconv.Atoi(row[1]); err != nil {
+		return rec, fmt.Errorf("puf: %w", err)
+	}
+	if rec.Condition.VDD, err = strconv.ParseFloat(row[2], 64); err != nil {
+		return rec, fmt.Errorf("vdd: %w", err)
+	}
+	if rec.Condition.TempC, err = strconv.ParseFloat(row[3], 64); err != nil {
+		return rec, fmt.Errorf("temp: %w", err)
+	}
+	rec.Challenge = make(challenge.Challenge, len(row[4]))
+	for i := 0; i < len(row[4]); i++ {
+		switch row[4][i] {
+		case '0':
+			rec.Challenge[i] = 0
+		case '1':
+			rec.Challenge[i] = 1
+		default:
+			return rec, fmt.Errorf("challenge: invalid bit %q", row[4][i])
+		}
+	}
+	if rec.Soft, err = strconv.ParseFloat(row[5], 64); err != nil {
+		return rec, fmt.Errorf("soft: %w", err)
+	}
+	if rec.Soft < 0 || rec.Soft > 1 {
+		return rec, fmt.Errorf("soft %v outside [0,1]", rec.Soft)
+	}
+	return rec, nil
+}

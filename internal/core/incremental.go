@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/linalg"
+)
+
+// IncrementalFit fits the soft-response regression online with recursive
+// least squares (RLS), so an enrollment tester can stream counter
+// measurements into the model as they arrive instead of batching a design
+// matrix — the natural fit for production test flows where the 5,000
+// measurements trickle out of the chip over seconds.
+//
+// The RLS recursion maintains θ and P = (XᵀX + δI)⁻¹ via Sherman–Morrison
+// rank-one updates, so each measurement costs O(d²) with d = stages+1.
+// Samples are also retained (one packed word + one float each) so the final
+// three-category thresholds can be extracted against the converged model,
+// exactly as the batch FitModel does.
+type IncrementalFit struct {
+	stages int
+	theta  []float64
+	p      *linalg.Matrix
+	phi    []float64 // scratch feature vector
+	px     []float64 // scratch P·x
+
+	words []uint64
+	softs []float64
+}
+
+// NewIncrementalFit starts an online fit for k-stage challenges with
+// regularization δ > 0 (P starts at I/δ; small δ ≈ unregularized).
+func NewIncrementalFit(stages int, delta float64) *IncrementalFit {
+	if stages <= 0 || stages > 63 {
+		panic(fmt.Sprintf("core: IncrementalFit stages %d outside [1,63]", stages))
+	}
+	if delta <= 0 {
+		panic("core: IncrementalFit delta must be positive")
+	}
+	d := stages + 1
+	p := linalg.NewMatrix(d, d)
+	for i := 0; i < d; i++ {
+		p.Set(i, i, 1/delta)
+	}
+	return &IncrementalFit{
+		stages: stages,
+		theta:  make([]float64, d),
+		p:      p,
+		phi:    make([]float64, d),
+		px:     make([]float64, d),
+	}
+}
+
+// Count returns the number of absorbed measurements.
+func (f *IncrementalFit) Count() int { return len(f.softs) }
+
+// Update absorbs one (challenge, soft response) measurement.
+func (f *IncrementalFit) Update(c challenge.Challenge, soft float64) error {
+	if len(c) != f.stages {
+		return fmt.Errorf("core: challenge length %d, want %d", len(c), f.stages)
+	}
+	if soft < 0 || soft > 1 || math.IsNaN(soft) {
+		return fmt.Errorf("core: soft response %v outside [0,1]", soft)
+	}
+	challenge.FeaturesInto(c, f.phi)
+	// px = P·φ  (P is symmetric).
+	for i := range f.px {
+		f.px[i] = linalg.Dot(f.p.Row(i), f.phi)
+	}
+	denom := 1 + linalg.Dot(f.phi, f.px)
+	resid := soft - linalg.Dot(f.theta, f.phi)
+	inv := 1 / denom
+	// θ += (P·φ)·resid/denom ;  P −= (P·φ)(P·φ)ᵀ/denom.
+	for i := range f.theta {
+		f.theta[i] += f.px[i] * resid * inv
+		rowI := f.p.Row(i)
+		pi := f.px[i] * inv
+		for j := range rowI {
+			rowI[j] -= pi * f.px[j]
+		}
+	}
+	f.words = append(f.words, c.Word())
+	f.softs = append(f.softs, soft)
+	return nil
+}
+
+// Theta returns a copy of the current coefficient estimate.
+func (f *IncrementalFit) Theta() []float64 { return linalg.Copy(f.theta) }
+
+// Model extracts the PUFModel: the converged θ plus three-category
+// thresholds derived from every retained measurement, mirroring FitModel.
+func (f *IncrementalFit) Model() (*PUFModel, error) {
+	if len(f.softs) == 0 {
+		return nil, fmt.Errorf("core: IncrementalFit has no measurements")
+	}
+	m := &PUFModel{Theta: linalg.Copy(f.theta)}
+	thr0 := math.Inf(1)
+	thr1 := math.Inf(-1)
+	for i, w := range f.words {
+		c := challenge.FromWord(w, f.stages)
+		pred := m.PredictSoft(c)
+		if f.softs[i] > 0 && pred < thr0 {
+			thr0 = pred
+		}
+		if f.softs[i] < 1 && pred > thr1 {
+			thr1 = pred
+		}
+	}
+	if math.IsInf(thr0, 1) || math.IsInf(thr1, -1) {
+		return nil, ErrDegenerateTraining
+	}
+	if thr0 <= 0 {
+		thr0 = 1e-3
+	}
+	if thr1 >= 1 {
+		thr1 = 1 - 1e-3
+	}
+	m.Thr0, m.Thr1 = thr0, thr1
+	return m, nil
+}

@@ -1,0 +1,194 @@
+// Package core implements the paper's contribution: model-assisted stable
+// challenge selection and zero-Hamming-distance authentication for wide XOR
+// arbiter PUFs.
+//
+// The pipeline (paper Figs 6–7):
+//
+//  1. Enrollment — while the chip's one-time fuses are intact, measure soft
+//     responses of each individual arbiter PUF on a few thousand random
+//     challenges and fit a linear regression from parity features Φ(c) to the
+//     soft response.  The fitted coefficients are the PUF's extracted delay
+//     parameters, stored in the server database.
+//  2. Thresholding — compare model predictions with the measured soft
+//     responses on the training set and derive Thr(0)/Thr(1): the lowest
+//     prediction ever observed with a measured soft response > 0.00, and the
+//     highest prediction ever observed with a measured soft response < 1.00.
+//     Predictions below/above the thresholds are classified stable-0/stable-1;
+//     the band in between is unstable (three categories, paper §4).
+//  3. β adjustment — scale Thr(0) by β0 < 1 and Thr(1) by β1 > 1, tightening
+//     both boundaries until no challenge the model selects is measured
+//     unstable on a validation set, optionally across all V/T corners
+//     (paper §5).
+//  4. Authentication — the server generates random challenges, keeps only
+//     those predicted stable on every member PUF, predicts the XOR response
+//     from the per-PUF models, and approves the chip only on a 100 % match
+//     of one-shot XOR responses.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/linalg"
+)
+
+// Category is the three-way stability classification of a predicted soft
+// response (paper §4: stable 0, unstable, stable 1).
+type Category uint8
+
+const (
+	// Stable0 predicts a 100 %-stable response of 0.
+	Stable0 Category = iota
+	// Unstable predicts an intermittently flipping response.
+	Unstable
+	// Stable1 predicts a 100 %-stable response of 1.
+	Stable1
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case Stable0:
+		return "stable 0"
+	case Unstable:
+		return "unstable"
+	case Stable1:
+		return "stable 1"
+	default:
+		return fmt.Sprintf("Category(%d)", uint8(c))
+	}
+}
+
+// PUFModel is the server-side model of one arbiter PUF: regression
+// coefficients over parity features plus the raw training-set thresholds.
+type PUFModel struct {
+	// Theta are the linear-regression coefficients mapping Φ(c) to the
+	// predicted soft response (length stages+1).  Up to an affine
+	// transform these are the PUF's extracted delay parameters.
+	Theta []float64 `json:"theta"`
+	// Thr0 is the raw stable-0 threshold: the lowest training prediction
+	// whose measured soft response exceeded 0.00.
+	Thr0 float64 `json:"thr0"`
+	// Thr1 is the raw stable-1 threshold: the highest training prediction
+	// whose measured soft response was below 1.00.
+	Thr1 float64 `json:"thr1"`
+}
+
+// Stages returns the number of PUF stages the model covers.
+func (m *PUFModel) Stages() int { return len(m.Theta) - 1 }
+
+// PredictSoft returns the model's predicted soft response Φ(c)·θ.  The
+// prediction is unclamped: values below 0 / above 1 indicate challenges deep
+// inside the stable regions (the "wider range" of paper Fig 8).
+func (m *PUFModel) PredictSoft(c challenge.Challenge) float64 {
+	if len(c) != m.Stages() {
+		panic(fmt.Sprintf("core: challenge length %d, want %d", len(c), m.Stages()))
+	}
+	k := len(c)
+	sum := m.Theta[k]
+	acc := 1.0
+	for i := k - 1; i >= 0; i-- {
+		if c[i] == 1 {
+			acc = -acc
+		}
+		sum += m.Theta[i] * acc
+	}
+	return sum
+}
+
+// PredictSoftFeatures is PredictSoft on a precomputed feature vector.
+func (m *PUFModel) PredictSoftFeatures(phi []float64) float64 {
+	return linalg.Dot(m.Theta, phi)
+}
+
+// Classify applies the β-scaled thresholds to a predicted soft response:
+// stable 0 below β0·Thr0, stable 1 above β1·Thr1, unstable in between.
+// β0 = β1 = 1 reproduces the raw training thresholds.
+func (m *PUFModel) Classify(predicted, beta0, beta1 float64) Category {
+	switch {
+	case predicted < beta0*m.Thr0:
+		return Stable0
+	case predicted > beta1*m.Thr1:
+		return Stable1
+	default:
+		return Unstable
+	}
+}
+
+// ClassifyChallenge is Classify applied to PredictSoft(c).
+func (m *PUFModel) ClassifyChallenge(c challenge.Challenge, beta0, beta1 float64) Category {
+	return m.Classify(m.PredictSoft(c), beta0, beta1)
+}
+
+// PredictBit returns the hard response bit implied by a stable category; it
+// panics on Unstable (callers must filter first).
+func (c Category) PredictBit() uint8 {
+	switch c {
+	case Stable0:
+		return 0
+	case Stable1:
+		return 1
+	default:
+		panic("core: PredictBit on unstable category")
+	}
+}
+
+// ErrDegenerateTraining is returned when the training set cannot support
+// threshold extraction (e.g. it contains no partially unstable responses).
+var ErrDegenerateTraining = errors.New("core: training set has no unstable soft responses; cannot derive thresholds")
+
+// FitModel fits the linear soft-response regression and extracts raw
+// thresholds from a training set of challenges and their measured soft
+// responses.  ridge ≥ 0 adds Tikhonov regularization to the regression.
+func FitModel(cs []challenge.Challenge, soft []float64, ridge float64) (*PUFModel, error) {
+	if len(cs) == 0 {
+		return nil, errors.New("core: empty training set")
+	}
+	if len(cs) != len(soft) {
+		return nil, fmt.Errorf("core: %d challenges but %d soft responses", len(cs), len(soft))
+	}
+	for i, s := range soft {
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			return nil, fmt.Errorf("core: soft response %d = %v outside [0,1]", i, s)
+		}
+	}
+	design := challenge.FeatureMatrix(cs)
+	theta, err := linalg.LeastSquares(design, soft, ridge)
+	if err != nil {
+		return nil, fmt.Errorf("core: regression failed: %w", err)
+	}
+	m := &PUFModel{Theta: theta}
+	// Threshold extraction (paper Fig 8): scan the training set comparing
+	// predictions with measurements.
+	thr0 := math.Inf(1)
+	thr1 := math.Inf(-1)
+	for i, c := range cs {
+		pred := m.PredictSoft(c)
+		if soft[i] > 0 && pred < thr0 {
+			thr0 = pred
+		}
+		if soft[i] < 1 && pred > thr1 {
+			thr1 = pred
+		}
+	}
+	if math.IsInf(thr0, 1) || math.IsInf(thr1, -1) {
+		return nil, ErrDegenerateTraining
+	}
+	// The β scaling semantics (β0 < 1 tightens the 0 side, β1 > 1 the 1
+	// side) require Thr0 > 0 and Thr1 < 1, which holds whenever the model
+	// is a reasonable fit; clamp pathological fits conservatively.
+	if thr0 <= 0 {
+		thr0 = 1e-3
+	}
+	if thr1 >= 1 {
+		thr1 = 1 - 1e-3
+	}
+	m.Thr0, m.Thr1 = thr0, thr1
+	return m, nil
+}
+
+// StableMeasurement reports whether a measured soft response is 100 % stable
+// (exactly 0.00 or 1.00 over the counter window).
+func StableMeasurement(soft float64) bool { return soft == 0 || soft == 1 }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+)
+
+// Selector is the server-side stateful challenge source of paper Fig 7: it
+// draws random challenges, keeps only those predicted stable, and *records*
+// every challenge it has ever issued so none is reused across
+// authentication sessions (reuse would hand an eavesdropper consistent CRPs
+// and invite replay).
+//
+// A Selector is not safe for concurrent use; wrap it in the caller's lock
+// (netauth.Server does).
+type Selector struct {
+	model *ChipModel
+	src   *rng.Source
+	used  map[uint64]struct{}
+}
+
+// NewSelector creates a selector for an enrolled chip model.  src drives
+// challenge generation.
+func NewSelector(model *ChipModel, src *rng.Source) *Selector {
+	if model == nil || model.Width() == 0 {
+		panic("core: NewSelector with empty model")
+	}
+	return &Selector{model: model, src: src, used: make(map[uint64]struct{})}
+}
+
+// Issued returns how many distinct challenges have been handed out.
+func (s *Selector) Issued() int { return len(s.used) }
+
+// Next returns count fresh predicted-stable challenges and their predicted
+// XOR bits.  Challenges issued by earlier calls are never repeated.
+// maxExamined bounds the search (0 = 10,000 × count).
+func (s *Selector) Next(count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
+	if maxExamined <= 0 {
+		maxExamined = 10000 * count
+	}
+	cs := make([]challenge.Challenge, 0, count)
+	bits := make([]uint8, 0, count)
+	examined := 0
+	for len(cs) < count && examined < maxExamined {
+		c := challenge.Random(s.src, s.model.Stages())
+		examined++
+		// Word() keys on the first 64 stages, which covers every
+		// configuration this repository fabricates; for longer
+		// challenges the dedup would need a wider key.
+		key := c.Word()
+		if _, dup := s.used[key]; dup {
+			continue
+		}
+		bit, stable := s.model.PredictXOR(c)
+		if !stable {
+			continue
+		}
+		s.used[key] = struct{}{}
+		cs = append(cs, c)
+		bits = append(bits, bit)
+	}
+	if len(cs) < count {
+		return cs, bits, &ErrSelectionExhausted{Wanted: count, Found: len(cs), Examined: examined}
+	}
+	return cs, bits, nil
+}

@@ -1,0 +1,149 @@
+// Package crpstore implements a compact binary on-disk format for CRP
+// databases and enrolled-model databases — the "storage requirement" axis
+// the paper weighs protocols on (§1: storage is a first-class design
+// consideration; refs [4-7] store delay parameters instead of exhaustive
+// CRP tables precisely to shrink it).
+//
+// CRP database format (little-endian):
+//
+//	magic   [4]byte  "XPC1"
+//	stages  uint16   challenge length in bits
+//	count   uint32   number of records
+//	records count × (⌈stages/8⌉ bytes of packed challenge, LSB-first)
+//	responses ⌈count/8⌉ bytes of packed response bits, LSB-first
+//
+// A 64-stage CRP costs 8 bytes + 1 bit versus 65 float64s (520 bytes) for a
+// naive float encoding — the difference between a CRP table that fits a
+// server and one that does not.
+package crpstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"xorpuf/internal/challenge"
+)
+
+// magic identifies the CRP database format, version 1.
+var magic = [4]byte{'X', 'P', 'C', '1'}
+
+// CRP is one stored challenge–response pair.
+type CRP struct {
+	Challenge challenge.Challenge
+	Response  uint8
+}
+
+// ErrBadFormat is returned when decoding input that is not a CRP database.
+var ErrBadFormat = errors.New("crpstore: not a CRP database")
+
+// maxCount bounds decoded databases (1 GiB of packed 64-stage challenges);
+// it exists so a corrupted header cannot trigger an absurd allocation.
+const maxCount = 1 << 27
+
+// Write encodes the CRPs to w.  All challenges must share the same length.
+func Write(w io.Writer, crps []CRP) error {
+	if len(crps) == 0 {
+		return errors.New("crpstore: refusing to write an empty database")
+	}
+	stages := len(crps[0].Challenge)
+	if stages == 0 || stages > 65535 {
+		return fmt.Errorf("crpstore: unsupported challenge length %d", stages)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(stages)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(crps))); err != nil {
+		return err
+	}
+	chalBytes := (stages + 7) / 8
+	buf := make([]byte, chalBytes)
+	for i, crp := range crps {
+		if len(crp.Challenge) != stages {
+			return fmt.Errorf("crpstore: record %d has %d stages, want %d", i, len(crp.Challenge), stages)
+		}
+		for j := range buf {
+			buf[j] = 0
+		}
+		for j, b := range crp.Challenge {
+			if b > 1 {
+				return fmt.Errorf("crpstore: record %d has invalid challenge bit %d", i, b)
+			}
+			buf[j/8] |= b << uint(j%8)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	respBytes := make([]byte, (len(crps)+7)/8)
+	for i, crp := range crps {
+		if crp.Response > 1 {
+			return fmt.Errorf("crpstore: record %d has invalid response %d", i, crp.Response)
+		}
+		respBytes[i/8] |= crp.Response << uint(i%8)
+	}
+	if _, err := bw.Write(respBytes); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read decodes a CRP database from r.
+func Read(r io.Reader) ([]CRP, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m)
+	}
+	var stages uint16
+	if err := binary.Read(br, binary.LittleEndian, &stages); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFormat, err)
+	}
+	if stages == 0 {
+		return nil, fmt.Errorf("%w: zero stages", ErrBadFormat)
+	}
+	if count == 0 || count > maxCount {
+		return nil, fmt.Errorf("%w: implausible record count %d", ErrBadFormat, count)
+	}
+	chalBytes := (int(stages) + 7) / 8
+	crps := make([]CRP, count)
+	buf := make([]byte, chalBytes)
+	for i := range crps {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated record %d: %v", ErrBadFormat, i, err)
+		}
+		c := make(challenge.Challenge, stages)
+		for j := range c {
+			c[j] = (buf[j/8] >> uint(j%8)) & 1
+		}
+		crps[i].Challenge = c
+	}
+	respBytes := make([]byte, (int(count)+7)/8)
+	if _, err := io.ReadFull(br, respBytes); err != nil {
+		return nil, fmt.Errorf("%w: truncated responses: %v", ErrBadFormat, err)
+	}
+	for i := range crps {
+		crps[i].Response = (respBytes[i/8] >> uint(i%8)) & 1
+	}
+	return crps, nil
+}
+
+// EncodedSize returns the exact byte size of a database with the given
+// record count and challenge length — the number the protocol-comparison
+// storage column uses.
+func EncodedSize(count, stages int) int {
+	return 4 + 2 + 4 + count*((stages+7)/8) + (count+7)/8
+}

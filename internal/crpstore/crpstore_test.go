@@ -1,0 +1,178 @@
+package crpstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+)
+
+func randomCRPs(seed uint64, n, stages int) []CRP {
+	src := rng.New(seed)
+	out := make([]CRP, n)
+	for i := range out {
+		out[i] = CRP{
+			Challenge: challenge.Random(src, stages),
+			Response:  src.Bit(),
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ n, stages int }{
+		{1, 32}, {7, 32}, {8, 32}, {9, 64}, {1000, 32}, {33, 17}, {5, 1},
+	} {
+		crps := randomCRPs(uint64(tc.n*100+tc.stages), tc.n, tc.stages)
+		var buf bytes.Buffer
+		if err := Write(&buf, crps); err != nil {
+			t.Fatalf("n=%d stages=%d: Write: %v", tc.n, tc.stages, err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("n=%d stages=%d: Read: %v", tc.n, tc.stages, err)
+		}
+		if len(got) != len(crps) {
+			t.Fatalf("count %d, want %d", len(got), len(crps))
+		}
+		for i := range crps {
+			if got[i].Response != crps[i].Response {
+				t.Fatalf("record %d response mismatch", i)
+			}
+			for j := range crps[i].Challenge {
+				if got[i].Challenge[j] != crps[i].Challenge[j] {
+					t.Fatalf("record %d challenge bit %d mismatch", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw, sRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		stages := int(sRaw%80) + 1
+		crps := randomCRPs(seed, n, stages)
+		var buf bytes.Buffer
+		if err := Write(&buf, crps); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range crps {
+			if got[i].Response != crps[i].Response ||
+				got[i].Challenge.Word() != crps[i].Challenge.Word() {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedSizeMatchesActual(t *testing.T) {
+	for _, tc := range []struct{ n, stages int }{{1, 32}, {100, 32}, {17, 64}, {9, 7}} {
+		crps := randomCRPs(1, tc.n, tc.stages)
+		var buf bytes.Buffer
+		if err := Write(&buf, crps); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := buf.Len(), EncodedSize(tc.n, tc.stages); got != want {
+			t.Errorf("n=%d stages=%d: size %d, want %d", tc.n, tc.stages, got, want)
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	// 10,000 32-stage CRPs must cost ~4 bytes + 1 bit each.
+	if size := EncodedSize(10000, 32); size > 42000 {
+		t.Errorf("10k CRPs cost %d bytes; format not compact", size)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, nil); err == nil {
+		t.Error("empty database should be rejected")
+	}
+	crps := randomCRPs(2, 3, 8)
+	crps[1].Challenge = challenge.Challenge{0, 1} // ragged
+	if err := Write(&bytes.Buffer{}, crps); err == nil {
+		t.Error("ragged challenges should be rejected")
+	}
+	crps = randomCRPs(3, 2, 8)
+	crps[0].Response = 2
+	if err := Write(&bytes.Buffer{}, crps); err == nil {
+		t.Error("invalid response should be rejected")
+	}
+	crps = randomCRPs(4, 2, 8)
+	crps[1].Challenge[3] = 5
+	if err := Write(&bytes.Buffer{}, crps); err == nil {
+		t.Error("invalid challenge bit should be rejected")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a database at all"),
+		[]byte("XPC1"),                          // truncated after magic
+		{'X', 'P', 'C', '1', 32, 0, 0, 0, 0, 0}, // zero count
+		{'X', 'P', 'C', '1', 0, 0, 1, 0, 0, 0},  // zero stages
+	}
+	for i, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("case %d: err = %v, want ErrBadFormat", i, err)
+		}
+	}
+}
+
+func TestReadRejectsTruncatedBody(t *testing.T) {
+	crps := randomCRPs(5, 50, 32)
+	var buf bytes.Buffer
+	if err := Write(&buf, crps); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)-10])); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated body: err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestReadRejectsAbsurdCount(t *testing.T) {
+	header := []byte{'X', 'P', 'C', '1', 32, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := Read(bytes.NewReader(header)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("absurd count: err = %v, want ErrBadFormat", err)
+	}
+}
+
+func BenchmarkWrite10k(b *testing.B) {
+	crps := randomCRPs(6, 10000, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, crps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead10k(b *testing.B) {
+	crps := randomCRPs(7, 10000, 32)
+	var buf bytes.Buffer
+	if err := Write(&buf, crps); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

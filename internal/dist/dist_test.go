@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		z, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{4.35, 0.99999319312},
+		{-4.35, 6.80688e-06},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalSFComplement(t *testing.T) {
+	if err := quick.Check(func(raw int16) bool {
+		z := float64(raw) / 4096 // |z| <= 8
+		return math.Abs(NormalCDF(z)+NormalSF(z)-1) < 1e-14
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	// Φ⁻¹(Φ(z)) == z across the usable range, including deep tails.
+	for z := -6.0; z <= 6.0; z += 0.01 {
+		p := NormalCDF(z)
+		got := NormalQuantile(p)
+		if math.Abs(got-z) > 1e-6 {
+			t.Fatalf("round trip at z=%v: got %v", z, got)
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.6, 0.2533471031357997},
+		{0.8413447460685429, 1.0}, // Φ(1)
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("out-of-range p should be NaN")
+	}
+}
+
+func TestNormalQuantileMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 1e-10; p < 1; p += 1e-3 {
+		z := NormalQuantile(p)
+		if z <= prev {
+			t.Fatalf("not monotone at p=%v", p)
+		}
+		prev = z
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	// Trapezoidal integration of the density must reproduce the CDF.
+	const dz = 1e-4
+	const steps = 100000 // -8 to 2 in exact integer steps
+	sum := NormalCDF(-8)
+	for i := 0; i < steps; i++ {
+		z := -8 + dz*float64(i)
+		sum += dz * 0.5 * (NormalPDF(z) + NormalPDF(z+dz))
+	}
+	if got, want := sum, NormalCDF(2); math.Abs(got-want) > 1e-6 {
+		t.Errorf("integrated CDF at 2: got %v, want %v", got, want)
+	}
+}
+
+func TestAllAgreeProbability(t *testing.T) {
+	// p = 0.5, n = 2: P(agree) = 0.5.
+	if got := AllAgreeProbability(2, 0.5); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("n=2 p=0.5: got %v", got)
+	}
+	// Extreme p with deep counters must not underflow to 0 incorrectly.
+	got := AllAgreeProbability(100000, 1-1e-7)
+	want := math.Exp(100000 * math.Log1p(-1e-7))
+	if math.Abs(got-want) > 1e-10 {
+		t.Errorf("deep counter: got %v, want %v", got, want)
+	}
+	if AllAgreeProbability(100000, 0) != 1 || AllAgreeProbability(100000, 1) != 1 {
+		t.Error("degenerate p should agree with certainty")
+	}
+}
+
+func TestAllAgreeSymmetric(t *testing.T) {
+	if err := quick.Check(func(raw uint16) bool {
+		p := float64(raw) / 65535
+		a := AllAgreeProbability(1000, p)
+		b := AllAgreeProbability(1000, 1-p)
+		return math.Abs(a-b) < 1e-12
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BCH is a binary primitive BCH code of length n = 2^m − 1 correcting up to
+// T errors.  Codewords and messages are bit slices (uint8 values 0/1).
+type BCH struct {
+	Field *Field
+	N     int // code length, 2^m − 1
+	K     int // message length
+	T     int // designed error-correction capability
+	// gen is the generator polynomial over GF(2), index i = coefficient
+	// of x^i, degree N−K.
+	gen []uint8
+}
+
+// NewBCH constructs the binary BCH code of length 2^m − 1 with designed
+// correction capability t.  The generator polynomial is the LCM of the
+// minimal polynomials of α, α², …, α^{2t}; K follows from its degree.
+func NewBCH(m, t int) (*BCH, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("ecc: t = %d, want >= 1", t)
+	}
+	f, err := NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	// Collect the union of cyclotomic cosets of 1..2t.
+	inCoset := make([]bool, f.N)
+	for i := 1; i <= 2*t; i++ {
+		j := i % f.N
+		for !inCoset[j] {
+			inCoset[j] = true
+			j = (j * 2) % f.N
+		}
+	}
+	// g(x) = Π (x − α^j) over the marked exponents, expanded in GF(2^m);
+	// the result has coefficients in GF(2) by conjugate-closure.
+	g := []uint32{1}
+	for j := 0; j < f.N; j++ {
+		if !inCoset[j] {
+			continue
+		}
+		root := f.Exp(j)
+		next := make([]uint32, len(g)+1)
+		for d, c := range g {
+			next[d+1] ^= c            // x·g
+			next[d] ^= f.Mul(c, root) // root·g (− == + in char 2)
+		}
+		g = next
+	}
+	gen := make([]uint8, len(g))
+	for i, c := range g {
+		if c > 1 {
+			return nil, fmt.Errorf("ecc: generator coefficient %d not binary (%d)", i, c)
+		}
+		gen[i] = uint8(c)
+	}
+	k := f.N - (len(gen) - 1)
+	if k <= 0 {
+		return nil, fmt.Errorf("ecc: t = %d too large for m = %d (k = %d)", t, m, k)
+	}
+	return &BCH{Field: f, N: f.N, K: k, T: t, gen: gen}, nil
+}
+
+// Encode produces the systematic codeword for a K-bit message: the message
+// occupies the high-order positions and the parity the low-order ones.
+func (c *BCH) Encode(msg []uint8) ([]uint8, error) {
+	if len(msg) != c.K {
+		return nil, fmt.Errorf("ecc: message length %d, want %d", len(msg), c.K)
+	}
+	parityLen := c.N - c.K
+	// remainder of msg(x)·x^{n−k} divided by g(x), over GF(2).
+	rem := make([]uint8, parityLen)
+	for i := c.K - 1; i >= 0; i-- {
+		feedback := msg[i] ^ rem[parityLen-1]
+		copy(rem[1:], rem[:parityLen-1])
+		rem[0] = 0
+		if feedback == 1 {
+			for j := 0; j < parityLen; j++ {
+				rem[j] ^= c.gen[j]
+			}
+		}
+	}
+	out := make([]uint8, c.N)
+	copy(out, rem)
+	copy(out[parityLen:], msg)
+	return out, nil
+}
+
+// ErrTooManyErrors is returned when decoding fails (more than T errors, or
+// an inconsistent error pattern).
+var ErrTooManyErrors = errors.New("ecc: uncorrectable error pattern")
+
+// Decode corrects up to T bit errors in place on a copy of the received
+// word and returns the corrected codeword and the number of bits fixed.
+func (c *BCH) Decode(received []uint8) ([]uint8, int, error) {
+	if len(received) != c.N {
+		return nil, 0, fmt.Errorf("ecc: received length %d, want %d", len(received), c.N)
+	}
+	f := c.Field
+	// Syndromes S_j = r(α^j), j = 1..2T.
+	syn := make([]uint32, 2*c.T)
+	allZero := true
+	for j := 1; j <= 2*c.T; j++ {
+		var s uint32
+		for i, bit := range received {
+			if bit == 1 {
+				s ^= f.Exp(i * j)
+			}
+		}
+		syn[j-1] = s
+		if s != 0 {
+			allZero = false
+		}
+	}
+	out := append([]uint8(nil), received...)
+	if allZero {
+		return out, 0, nil
+	}
+	// Berlekamp–Massey for the error-locator polynomial σ(x).
+	sigma := []uint32{1}
+	b := []uint32{1}
+	var l, mShift int = 0, 1
+	var bCoef uint32 = 1
+	for n := 0; n < 2*c.T; n++ {
+		// discrepancy d = S_n + Σ σ_i·S_{n−i}
+		d := syn[n]
+		for i := 1; i <= l && i < len(sigma); i++ {
+			d ^= f.Mul(sigma[i], syn[n-i])
+		}
+		if d == 0 {
+			mShift++
+			continue
+		}
+		if 2*l <= n {
+			tPoly := append([]uint32(nil), sigma...)
+			sigma = polyAddShifted(f, sigma, b, f.Div(d, bCoef), mShift)
+			l = n + 1 - l
+			b = tPoly
+			bCoef = d
+			mShift = 1
+		} else {
+			sigma = polyAddShifted(f, sigma, b, f.Div(d, bCoef), mShift)
+			mShift++
+		}
+	}
+	if l > c.T {
+		return nil, 0, ErrTooManyErrors
+	}
+	// Chien search: roots of σ give error locations.  σ(α^{−i}) == 0
+	// ⇒ error at position i.
+	fixed := 0
+	for i := 0; i < c.N; i++ {
+		if f.PolyEval(sigma, f.Exp(-i)) == 0 {
+			out[i] ^= 1
+			fixed++
+		}
+	}
+	if fixed != l {
+		return nil, 0, ErrTooManyErrors
+	}
+	// Verify: all syndromes of the corrected word must vanish.
+	for j := 1; j <= 2*c.T; j++ {
+		var s uint32
+		for i, bit := range out {
+			if bit == 1 {
+				s ^= f.Exp(i * j)
+			}
+		}
+		if s != 0 {
+			return nil, 0, ErrTooManyErrors
+		}
+	}
+	return out, fixed, nil
+}
+
+// Message extracts the K message bits from a systematic codeword.
+func (c *BCH) Message(codeword []uint8) []uint8 {
+	return append([]uint8(nil), codeword[c.N-c.K:]...)
+}
+
+// polyAddShifted returns a + scale·x^shift·b over GF(2^m).
+func polyAddShifted(f *Field, a, b []uint32, scale uint32, shift int) []uint32 {
+	size := len(a)
+	if len(b)+shift > size {
+		size = len(b) + shift
+	}
+	out := make([]uint32, size)
+	copy(out, a)
+	for i, c := range b {
+		out[i+shift] ^= f.Mul(c, scale)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package ecc
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"xorpuf/internal/rng"
+)
+
+// FuzzyExtractor is the code-offset construction (Dodis et al.): Generate
+// binds a random codeword to a noisy secret w via helper = w ⊕ c, and
+// Reproduce recovers the same key from any w' within T bit flips of w.
+// The helper data reveals at most N−K bits about w, which is why a smaller
+// error-correction budget (more stable responses) means both a higher key
+// rate and less leakage.
+type FuzzyExtractor struct {
+	Code *BCH
+}
+
+// NewFuzzyExtractor wraps a BCH code.
+func NewFuzzyExtractor(code *BCH) *FuzzyExtractor {
+	if code == nil {
+		panic("ecc: nil code")
+	}
+	return &FuzzyExtractor{Code: code}
+}
+
+// Generate derives a 256-bit key from the secret bit string w (length
+// Code.N) and returns the public helper data.  src supplies the random
+// codeword choice.
+func (fe *FuzzyExtractor) Generate(src *rng.Source, w []uint8) (key [32]byte, helper []uint8, err error) {
+	if len(w) != fe.Code.N {
+		return key, nil, fmt.Errorf("ecc: secret length %d, want %d", len(w), fe.Code.N)
+	}
+	msg := make([]uint8, fe.Code.K)
+	for i := range msg {
+		msg[i] = src.Bit()
+	}
+	codeword, err := fe.Code.Encode(msg)
+	if err != nil {
+		return key, nil, err
+	}
+	helper = make([]uint8, fe.Code.N)
+	for i := range helper {
+		if w[i] > 1 {
+			return key, nil, fmt.Errorf("ecc: secret bit %d invalid", i)
+		}
+		helper[i] = w[i] ^ codeword[i]
+	}
+	return keyFromCodeword(codeword), helper, nil
+}
+
+// ErrReproduceFailed is returned when w' is too far from the enrolled
+// secret for the code to bridge.
+var ErrReproduceFailed = errors.New("ecc: key reproduction failed (too many response errors)")
+
+// Reproduce recovers the key from a noisy re-reading w' and the helper.
+func (fe *FuzzyExtractor) Reproduce(wPrime, helper []uint8) (key [32]byte, corrected int, err error) {
+	if len(wPrime) != fe.Code.N || len(helper) != fe.Code.N {
+		return key, 0, fmt.Errorf("ecc: lengths %d/%d, want %d", len(wPrime), len(helper), fe.Code.N)
+	}
+	noisy := make([]uint8, fe.Code.N)
+	for i := range noisy {
+		noisy[i] = wPrime[i] ^ helper[i]
+	}
+	codeword, fixed, err := fe.Code.Decode(noisy)
+	if err != nil {
+		return key, 0, fmt.Errorf("%w: %v", ErrReproduceFailed, err)
+	}
+	return keyFromCodeword(codeword), fixed, nil
+}
+
+func keyFromCodeword(codeword []uint8) [32]byte {
+	packed := make([]byte, (len(codeword)+7)/8)
+	for i, b := range codeword {
+		packed[i/8] |= b << uint(i%8)
+	}
+	return sha256.Sum256(packed)
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/xorpuf"
+)
+
+// AvalancheResult is the bit-position sensitivity analysis of the MUX
+// arbiter PUF (the statistical-analysis companion results of Lao & Parhi
+// that the paper's linear model rests on): the probability that flipping
+// challenge bit i flips the response.
+//
+// For the linear additive model, flipping bit i negates parity features
+// Φ_0..Φ_i, so late stages perturb almost the whole delay sum (flip
+// probability → 0.5) while early stages perturb a single term (flip
+// probability ≪ 0.5) — a structural non-avalanche property that the XOR
+// composition flattens toward the ideal 0.5.
+type AvalancheResult struct {
+	Stages     int
+	SingleFlip []float64 // per bit position, single PUF
+	XORFlip    []float64 // per bit position, width-XORWidth XOR PUF
+	XORWidth   int
+	Challenges int
+}
+
+// Avalanche measures flip probabilities on noiseless responses.
+func Avalanche(cfg Config) *AvalancheResult {
+	root := rng.New(cfg.Seed)
+	width := cfg.PUFsPerChip
+	if width > 10 {
+		width = 10
+	}
+	chip := silicon.NewChip(root.Fork("chip", 0), cfg.Params, width)
+	x := xorpuf.FromChip(chip, width)
+	stages := chip.Stages()
+	res := &AvalancheResult{
+		Stages:     stages,
+		SingleFlip: make([]float64, stages),
+		XORFlip:    make([]float64, stages),
+		XORWidth:   width,
+		Challenges: cfg.Challenges,
+	}
+	src := root.Split("avalanche")
+	n := cfg.Challenges
+	if n > 50000 {
+		n = 50000 // 2·k evaluations per challenge; cap the quadratic cost
+	}
+	for i := 0; i < n; i++ {
+		c := challenge.Random(src, stages)
+		baseSingle := chip.PUF(0).Delay(c, silicon.Nominal) > 0
+		baseXOR := x.NoiselessResponse(c, silicon.Nominal)
+		for bit := 0; bit < stages; bit++ {
+			c[bit] ^= 1
+			if (chip.PUF(0).Delay(c, silicon.Nominal) > 0) != baseSingle {
+				res.SingleFlip[bit]++
+			}
+			if x.NoiselessResponse(c, silicon.Nominal) != baseXOR {
+				res.XORFlip[bit]++
+			}
+			c[bit] ^= 1
+		}
+	}
+	for bit := 0; bit < stages; bit++ {
+		res.SingleFlip[bit] /= float64(n)
+		res.XORFlip[bit] /= float64(n)
+	}
+	res.Challenges = n
+	return res
+}
+
+// Table renders flip probability versus bit position.
+func (r *AvalancheResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Avalanche: response-flip probability vs challenge bit position (%d challenges; ideal 0.5)",
+			r.Challenges),
+		Header: []string{"bit", "single PUF", fmt.Sprintf("%d-XOR PUF", r.XORWidth)},
+	}
+	for bit := 0; bit < r.Stages; bit++ {
+		t.AddRowf(bit, r.SingleFlip[bit], r.XORFlip[bit])
+	}
+	return t
+}

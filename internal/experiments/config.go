@@ -1,0 +1,80 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation (Figs 2, 3, 4, 8, 9, 10, 11, 12) plus the PUF-metrics summary.
+// Each driver fabricates the silicon it needs, runs the measurement or
+// attack workload, and returns both structured results and a formatted
+// table whose rows mirror what the paper plots.  The drivers are shared by
+// the puflab CLI and the repository's benchmark suite.
+package experiments
+
+import (
+	"xorpuf/internal/mlattack"
+	"xorpuf/internal/silicon"
+)
+
+// Config scales the experiment workloads.  Full reproduces the paper's
+// sizes (1 M challenges, 100 k-deep counters, 10 chips); Fast keeps every
+// code path identical but shrinks the sample counts so the whole suite runs
+// in seconds.
+type Config struct {
+	// Seed drives all fabrication and measurement randomness.
+	Seed uint64
+	// Params is the fabrication/measurement parameter set.
+	Params silicon.Params
+	// Chips is the lot size (paper: 10).
+	Chips int
+	// PUFsPerChip is the number of parallel PUFs fabricated per chip
+	// (the paper sweeps XOR widths up to 10, attacks up to 11).
+	PUFsPerChip int
+	// Challenges is the test-set size (paper: 1,000,000).
+	Challenges int
+	// TrainingSize is the enrollment regression set (paper: 5,000).
+	TrainingSize int
+	// ValidationSize is the β-search set.
+	ValidationSize int
+
+	// Attack sweep (Fig 4).
+	AttackWidths    []int
+	AttackSizes     []int
+	AttackTestSize  int
+	AttackMLP       mlattack.MLPAttackConfig
+	AttackChallenge int // unused sizes guard
+}
+
+// Fast returns a configuration that exercises every experiment end to end
+// in seconds.  Counter depth stays at the paper's 100,000 (the Binomial
+// counter makes depth free); only population sizes shrink.
+func Fast() Config {
+	mlp := mlattack.DefaultMLPAttackConfig()
+	mlp.Restarts = 1
+	mlp.LBFGS.MaxIter = 120
+	return Config{
+		Seed:           1,
+		Params:         silicon.DefaultParams(),
+		Chips:          4,
+		PUFsPerChip:    10,
+		Challenges:     40000,
+		TrainingSize:   5000,
+		ValidationSize: 20000,
+		AttackWidths:   []int{2, 4, 6},
+		AttackSizes:    []int{1000, 4000, 10000},
+		AttackTestSize: 2000,
+		AttackMLP:      mlp,
+	}
+}
+
+// Full returns the paper-scale configuration.  The measurement experiments
+// (Figs 2, 3, 8–12) run the genuine 1 M-challenge workloads; the Fig 4
+// attack sweep covers n = 4..11 with training sets up to 100,000 stable
+// CRPs, which is hours of CPU — run it deliberately.
+func Full() Config {
+	cfg := Fast()
+	cfg.Chips = 10
+	cfg.PUFsPerChip = 11
+	cfg.Challenges = 1000000
+	cfg.ValidationSize = 200000
+	cfg.AttackWidths = []int{4, 5, 6, 7, 8, 9, 10, 11}
+	cfg.AttackSizes = []int{1000, 5000, 10000, 20000, 50000, 100000}
+	cfg.AttackTestSize = 10000
+	cfg.AttackMLP = mlattack.DefaultMLPAttackConfig()
+	return cfg
+}

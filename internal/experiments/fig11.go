@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// Fig11Result is the threshold adjustment under voltage/temperature
+// variation (paper Fig 11): the model is trained at 0.9 V / 25 °C, the test
+// set spans the nine corners, and the β search must produce more stringent
+// values than the nominal case for the selected CRPs to survive everywhere.
+type Fig11Result struct {
+	Thr0, Thr1            float64
+	Beta0Nom, Beta1Nom    float64
+	Beta0VT, Beta1VT      float64
+	MeasuredStableNomPct  float64 // % stable at nominal
+	MeasuredStableAllPct  float64 // % stable at every corner
+	PredictedNomPct       float64 // % selected with nominal β
+	PredictedVTPct        float64 // % selected with V/T-hardened β
+	SelectedWrongNominalB int     // V/T-unstable challenges selected by nominal β
+	SelectedWrongVTB      int     // V/T-unstable challenges selected by hardened β
+	// UnstableNomPct / UnstableAllCondPct measure the width of the
+	// soft-response distribution's middle region: the fraction of
+	// (challenge, condition) measurements that are not 100 %-stable, at
+	// nominal only and across all nine corners.  The paper's Fig 11
+	// observation is that the corner-spanning test distribution is much
+	// wider than the nominal training distribution.
+	UnstableNomPct         float64
+	UnstableAllCondPct     float64
+	Challenges, Train, Val int
+}
+
+// Fig11 trains at nominal, searches β both nominal-only and across all
+// corners, and scores both on a corner-spanning test set.
+func Fig11(cfg Config) *Fig11Result {
+	root := rng.New(cfg.Seed)
+	chip := silicon.NewChip(root.Fork("chip", 0), cfg.Params, 1)
+	corners := silicon.Corners()
+
+	enrollCfg := core.DefaultEnrollConfig()
+	enrollCfg.TrainingSize = cfg.TrainingSize
+	enrollCfg.ValidationSize = cfg.ValidationSize
+	model, err := core.EnrollPUF(chip, 0, root.Split("fig11-train"), enrollCfg)
+	if err != nil {
+		panic(err)
+	}
+	nom, err := core.SearchBetas(chip, 0, model, root.Split("fig11-val"), enrollCfg)
+	if err != nil {
+		panic(err)
+	}
+	vtCfg := enrollCfg
+	vtCfg.Conditions = corners
+	vt, err := core.SearchBetas(chip, 0, model, root.Split("fig11-val"), vtCfg)
+	if err != nil {
+		panic(err)
+	}
+
+	res := &Fig11Result{
+		Thr0: model.Thr0, Thr1: model.Thr1,
+		Beta0Nom: nom.Beta0, Beta1Nom: nom.Beta1,
+		Beta0VT: vt.Beta0, Beta1VT: vt.Beta1,
+		Challenges: cfg.Challenges, Train: cfg.TrainingSize, Val: cfg.ValidationSize,
+	}
+
+	// Test set: measure at nominal and at every corner.
+	testSrc := root.Split("fig11-test")
+	var stableNom, stableAll, selNom, selVT int
+	var unstableNomMeas, unstableAllMeas, allCondMeas int
+	for i := 0; i < cfg.Challenges; i++ {
+		c := challenge.Random(testSrc, chip.Stages())
+		sNom, err := chip.SoftResponse(0, c, silicon.Nominal)
+		if err != nil {
+			panic(err)
+		}
+		nomStable := core.StableMeasurement(sNom)
+		if nomStable {
+			stableNom++
+		} else {
+			unstableNomMeas++
+			unstableAllMeas++
+		}
+		allCondMeas++
+		allStable := nomStable
+		for _, cond := range corners {
+			if cond == silicon.Nominal {
+				continue
+			}
+			s, err := chip.SoftResponse(0, c, cond)
+			if err != nil {
+				panic(err)
+			}
+			allCondMeas++
+			if !core.StableMeasurement(s) {
+				allStable = false
+				unstableAllMeas++
+			}
+		}
+		if allStable {
+			stableAll++
+		}
+		if model.ClassifyChallenge(c, nom.Beta0, nom.Beta1) != core.Unstable {
+			selNom++
+			if !allStable {
+				res.SelectedWrongNominalB++
+			}
+		}
+		if model.ClassifyChallenge(c, vt.Beta0, vt.Beta1) != core.Unstable {
+			selVT++
+			if !allStable {
+				res.SelectedWrongVTB++
+			}
+		}
+	}
+	n := float64(cfg.Challenges)
+	res.MeasuredStableNomPct = 100 * float64(stableNom) / n
+	res.MeasuredStableAllPct = 100 * float64(stableAll) / n
+	res.PredictedNomPct = 100 * float64(selNom) / n
+	res.PredictedVTPct = 100 * float64(selVT) / n
+	res.UnstableNomPct = 100 * float64(unstableNomMeas) / n
+	res.UnstableAllCondPct = 100 * float64(unstableAllMeas) / float64(allCondMeas)
+	return res
+}
+
+// Table summarizes the V/T hardening.
+func (r *Fig11Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig 11: threshold adjustment under 0.8–1.0V / 0–60°C (paper: β must tighten beyond the nominal values)",
+		Header: []string{"quantity", "nominal β", "V/T-hardened β"},
+	}
+	t.AddRowf("β0", r.Beta0Nom, r.Beta0VT)
+	t.AddRowf("β1", r.Beta1Nom, r.Beta1VT)
+	t.AddRowf("% selected", r.PredictedNomPct, r.PredictedVTPct)
+	t.AddRowf("selected but V/T-unstable", r.SelectedWrongNominalB, r.SelectedWrongVTB)
+	t.AddRowf("% measured stable (nominal / all corners)", r.MeasuredStableNomPct, r.MeasuredStableAllPct)
+	t.AddRowf("% unstable measurements (nominal / per-corner avg)", r.UnstableNomPct, r.UnstableAllCondPct)
+	return t
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/stats"
+)
+
+// Fig12Result is the culminating plot: the fraction of usable CRPs versus
+// XOR width for three selection regimes (paper Fig 12):
+//
+//   - measured at nominal          — ≈0.800ⁿ (10.9 % at n = 10)
+//   - model-selected, nominal β    — ≈0.545ⁿ (0.238 % at n = 10)
+//   - model-selected, V/T β        — ≈0.342ⁿ (0.00246 % at n = 10)
+type Fig12Result struct {
+	Widths       []int
+	MeasuredPct  []float64
+	PredNomPct   []float64
+	PredVTPct    []float64
+	BaseMeasured float64
+	BaseNom      float64
+	BaseVT       float64
+	Challenges   int
+	Beta0Nom     float64
+	Beta1Nom     float64
+	Beta0VT      float64
+	Beta1VT      float64
+}
+
+// Fig12 enrolls every PUF of a 10-wide chip, derives nominal and V/T-
+// hardened β pairs, and scores all three curves on a shared test set.
+func Fig12(cfg Config) *Fig12Result {
+	root := rng.New(cfg.Seed)
+	width := cfg.PUFsPerChip
+	if width > 10 {
+		width = 10
+	}
+	chip := silicon.NewChip(root.Fork("chip", 0), cfg.Params, width)
+
+	// Enroll each PUF once; run both β searches on the shared models.
+	enrollCfg := core.DefaultEnrollConfig()
+	enrollCfg.TrainingSize = cfg.TrainingSize
+	enrollCfg.ValidationSize = cfg.ValidationSize
+	vtCfg := enrollCfg
+	vtCfg.Conditions = silicon.Corners()
+
+	models := make([]*core.PUFModel, width)
+	b0Nom, b1Nom, b0VT, b1VT := 1.0, 1.0, 1.0, 1.0
+	for i := 0; i < width; i++ {
+		model, err := core.EnrollPUF(chip, i, root.Fork("fig12-train", i), enrollCfg)
+		if err != nil {
+			panic(err)
+		}
+		models[i] = model
+		nom, err := core.SearchBetas(chip, i, model, root.Fork("fig12-valnom", i), enrollCfg)
+		if err != nil {
+			panic(err)
+		}
+		vt, err := core.SearchBetas(chip, i, model, root.Fork("fig12-valvt", i), vtCfg)
+		if err != nil {
+			panic(err)
+		}
+		b0Nom = min2(b0Nom, nom.Beta0)
+		b1Nom = max2(b1Nom, nom.Beta1)
+		b0VT = min2(b0VT, vt.Beta0)
+		b1VT = max2(b1VT, vt.Beta1)
+	}
+
+	res := &Fig12Result{
+		Challenges: cfg.Challenges,
+		Beta0Nom:   b0Nom, Beta1Nom: b1Nom,
+		Beta0VT: b0VT, Beta1VT: b1VT,
+	}
+	measured := make([]int, width+1)
+	predNom := make([]int, width+1)
+	predVT := make([]int, width+1)
+	testSrc := root.Split("fig12-test")
+	for i := 0; i < cfg.Challenges; i++ {
+		c := challenge.Random(testSrc, chip.Stages())
+		measuredOK, nomOK, vtOK := true, true, true
+		for j := 0; j < width; j++ {
+			if measuredOK {
+				s, err := chip.SoftResponse(j, c, silicon.Nominal)
+				if err != nil {
+					panic(err)
+				}
+				measuredOK = core.StableMeasurement(s)
+			}
+			if nomOK || vtOK {
+				pred := models[j].PredictSoft(c)
+				if nomOK && models[j].Classify(pred, b0Nom, b1Nom) == core.Unstable {
+					nomOK = false
+				}
+				if vtOK && models[j].Classify(pred, b0VT, b1VT) == core.Unstable {
+					vtOK = false
+				}
+			}
+			if measuredOK {
+				measured[j+1]++
+			}
+			if nomOK {
+				predNom[j+1]++
+			}
+			if vtOK {
+				predVT[j+1]++
+			}
+			if !measuredOK && !nomOK && !vtOK {
+				break
+			}
+		}
+	}
+	n := float64(cfg.Challenges)
+	for w := 1; w <= width; w++ {
+		res.Widths = append(res.Widths, w)
+		res.MeasuredPct = append(res.MeasuredPct, 100*float64(measured[w])/n)
+		res.PredNomPct = append(res.PredNomPct, 100*float64(predNom[w])/n)
+		res.PredVTPct = append(res.PredVTPct, 100*float64(predVT[w])/n)
+	}
+	res.BaseMeasured, _, _ = stats.ExpFit(res.Widths, fracs(res.MeasuredPct))
+	res.BaseNom, _, _ = stats.ExpFit(res.Widths, fracs(res.PredNomPct))
+	res.BaseVT, _, _ = stats.ExpFit(res.Widths, fracs(res.PredVTPct))
+	return res
+}
+
+func fracs(pcts []float64) []float64 {
+	out := make([]float64, len(pcts))
+	for i, p := range pcts {
+		out[i] = p / 100
+	}
+	return out
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table renders the three curves with their fitted bases.
+func (r *Fig12Result) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Fig 12: %% stable CRPs vs XOR width (fits: measured %.3fⁿ, predicted-nominal %.3fⁿ, predicted-V/T %.3fⁿ; paper: 0.800ⁿ / 0.545ⁿ / 0.342ⁿ)",
+			r.BaseMeasured, r.BaseNom, r.BaseVT),
+		Header: []string{"n", "measured %", "predicted (nominal β) %", "predicted (V/T β) %"},
+	}
+	for i, n := range r.Widths {
+		t.AddRowf(n, r.MeasuredPct[i], r.PredNomPct[i], r.PredVTPct[i])
+	}
+	t.AddRowf("β", "—", fmt.Sprintf("(%.2f, %.2f)", r.Beta0Nom, r.Beta1Nom),
+		fmt.Sprintf("(%.2f, %.2f)", r.Beta0VT, r.Beta1VT))
+	return t
+}

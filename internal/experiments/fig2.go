@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/stats"
+)
+
+// Fig2Result is the soft-response distribution of a single MUX arbiter PUF
+// (paper Fig 2: 1 M random challenges × 100 k trials at 0.9 V / 25 °C;
+// Pr(stable 0) = 39.7 %, Pr(stable 1) = 40.1 %).
+type Fig2Result struct {
+	Hist        *stats.SoftHistogram
+	FracStable0 float64
+	FracStable1 float64
+	Challenges  int
+}
+
+// Fig2 measures single-PUF soft responses with the full-depth counter,
+// splitting cfg.Challenges across the lot's chips (the paper's Fig 2 pools
+// measurements from its 10 test chips; any one chip's stable-0/stable-1
+// split is skewed by that chip's arbiter bias).
+func Fig2(cfg Config) *Fig2Result {
+	root := rng.New(cfg.Seed)
+	hist := stats.NewSoftHistogram(0.05)
+	perChip := cfg.Challenges / cfg.Chips
+	if perChip == 0 {
+		perChip = 1
+	}
+	total := 0
+	for chipIdx := 0; chipIdx < cfg.Chips; chipIdx++ {
+		chip := silicon.NewChip(root.Fork("chip", chipIdx), cfg.Params, 1)
+		challengeSrc := root.Fork("fig2-challenges", chipIdx)
+		for i := 0; i < perChip; i++ {
+			c := challenge.Random(challengeSrc, chip.Stages())
+			soft, err := chip.SoftResponse(0, c, silicon.Nominal)
+			if err != nil {
+				panic(err) // fuses are never blown in this experiment
+			}
+			hist.Add(soft)
+			total++
+		}
+	}
+	return &Fig2Result{
+		Hist:        hist,
+		FracStable0: hist.FracStable0(),
+		FracStable1: hist.FracStable1(),
+		Challenges:  total,
+	}
+}
+
+// Table renders the histogram bins the way the paper's Fig 2 reports them.
+func (r *Fig2Result) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Fig 2: soft-response distribution, 1 PUF, %d challenges (paper: Pr(stable0)=39.7%%, Pr(stable1)=40.1%%)",
+			r.Challenges),
+		Header: []string{"bin", "count", "fraction"},
+	}
+	total := float64(r.Hist.Total)
+	t.AddRowf("=0.00", r.Hist.Exact0, float64(r.Hist.Exact0)/total)
+	for i, c := range r.Hist.Interior {
+		lo := float64(i) * r.Hist.BinWidth
+		t.AddRowf(fmt.Sprintf("(%.2f,%.2f)", lo, lo+r.Hist.BinWidth), c, float64(c)/total)
+	}
+	t.AddRowf("=1.00", r.Hist.Exact1, float64(r.Hist.Exact1)/total)
+	t.AddRowf("Pr(stable0)", "", r.FracStable0)
+	t.AddRowf("Pr(stable1)", "", r.FracStable1)
+	return t
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/stats"
+)
+
+// Fig3Result is the percentage of 100 %-stable CRPs versus XOR width
+// (paper Fig 3: ≈0.800ⁿ, 10.9 % at n = 10).
+type Fig3Result struct {
+	Widths     []int
+	Measured   []float64 // fraction of challenges stable on all first-n PUFs
+	FitBase    float64   // fitted base of A·baseⁿ
+	FitPre     float64
+	Challenges int
+}
+
+// Fig3 measures, for every challenge, which member PUFs read 100 %-stable
+// over the counter window, then accumulates the all-stable fraction for each
+// XOR width — the methodology of paper §2.2.
+func Fig3(cfg Config) *Fig3Result {
+	root := rng.New(cfg.Seed)
+	width := cfg.PUFsPerChip
+	if width > 10 {
+		width = 10 // the paper's Fig 3 sweeps n = 1..10
+	}
+	chip := silicon.NewChip(root.Fork("chip", 0), cfg.Params, width)
+	challengeSrc := root.Split("fig3-challenges")
+	stableCount := make([]int, width+1) // index = XOR width
+	for i := 0; i < cfg.Challenges; i++ {
+		c := challenge.Random(challengeSrc, chip.Stages())
+		allStable := true
+		for j := 0; j < width && allStable; j++ {
+			soft, err := chip.SoftResponse(j, c, silicon.Nominal)
+			if err != nil {
+				panic(err)
+			}
+			if soft != 0 && soft != 1 {
+				allStable = false
+				break
+			}
+			stableCount[j+1]++
+		}
+	}
+	res := &Fig3Result{Challenges: cfg.Challenges}
+	for n := 1; n <= width; n++ {
+		res.Widths = append(res.Widths, n)
+		res.Measured = append(res.Measured, float64(stableCount[n])/float64(cfg.Challenges))
+	}
+	res.FitBase, res.FitPre, _ = stats.ExpFit(res.Widths, res.Measured)
+	return res
+}
+
+// Table renders the width sweep with the fitted exponential, as the paper
+// annotates Fig 3 with "Pr(stable) = (0.800)ⁿ".
+func (r *Fig3Result) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Fig 3: %% stable CRPs vs XOR width (%d challenges; fit %.3f·%.3fⁿ; paper: 0.800ⁿ, 10.9%% at n=10)",
+			r.Challenges, r.FitPre, r.FitBase),
+		Header: []string{"n", "measured %", "fit %"},
+	}
+	for i, n := range r.Widths {
+		fit := r.FitPre * math.Pow(r.FitBase, float64(n))
+		t.AddRowf(n, 100*r.Measured[i], 100*fit)
+	}
+	return t
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xorpuf/internal/mlattack"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/xorpuf"
+)
+
+// Fig4Cell is one point of the attack sweep: a width, a training-set size,
+// and the resulting model accuracy.
+type Fig4Cell struct {
+	Width         int
+	TrainSize     int
+	TestSize      int
+	TestAccuracy  float64
+	TrainAccuracy float64
+	Iterations    int
+	PerCRPMicros  float64 // training microseconds per CRP (paper: 395 µs)
+}
+
+// Fig4Result is the prediction-accuracy sweep of paper Fig 4: MLP
+// (35-25-25, L-BFGS) trained on stable XOR-PUF CRPs, for several widths and
+// training-set sizes.  The paper's reading: ≥90 % accuracy is reachable with
+// <100 k CRPs for n < 10, so a secure XOR PUF needs ≥10 members.
+type Fig4Result struct {
+	Cells []Fig4Cell
+}
+
+// Fig4 runs the attack sweep defined by cfg.AttackWidths × cfg.AttackSizes.
+// CRP sets contain only 100 %-stable responses for both training and test,
+// mirroring §2.3 ("models trained with only stable CRPs are more accurate").
+func Fig4(cfg Config) *Fig4Result {
+	root := rng.New(cfg.Seed)
+	res := &Fig4Result{}
+	maxTrain := 0
+	for _, s := range cfg.AttackSizes {
+		if s > maxTrain {
+			maxTrain = s
+		}
+	}
+	for _, width := range cfg.AttackWidths {
+		chip := silicon.NewChip(root.Fork("fig4-chip", width), cfg.Params, width)
+		x := xorpuf.FromChip(chip, width)
+		pool, _ := x.StableCRPs(root.Fork("fig4-crps", width), maxTrain+cfg.AttackTestSize,
+			silicon.Nominal, 0.999)
+		test := mlattack.DatasetFromCRPs(pool[maxTrain:])
+		full := mlattack.DatasetFromCRPs(pool[:maxTrain])
+		for _, size := range cfg.AttackSizes {
+			train := full.Head(size)
+			attack := mlattack.RunMLPAttack(root.Fork("fig4-init", width*1000000+size),
+				train, test, cfg.AttackMLP)
+			res.Cells = append(res.Cells, Fig4Cell{
+				Width:         width,
+				TrainSize:     size,
+				TestSize:      test.Len(),
+				TestAccuracy:  attack.TestAccuracy,
+				TrainAccuracy: attack.TrainAccuracy,
+				Iterations:    attack.Iterations,
+				PerCRPMicros:  float64(attack.PerCRP.Microseconds()),
+			})
+		}
+	}
+	return res
+}
+
+// Table renders the sweep with one row per (n, training size) point.
+func (r *Fig4Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig 4: MLP modeling-attack accuracy vs training size and XOR width (paper: >90% for n<10 under 100k CRPs; 10-XOR stays near chance)",
+		Header: []string{"n", "train CRPs", "test acc %", "train acc %", "iters", "µs/CRP"},
+	}
+	for _, c := range r.Cells {
+		t.AddRowf(c.Width, c.TrainSize, 100*c.TestAccuracy, 100*c.TrainAccuracy,
+			c.Iterations, c.PerCRPMicros)
+	}
+	return t
+}
+
+// BestAccuracy returns the best test accuracy achieved for a width, or 0 if
+// the width was not swept.
+func (r *Fig4Result) BestAccuracy(width int) float64 {
+	best := 0.0
+	for _, c := range r.Cells {
+		if c.Width == width && c.TestAccuracy > best {
+			best = c.TestAccuracy
+		}
+	}
+	return best
+}
+
+// String summarizes the security conclusion like the paper's §2.3.
+func (r *Fig4Result) String() string {
+	broken := -1
+	resisted := -1
+	for _, c := range r.Cells {
+		if c.TestAccuracy >= 0.9 && (broken < 0 || c.Width > broken) {
+			broken = c.Width
+		}
+	}
+	for _, c := range r.Cells {
+		if r.BestAccuracy(c.Width) < 0.9 && (resisted < 0 || c.Width < resisted) {
+			resisted = c.Width
+		}
+	}
+	return fmt.Sprintf("widths broken (≥90%% test acc) up to n=%d; first resisting width within budget: n=%d",
+		broken, resisted)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/stats"
+)
+
+// Fig8Result compares measured and model-predicted soft responses on the
+// enrollment training set and reports the extracted three-category
+// thresholds (paper Fig 8).
+type Fig8Result struct {
+	Thr0, Thr1 float64
+	// Training-set classification counts at β0 = β1 = 1.
+	PredStable0, PredUnstable, PredStable1 int
+	// MeasuredStableDiscarded counts CRPs that measured 100 %-stable but
+	// fall in the predicted-unstable band — the "stable in measurement
+	// but discarded" population the paper highlights as marginally
+	// stable.
+	MeasuredStableDiscarded int
+	// MeasuredStable counts training CRPs measured 100 %-stable.
+	MeasuredStable int
+	TrainingSize   int
+	// Pairs holds (measured, predicted) soft-response pairs for plotting.
+	Pairs [][2]float64
+	// PredHist is the distribution of predicted soft responses — wider
+	// than [0,1] but centered at 0.5, as the paper observes.
+	PredHist *stats.ValueHistogram
+}
+
+// Fig8 enrolls a single PUF with the configured training size and compares
+// measurement against prediction on that same training set.
+func Fig8(cfg Config) *Fig8Result {
+	root := rng.New(cfg.Seed)
+	chip := silicon.NewChip(root.Fork("chip", 0), cfg.Params, 1)
+	challengeSrc := root.Split("fig8-challenges")
+	cs := challenge.RandomBatch(challengeSrc, cfg.TrainingSize, chip.Stages())
+	soft := make([]float64, len(cs))
+	for i, c := range cs {
+		s, err := chip.SoftResponse(0, c, silicon.Nominal)
+		if err != nil {
+			panic(err)
+		}
+		soft[i] = s
+	}
+	model, err := core.FitModel(cs, soft, 0)
+	if err != nil {
+		panic(err)
+	}
+	res := &Fig8Result{
+		Thr0:         model.Thr0,
+		Thr1:         model.Thr1,
+		TrainingSize: cfg.TrainingSize,
+		PredHist:     stats.NewValueHistogram(-1.5, 2.5, 0.05),
+	}
+	for i, c := range cs {
+		pred := model.PredictSoft(c)
+		res.Pairs = append(res.Pairs, [2]float64{soft[i], pred})
+		res.PredHist.Add(pred)
+		stableMeasured := core.StableMeasurement(soft[i])
+		if stableMeasured {
+			res.MeasuredStable++
+		}
+		switch model.Classify(pred, 1, 1) {
+		case core.Stable0:
+			res.PredStable0++
+		case core.Stable1:
+			res.PredStable1++
+		default:
+			res.PredUnstable++
+			if stableMeasured {
+				res.MeasuredStableDiscarded++
+			}
+		}
+	}
+	return res
+}
+
+// Table summarizes the threshold extraction.
+func (r *Fig8Result) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 8: measured vs predicted soft response, %d training CRPs", r.TrainingSize),
+		Header: []string{"quantity", "value"},
+	}
+	n := float64(r.TrainingSize)
+	t.AddRowf("Thr(0)", r.Thr0)
+	t.AddRowf("Thr(1)", r.Thr1)
+	t.AddRowf("predicted stable-0 %", 100*float64(r.PredStable0)/n)
+	t.AddRowf("predicted unstable %", 100*float64(r.PredUnstable)/n)
+	t.AddRowf("predicted stable-1 %", 100*float64(r.PredStable1)/n)
+	t.AddRowf("measured stable %", 100*float64(r.MeasuredStable)/n)
+	t.AddRowf("measured-stable but discarded %", 100*float64(r.MeasuredStableDiscarded)/n)
+	return t
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// Fig9Result is the threshold-scaling study at the nominal condition
+// (paper Fig 9): per-PUF β0/β1 found by tightening until the validation set
+// has no unstable selections, pooled to the most conservative pair (the
+// paper's 10 PUFs gave β0 ∈ 0.74–0.93, β1 ∈ 1.04–1.08, pooled (0.74, 1.08)).
+type Fig9Result struct {
+	PerPUF       []core.BetaSearchResult
+	Thr0s, Thr1s []float64
+	Pooled0      float64
+	Pooled1      float64
+}
+
+// Fig9 enrolls PUF 0 of each chip in the lot at nominal conditions and runs
+// the β search with the configured validation size.
+func Fig9(cfg Config) *Fig9Result {
+	root := rng.New(cfg.Seed)
+	res := &Fig9Result{Pooled0: 1, Pooled1: 1}
+	enrollCfg := core.DefaultEnrollConfig()
+	enrollCfg.TrainingSize = cfg.TrainingSize
+	enrollCfg.ValidationSize = cfg.ValidationSize
+	for chipIdx := 0; chipIdx < cfg.Chips; chipIdx++ {
+		chip := silicon.NewChip(root.Fork("chip", chipIdx), cfg.Params, 1)
+		model, err := core.EnrollPUF(chip, 0, root.Fork("fig9-train", chipIdx), enrollCfg)
+		if err != nil {
+			panic(err)
+		}
+		betas, err := core.SearchBetas(chip, 0, model, root.Fork("fig9-val", chipIdx), enrollCfg)
+		if err != nil {
+			panic(err)
+		}
+		res.PerPUF = append(res.PerPUF, betas)
+		res.Thr0s = append(res.Thr0s, model.Thr0)
+		res.Thr1s = append(res.Thr1s, model.Thr1)
+		if betas.Beta0 < res.Pooled0 {
+			res.Pooled0 = betas.Beta0
+		}
+		if betas.Beta1 > res.Pooled1 {
+			res.Pooled1 = betas.Beta1
+		}
+	}
+	return res
+}
+
+// Table lists per-PUF β values and the pooled conservative pair.
+func (r *Fig9Result) Table() *Table {
+	t := &Table{
+		Title:  "Fig 9: β threshold scaling at 0.9V/25°C (paper: β0 ∈ 0.74–0.93, β1 ∈ 1.04–1.08; pooled 0.74/1.08)",
+		Header: []string{"PUF", "Thr(0)", "Thr(1)", "β0", "β1", "violations0", "violations1"},
+	}
+	for i, b := range r.PerPUF {
+		t.AddRowf(fmt.Sprintf("chip%d", i), r.Thr0s[i], r.Thr1s[i], b.Beta0, b.Beta1,
+			b.Violations0, b.Violations1)
+	}
+	t.AddRowf("pooled", "", "", r.Pooled0, r.Pooled1, "", "")
+	return t
+}

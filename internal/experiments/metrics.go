@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/stats"
+	"xorpuf/internal/xorpuf"
+)
+
+// MetricsResult carries the classical PUF quality metrics for the simulated
+// lot, at both the single-PUF and XOR levels.  These are not a paper figure
+// but the standard sanity panel any silicon PUF study reports.
+type MetricsResult struct {
+	Chips, Challenges int
+	XORWidth          int
+
+	UniformityMean float64 // mean per-chip fraction of 1s (ideal 0.5)
+	UniformityStd  float64
+	Uniqueness     float64 // mean pairwise inter-chip HD (ideal 0.5)
+	Reliability    float64 // 1 − intra-chip HD over repeated noisy reads (ideal 1)
+	AliasingStd    float64 // std of per-challenge bit-aliasing (ideal 0)
+
+	XORUniformity  float64
+	XORUniqueness  float64
+	XORReliability float64
+}
+
+// Metrics fabricates the lot and computes the metric panel on shared random
+// challenges.  Reliability uses single-shot noisy reads against the
+// noiseless reference (so it reflects raw, unselected responses).
+func Metrics(cfg Config) *MetricsResult {
+	root := rng.New(cfg.Seed)
+	width := cfg.PUFsPerChip
+	if width > 10 {
+		width = 10
+	}
+	lot := silicon.FabricateLot(root.Split("lot"), cfg.Params, cfg.Chips, width)
+	cs := challenge.RandomBatch(root.Split("metrics-challenges"), cfg.Challenges, cfg.Params.Stages)
+
+	// Response matrices: single PUF (index 0 of each chip) and full XOR.
+	single := make([][]uint8, cfg.Chips)
+	xorMat := make([][]uint8, cfg.Chips)
+	for i, chip := range lot {
+		x := xorpuf.FromChip(chip, width)
+		srow := make([]uint8, len(cs))
+		xrow := make([]uint8, len(cs))
+		for j, c := range cs {
+			if chip.PUF(0).Delay(c, silicon.Nominal) > 0 {
+				srow[j] = 1
+			}
+			xrow[j] = x.NoiselessResponse(c, silicon.Nominal)
+		}
+		single[i] = srow
+		xorMat[i] = xrow
+	}
+
+	res := &MetricsResult{
+		Chips:      cfg.Chips,
+		Challenges: cfg.Challenges,
+		XORWidth:   width,
+		Uniqueness: stats.Uniqueness(single),
+	}
+	uniform := make([]float64, cfg.Chips)
+	for i, row := range single {
+		uniform[i] = stats.Uniformity(row)
+	}
+	res.UniformityMean = stats.Mean(uniform)
+	res.UniformityStd = stats.Std(uniform)
+	res.AliasingStd = stats.Std(stats.BitAliasing(single))
+	res.XORUniqueness = stats.Uniqueness(xorMat)
+	xuniform := make([]float64, cfg.Chips)
+	for i, row := range xorMat {
+		xuniform[i] = stats.Uniformity(row)
+	}
+	res.XORUniformity = stats.Mean(xuniform)
+
+	// Reliability: repeated noisy reads of chip 0 against the noiseless
+	// reference.
+	chip := lot[0]
+	x := xorpuf.FromChip(chip, width)
+	noise := root.Split("metrics-noise")
+	const repeats = 5
+	sRepeats := make([][]uint8, repeats)
+	xRepeats := make([][]uint8, repeats)
+	for r := 0; r < repeats; r++ {
+		srow := make([]uint8, len(cs))
+		xrow := make([]uint8, len(cs))
+		for j, c := range cs {
+			srow[j] = chip.PUF(0).Eval(noise, c, silicon.Nominal)
+			xrow[j] = x.Eval(noise, c, silicon.Nominal)
+		}
+		sRepeats[r] = srow
+		xRepeats[r] = xrow
+	}
+	res.Reliability = stats.Reliability(single[0], sRepeats)
+	res.XORReliability = stats.Reliability(xorMat[0], xRepeats)
+	return res
+}
+
+// Table renders the metric panel.
+func (r *MetricsResult) Table() *Table {
+	t := &Table{
+		Title:  "PUF quality metrics (simulated lot)",
+		Header: []string{"metric", "single PUF", "XOR PUF", "ideal"},
+	}
+	t.AddRowf("uniformity", r.UniformityMean, r.XORUniformity, 0.5)
+	t.AddRowf("uniqueness (inter-HD)", r.Uniqueness, r.XORUniqueness, 0.5)
+	t.AddRowf("reliability (1−intra-HD)", r.Reliability, r.XORReliability, 1.0)
+	t.AddRowf("bit-aliasing std", r.AliasingStd, "—", 0.0)
+	return t
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for the ASCII renderer.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// RenderBars draws grouped horizontal bars, one group per label, one bar per
+// series — enough to eyeball the exponential decays of Figs 3 and 12 in a
+// terminal.  When logScale is set, bar lengths are proportional to
+// log10(value) over the data's dynamic range, which turns a clean
+// exponential into visually linear steps.
+func RenderBars(title string, labels []string, series []Series, width int, logScale bool) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	// Global scale across all series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > 0 && v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(hi, -1) || hi <= 0 {
+		b.WriteString("(no positive data)\n")
+		return b.String()
+	}
+	if lo == hi {
+		lo = hi / 10
+	}
+	scale := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		var frac float64
+		if logScale {
+			frac = (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+		} else {
+			frac = v / hi
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		n := int(math.Round(frac * float64(width)))
+		if n == 0 && v > 0 {
+			n = 1
+		}
+		return n
+	}
+	nameWidth := 0
+	for _, s := range series {
+		if len(s.Name) > nameWidth {
+			nameWidth = len(s.Name)
+		}
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for i, label := range labels {
+		for j, s := range series {
+			tag := label
+			if j > 0 {
+				tag = ""
+			}
+			v := math.NaN()
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			if math.IsNaN(v) {
+				continue
+			}
+			fmt.Fprintf(&b, "%-*s  %-*s %s %.4g\n",
+				labelWidth, tag, nameWidth, s.Name,
+				strings.Repeat("█", scale(v)), v)
+		}
+	}
+	return b.String()
+}
+
+// Plot renders the Fig 3 curve.
+func (r *Fig3Result) Plot(width int) string {
+	labels := make([]string, len(r.Widths))
+	for i, n := range r.Widths {
+		labels[i] = fmt.Sprintf("n=%d", n)
+	}
+	return RenderBars("Fig 3: % stable CRPs vs XOR width (log scale)", labels,
+		[]Series{{Name: "measured", Values: percentages(r.Measured)}}, width, true)
+}
+
+// Plot renders the Fig 12 three-regime comparison.
+func (r *Fig12Result) Plot(width int) string {
+	labels := make([]string, len(r.Widths))
+	for i, n := range r.Widths {
+		labels[i] = fmt.Sprintf("n=%d", n)
+	}
+	return RenderBars("Fig 12: % usable CRPs vs XOR width (log scale)", labels,
+		[]Series{
+			{Name: "measured", Values: r.MeasuredPct},
+			{Name: "nominal-β", Values: r.PredNomPct},
+			{Name: "V/T-β", Values: r.PredVTPct},
+		}, width, true)
+}
+
+func percentages(fracs []float64) []float64 {
+	out := make([]float64, len(fracs))
+	for i, f := range fracs {
+		out[i] = 100 * f
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xorpuf/internal/authproto"
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// ProtocolRow is one protocol's scorecard in the comparison table.
+type ProtocolRow struct {
+	Name string
+	// FalseRejects / AuthTrials: genuine-chip rejections across all nine
+	// V/T corners.
+	FalseRejects int
+	// FalseAccepts / AuthTrials: impostor-chip acceptances at nominal.
+	FalseAccepts int
+	AuthTrials   int
+	// CRPsPerAuth is the number of challenge exchanges per decision.
+	CRPsPerAuth int
+	// EnrollMeasurements is the chip-measurement cost of enrollment.
+	EnrollMeasurements int
+	// StoredBytes approximates the server database size.
+	StoredBytes int
+	// DBBound notes whether the server database depletes with use.
+	DBBound bool
+}
+
+// ProtocolsResult compares the paper's protocol against the published
+// baselines on the same chip: false-reject rate across V/T corners,
+// false-accept rate against impostors, enrollment cost and server storage.
+type ProtocolsResult struct {
+	Width int
+	Rows  []ProtocolRow
+}
+
+// Protocols runs the comparison on one XOR-4 chip (4 keeps the classic
+// protocols' noise tolerable so the comparison is about selection, not
+// about drowning the baselines).
+func Protocols(cfg Config) *ProtocolsResult {
+	root := rng.New(cfg.Seed)
+	const width = 4
+	const authCRPs = 60
+	trials := 18 // 2 per corner
+	chip := silicon.NewChip(root.Fork("chip", 0), cfg.Params, width)
+	impostor := silicon.NewChip(root.Fork("impostor", 0), cfg.Params, width)
+	corners := silicon.Corners()
+
+	res := &ProtocolsResult{Width: width}
+
+	// --- Model-assisted (the paper), V/T hardened.
+	maCfg := core.DefaultEnrollConfig()
+	maCfg.TrainingSize = cfg.TrainingSize
+	maCfg.ValidationSize = cfg.ValidationSize
+	maCfg.Conditions = corners
+	ma, err := authproto.EnrollModelAssisted(chip, root.Split("ma"), maCfg)
+	if err != nil {
+		panic(err)
+	}
+	row := ProtocolRow{
+		Name: "model-assisted (paper)", AuthTrials: trials, CRPsPerAuth: authCRPs,
+		EnrollMeasurements: ma.Cost.Measurements, StoredBytes: ma.Cost.StoredBytes,
+	}
+	authSrc := root.Split("ma-auth")
+	for i := 0; i < trials; i++ {
+		cond := corners[i%len(corners)]
+		d, err := ma.Authenticate(chip, authSrc, authCRPs, cond)
+		if err != nil {
+			panic(err)
+		}
+		if !d.Approved {
+			row.FalseRejects++
+		}
+		d2, err := ma.Authenticate(impostor, authSrc, authCRPs, silicon.Nominal)
+		if err != nil {
+			panic(err)
+		}
+		if d2.Approved {
+			row.FalseAccepts++
+		}
+	}
+	res.Rows = append(res.Rows, row)
+
+	// --- Measurement-based selection (ref [1]); enrollment at nominal
+	// only, as the paper notes testing all corners is impractical.
+	mb, err := authproto.EnrollMeasurementBased(chip, root.Split("mb"),
+		8*authCRPs*trials, silicon.Nominal)
+	if err != nil {
+		panic(err)
+	}
+	row = ProtocolRow{
+		Name: "measurement-based (ref [1])", AuthTrials: trials, CRPsPerAuth: authCRPs,
+		EnrollMeasurements: mb.Cost.Measurements, StoredBytes: mb.Cost.StoredBytes,
+		DBBound: true,
+	}
+	mbImp, err := authproto.EnrollMeasurementBased(chip, root.Split("mb2"),
+		4*authCRPs*trials, silicon.Nominal)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < trials; i++ {
+		cond := corners[i%len(corners)]
+		d, err := mb.Authenticate(chip, authCRPs, cond)
+		if err != nil {
+			panic(err)
+		}
+		if !d.Approved {
+			row.FalseRejects++
+		}
+		d2, err := mbImp.Authenticate(impostor, authCRPs, silicon.Nominal)
+		if err != nil {
+			panic(err)
+		}
+		if d2.Approved {
+			row.FalseAccepts++
+		}
+	}
+	res.Rows = append(res.Rows, row)
+
+	// --- Classic Hamming-threshold protocol (10 % threshold).
+	classic := authproto.EnrollClassicHD(chip, root.Split("hd"),
+		2*authCRPs*trials+authCRPs, 0.10, silicon.Nominal)
+	row = ProtocolRow{
+		Name: "classic HD (10% threshold)", AuthTrials: trials, CRPsPerAuth: authCRPs,
+		EnrollMeasurements: classic.Cost.Measurements, StoredBytes: classic.Cost.StoredBytes,
+		DBBound: true,
+	}
+	for i := 0; i < trials; i++ {
+		cond := corners[i%len(corners)]
+		d, err := classic.Authenticate(chip, authCRPs, cond)
+		if err != nil {
+			panic(err)
+		}
+		if !d.Approved {
+			row.FalseRejects++
+		}
+		d2, err := classic.Authenticate(impostor, authCRPs, silicon.Nominal)
+		if err != nil {
+			panic(err)
+		}
+		if d2.Approved {
+			row.FalseAccepts++
+		}
+	}
+	res.Rows = append(res.Rows, row)
+
+	// --- Noise bifurcation (ref [6]): relaxed criterion, more CRPs.
+	nbCRPs := 4 * authCRPs
+	nb := authproto.EnrollNoiseBifurcation(chip, root.Split("nb"),
+		2*nbCRPs*trials+nbCRPs, 0.25, 0.10)
+	row = ProtocolRow{
+		Name: "noise bifurcation (ref [6])", AuthTrials: trials, CRPsPerAuth: nbCRPs,
+		EnrollMeasurements: nb.Cost.Measurements, StoredBytes: nb.Cost.StoredBytes,
+		DBBound: true,
+	}
+	for i := 0; i < trials; i++ {
+		cond := corners[i%len(corners)]
+		d, err := nb.Authenticate(chip, nbCRPs, cond)
+		if err != nil {
+			panic(err)
+		}
+		if !d.Approved {
+			row.FalseRejects++
+		}
+		d2, err := nb.Authenticate(impostor, nbCRPs, silicon.Nominal)
+		if err != nil {
+			panic(err)
+		}
+		if d2.Approved {
+			row.FalseAccepts++
+		}
+	}
+	res.Rows = append(res.Rows, row)
+
+	return res
+}
+
+// Table renders the protocol scorecard.
+func (r *ProtocolsResult) Table() *Table {
+	t := &Table{
+		Title:  "Protocol comparison on a 4-XOR chip (FRR across all 9 V/T corners; FAR vs impostor chip)",
+		Header: []string{"protocol", "false rejects", "false accepts", "CRPs/auth", "enroll meas.", "server bytes", "DB depletes"},
+	}
+	for _, row := range r.Rows {
+		t.AddRowf(row.Name,
+			formatRatio(row.FalseRejects, row.AuthTrials),
+			formatRatio(row.FalseAccepts, row.AuthTrials),
+			row.CRPsPerAuth, row.EnrollMeasurements, row.StoredBytes, row.DBBound)
+	}
+	return t
+}
+
+func formatRatio(num, den int) string {
+	return fmt.Sprintf("%d/%d", num, den)
+}

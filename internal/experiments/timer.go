@@ -1,0 +1,11 @@
+package experiments
+
+import "time"
+
+// timer is a minimal wall-clock stopwatch for the per-experiment timing
+// columns (the paper reports wall-clock training costs).
+type timer struct{ start time.Time }
+
+func newTimer() timer { return timer{start: time.Now()} }
+
+func (t timer) millis() float64 { return float64(time.Since(t.start).Microseconds()) / 1000 }

@@ -1,0 +1,102 @@
+// Package keygen derives device-unique cryptographic keys from XOR arbiter
+// PUF responses — the second canonical PUF application next to
+// authentication, and the one where the paper's stable-challenge selection
+// pays off most directly: responses that never flip need little or no error
+// correction, so the key rate rises and the helper-data leakage falls.
+//
+// Enrollment (fuses intact): pick N challenges (either at random or via the
+// model-based selector), read the XOR responses, and bind them to a random
+// BCH codeword with the code-offset fuzzy extractor.  The challenge list and
+// helper string are public; the key is never stored.
+//
+// Reproduction (in the field, any V/T corner): re-read the same challenges
+// with single-shot XOR evaluations and run the fuzzy extractor's Reproduce.
+package keygen
+
+import (
+	"errors"
+	"fmt"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/ecc"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// Enrollment is the public data needed to reproduce a key (plus the key
+// itself, returned once at enrollment and never persisted).
+type Enrollment struct {
+	Challenges []challenge.Challenge
+	Helper     []uint8
+	Key        [32]byte
+}
+
+// Config selects the code strength and challenge policy.
+type Config struct {
+	// M and T parameterize the BCH(2^M−1, ·, T) code.
+	M, T int
+	// Selector, when non-nil, supplies model-selected stable challenges;
+	// when nil, challenges are drawn uniformly (the baseline).
+	Selector *core.Selector
+}
+
+// Enroll reads the chip and produces an enrollment.  src drives challenge
+// generation (when no selector is given) and the codeword choice.
+func Enroll(dev core.Device, stages int, src *rng.Source, cond silicon.Condition, cfg Config) (*Enrollment, error) {
+	code, err := ecc.NewBCH(cfg.M, cfg.T)
+	if err != nil {
+		return nil, err
+	}
+	fe := ecc.NewFuzzyExtractor(code)
+	var cs []challenge.Challenge
+	if cfg.Selector != nil {
+		sel, _, err := cfg.Selector.Next(code.N, 0)
+		if err != nil {
+			return nil, fmt.Errorf("keygen: selecting challenges: %w", err)
+		}
+		cs = sel
+	} else {
+		cs = challenge.RandomBatch(src.Split("challenges"), code.N, stages)
+	}
+	w := make([]uint8, code.N)
+	for i, c := range cs {
+		w[i] = dev.ReadXOR(c, cond)
+	}
+	key, helper, err := fe.Generate(src.Split("codeword"), w)
+	if err != nil {
+		return nil, err
+	}
+	return &Enrollment{Challenges: cs, Helper: helper, Key: key}, nil
+}
+
+// ErrKeyMismatch is returned when reproduction yields a different key than
+// enrollment (only detectable here because tests hold both; real devices
+// would detect it via a stored key hash).
+var ErrKeyMismatch = errors.New("keygen: reproduced key differs")
+
+// Reproduce re-derives the key on the device.  It returns the key and the
+// number of response bits the code had to correct.
+func Reproduce(dev core.Device, enr *Enrollment, cond silicon.Condition, cfg Config) ([32]byte, int, error) {
+	code, err := ecc.NewBCH(cfg.M, cfg.T)
+	if err != nil {
+		return [32]byte{}, 0, err
+	}
+	if len(enr.Challenges) != code.N || len(enr.Helper) != code.N {
+		return [32]byte{}, 0, fmt.Errorf("keygen: enrollment sized for a different code")
+	}
+	fe := ecc.NewFuzzyExtractor(code)
+	w := make([]uint8, code.N)
+	for i, c := range enr.Challenges {
+		w[i] = dev.ReadXOR(c, cond)
+	}
+	return reproduceFrom(fe, w, enr.Helper)
+}
+
+func reproduceFrom(fe *ecc.FuzzyExtractor, w, helper []uint8) ([32]byte, int, error) {
+	key, fixed, err := fe.Reproduce(w, helper)
+	if err != nil {
+		return [32]byte{}, fixed, err
+	}
+	return key, fixed, nil
+}

@@ -1,0 +1,197 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// Cholesky factors a symmetric positive-definite matrix A as L·Lᵀ and
+// returns the lower-triangular factor L.  Only the lower triangle of A is
+// read.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		lRowJ := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lRowJ[k] * lRowJ[k]
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: non-positive pivot %g at column %d",
+				ErrSingular, d, j)
+		}
+		djj := math.Sqrt(d)
+		lRowJ[j] = djj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			lRowI := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= lRowI[k] * lRowJ[k]
+			}
+			lRowI[j] = s / djj
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A, via forward
+// then backward substitution.
+func SolveCholesky(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: SolveCholesky length mismatch")
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// LeastSquares solves min‖A·x − b‖₂ for a tall matrix A (Rows ≥ Cols) using
+// Householder QR, which is backward stable even when AᵀA would be
+// ill-conditioned.  ridge ≥ 0 adds Tikhonov regularization (solving the
+// augmented system [A; √ridge·I]·x = [b; 0]).
+func LeastSquares(a *Matrix, b []float64, ridge float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		panic("linalg: LeastSquares shape mismatch")
+	}
+	if ridge < 0 {
+		panic("linalg: negative ridge")
+	}
+	m, n := a.Rows, a.Cols
+	if ridge > 0 {
+		// Augment with √ridge·I rows; reuse the plain path on the
+		// augmented system.
+		aug := NewMatrix(m+n, n)
+		copy(aug.Data[:m*n], a.Data)
+		s := math.Sqrt(ridge)
+		for i := 0; i < n; i++ {
+			aug.Set(m+i, i, s)
+		}
+		bAug := make([]float64, m+n)
+		copy(bAug, b)
+		return LeastSquares(aug, bAug, 0)
+	}
+	if m < n {
+		return nil, fmt.Errorf("linalg: underdetermined system (%d rows, %d cols)", m, n)
+	}
+	r := a.Clone()
+	rhs := Copy(b)
+	// Householder QR, applying reflectors to the RHS as we go.
+	for k := 0; k < n; k++ {
+		// Build the reflector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm == 0 {
+			return nil, fmt.Errorf("%w: zero column %d", ErrSingular, k)
+		}
+		// Choose the reflector sign that avoids cancellation in v_k.
+		if r.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)+1)
+		// Apply reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s = -s / r.At(k, k)
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)+s*r.At(i, k))
+			}
+		}
+		// Apply reflector to the RHS.
+		var s float64
+		for i := k; i < m; i++ {
+			s += r.At(i, k) * rhs[i]
+		}
+		s = -s / r.At(k, k)
+		for i := k; i < m; i++ {
+			rhs[i] += s * r.At(i, k)
+		}
+		r.Set(k, k, -norm) // store R's diagonal
+	}
+	// Back substitution on the upper triangle. The stored diagonal R(k,k)
+	// is -norm; guard tiny pivots.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := r.At(i, i)
+		if math.Abs(d) < 1e-300 {
+			return nil, fmt.Errorf("%w: zero pivot %d", ErrSingular, i)
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A via Cholesky.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, b), nil
+}
+
+// NormalEquations forms AᵀA and Aᵀb for the least-squares system; useful
+// when the same design matrix is reused with many right-hand sides.
+func NormalEquations(a *Matrix, b []float64) (*Matrix, []float64) {
+	if a.Rows != len(b) {
+		panic("linalg: NormalEquations shape mismatch")
+	}
+	n := a.Cols
+	ata := NewMatrix(n, n)
+	atb := make([]float64, n)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, vj := range row {
+			atb[j] += vj * b[i]
+			dst := ata.Row(j)
+			for k := j; k < n; k++ {
+				dst[k] += vj * row[k]
+			}
+		}
+	}
+	// Mirror the upper triangle into the lower.
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			ata.Set(k, j, ata.At(j, k))
+		}
+	}
+	return ata, atb
+}

@@ -1,0 +1,144 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelRowThreshold is the row count above which matrix products fan out
+// across CPUs.  Small products stay single-threaded to avoid goroutine
+// overhead in the many tiny solves the enrollment pipeline performs.
+const parallelRowThreshold = 512
+
+// parallelRows runs fn over [0, rows) split into contiguous blocks across
+// GOMAXPROCS workers.  Each worker owns disjoint output rows, so fn must
+// only write state derived from its row range.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if rows < parallelRowThreshold || workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MulPar returns m × other, fanning the row loop across CPUs for large
+// inputs.  Results are bit-identical to Mul (same per-row arithmetic order).
+func (m *Matrix) MulPar(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic("linalg: MulPar shape mismatch")
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	parallelRows(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mRow := m.Row(i)
+			outRow := out.Row(i)
+			for k, a := range mRow {
+				if a == 0 {
+					continue
+				}
+				oRow := other.Row(k)
+				for j, b := range oRow {
+					outRow[j] += a * b
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MulABt returns a × bᵀ without materializing the transpose; rows of the
+// result are dot products of rows of a with rows of b.  Parallel over rows.
+func MulABt(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("linalg: MulABt shape mismatch")
+	}
+	out := NewMatrix(a.Rows, b.Rows)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			aRow := a.Row(i)
+			outRow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				outRow[j] = Dot(aRow, b.Row(j))
+			}
+		}
+	})
+	return out
+}
+
+// MulAtB returns aᵀ × b without materializing the transpose.  The result is
+// small (a.Cols × b.Cols) while the shared dimension (a.Rows) is the batch
+// size, so the reduction is parallelized over batch blocks with per-worker
+// accumulators.
+func MulAtB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("linalg: MulAtB shape mismatch")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if a.Rows < parallelRowThreshold || workers <= 1 {
+		out := NewMatrix(a.Cols, b.Cols)
+		mulAtBRange(a, b, 0, a.Rows, out)
+		return out
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	partials := make([]*Matrix, workers)
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	idx := 0
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		part := NewMatrix(a.Cols, b.Cols)
+		partials[idx] = part
+		wg.Add(1)
+		go func(lo, hi int, part *Matrix) {
+			defer wg.Done()
+			mulAtBRange(a, b, lo, hi, part)
+		}(lo, hi, part)
+		idx++
+	}
+	wg.Wait()
+	out := partials[0]
+	for _, p := range partials[1:idx] {
+		for i := range out.Data {
+			out.Data[i] += p.Data[i]
+		}
+	}
+	return out
+}
+
+func mulAtBRange(a, b *Matrix, lo, hi int, out *Matrix) {
+	for r := lo; r < hi; r++ {
+		aRow := a.Row(r)
+		bRow := b.Row(r)
+		for i, av := range aRow {
+			if av == 0 {
+				continue
+			}
+			outRow := out.Row(i)
+			for j, bv := range bRow {
+				outRow[j] += av * bv
+			}
+		}
+	}
+}

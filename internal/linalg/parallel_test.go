@@ -1,0 +1,71 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"xorpuf/internal/rng"
+)
+
+func TestMulParMatchesMul(t *testing.T) {
+	s := rng.New(41)
+	for _, rows := range []int{3, 100, 700} { // below and above the threshold
+		a := randomMatrix(s, rows, 17)
+		b := randomMatrix(s, 17, 9)
+		seq := a.Mul(b)
+		par := a.MulPar(b)
+		for i := range seq.Data {
+			if seq.Data[i] != par.Data[i] {
+				t.Fatalf("rows=%d: MulPar differs from Mul at %d", rows, i)
+			}
+		}
+	}
+}
+
+func TestMulABtMatchesExplicitTranspose(t *testing.T) {
+	s := rng.New(42)
+	for _, rows := range []int{5, 600} {
+		a := randomMatrix(s, rows, 11)
+		b := randomMatrix(s, 13, 11)
+		got := MulABt(a, b)
+		want := a.Mul(b.T())
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+				t.Fatalf("rows=%d: MulABt differs at %d", rows, i)
+			}
+		}
+	}
+}
+
+func TestMulAtBMatchesExplicitTranspose(t *testing.T) {
+	s := rng.New(43)
+	for _, rows := range []int{5, 2000} { // exercise sequential and parallel paths
+		a := randomMatrix(s, rows, 7)
+		b := randomMatrix(s, rows, 6)
+		got := MulAtB(a, b)
+		want := a.T().Mul(b)
+		if got.Rows != 7 || got.Cols != 6 {
+			t.Fatalf("shape %dx%d, want 7x6", got.Rows, got.Cols)
+		}
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+				t.Fatalf("rows=%d: MulAtB differs at %d: %v vs %v",
+					rows, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func BenchmarkMulPar100kx33x35(b *testing.B) {
+	// The MLP attack's first-layer product at a 100k-CRP training set.
+	s := rng.New(44)
+	x := randomMatrix(s, 100000, 33)
+	w := randomMatrix(s, 33, 35)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.MulPar(w)
+	}
+}

@@ -1,0 +1,145 @@
+package mlattack
+
+import (
+	"math"
+	"time"
+
+	"xorpuf/internal/linalg"
+	"xorpuf/internal/rng"
+)
+
+// AdamConfig tunes the mini-batch Adam trainer.  Defaults follow
+// scikit-learn's MLPClassifier (its default solver): lr 1e-3, β₁ 0.9,
+// β₂ 0.999, ε 1e-8, batch 200.
+type AdamConfig struct {
+	LearningRate float64
+	Beta1, Beta2 float64
+	Epsilon      float64
+	BatchSize    int
+	Epochs       int
+	// Tol stops training early when the epoch loss improves by less than
+	// Tol for Patience consecutive epochs (scikit's n_iter_no_change).
+	Tol      float64
+	Patience int
+}
+
+// DefaultAdamConfig mirrors scikit-learn's Adam defaults.
+func DefaultAdamConfig() AdamConfig {
+	return AdamConfig{
+		LearningRate: 1e-3,
+		Beta1:        0.9,
+		Beta2:        0.999,
+		Epsilon:      1e-8,
+		BatchSize:    200,
+		Epochs:       200,
+		Tol:          1e-4,
+		Patience:     10,
+	}
+}
+
+// TrainAdam trains the MLP with mini-batch Adam and returns the final
+// parameters and the number of epochs run.  Randomness (initialization and
+// shuffling) comes from src.
+func (m *MLP) TrainAdam(src *rng.Source, x *linalg.Matrix, y []float64, alpha float64, cfg AdamConfig) ([]float64, int) {
+	if x.Rows != len(y) {
+		panic("mlattack: TrainAdam shape mismatch")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 200
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 200
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 1e-3
+	}
+	n := x.Rows
+	if cfg.BatchSize > n {
+		cfg.BatchSize = n
+	}
+	params := m.InitParams(src.Split("init"))
+	grad := make([]float64, len(params))
+	m1 := make([]float64, len(params))
+	m2 := make([]float64, len(params))
+	batchX := linalg.NewMatrix(cfg.BatchSize, x.Cols)
+	batchY := make([]float64, cfg.BatchSize)
+	shuffle := src.Split("shuffle")
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	step := 0
+	bestLoss := math.Inf(1)
+	stale := 0
+	epochsRun := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochsRun = epoch + 1
+		shuffle.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var epochLoss float64
+		batches := 0
+		for start := 0; start+cfg.BatchSize <= n; start += cfg.BatchSize {
+			for bi := 0; bi < cfg.BatchSize; bi++ {
+				row := perm[start+bi]
+				copy(batchX.Row(bi), x.Row(row))
+				batchY[bi] = y[row]
+			}
+			obj := m.Objective(batchX, batchY, alpha)
+			loss := obj(params, grad)
+			epochLoss += loss
+			batches++
+			step++
+			// Adam update with bias correction.
+			c1 := 1 - math.Pow(cfg.Beta1, float64(step))
+			c2 := 1 - math.Pow(cfg.Beta2, float64(step))
+			for i, g := range grad {
+				m1[i] = cfg.Beta1*m1[i] + (1-cfg.Beta1)*g
+				m2[i] = cfg.Beta2*m2[i] + (1-cfg.Beta2)*g*g
+				params[i] -= cfg.LearningRate * (m1[i] / c1) /
+					(math.Sqrt(m2[i]/c2) + cfg.Epsilon)
+			}
+		}
+		if batches == 0 {
+			break
+		}
+		epochLoss /= float64(batches)
+		if cfg.Tol > 0 {
+			if epochLoss > bestLoss-cfg.Tol {
+				stale++
+				if cfg.Patience > 0 && stale >= cfg.Patience {
+					break
+				}
+			} else {
+				stale = 0
+			}
+			if epochLoss < bestLoss {
+				bestLoss = epochLoss
+			}
+		}
+	}
+	return params, epochsRun
+}
+
+// RunMLPAttackAdam is RunMLPAttack with the Adam trainer instead of L-BFGS;
+// provided for the optimizer ablation.
+func RunMLPAttackAdam(src *rng.Source, train, test Dataset, hidden []int, alpha float64, cfg AdamConfig) AttackResult {
+	if train.Len() == 0 {
+		panic("mlattack: empty training set")
+	}
+	mlp := NewMLP(train.X.Cols, hidden)
+	start := time.Now()
+	params, epochs := mlp.TrainAdam(src, train.X, train.Y, alpha, cfg)
+	elapsed := time.Since(start)
+	out := AttackResult{
+		TrainAccuracy: Accuracy(mlp.Predict(params, train.X), train.Y),
+		TrainSize:     train.Len(),
+		TestSize:      test.Len(),
+		Iterations:    epochs,
+		Restarts:      1,
+		TrainTime:     elapsed,
+		PerCRP:        elapsed / time.Duration(train.Len()),
+	}
+	if test.Len() > 0 {
+		out.TestAccuracy = Accuracy(mlp.Predict(params, test.X), test.Y)
+	}
+	return out
+}

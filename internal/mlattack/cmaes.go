@@ -1,0 +1,216 @@
+package mlattack
+
+import (
+	"math"
+	"sort"
+
+	"xorpuf/internal/linalg"
+	"xorpuf/internal/rng"
+)
+
+// CMAESConfig tunes the covariance-matrix-adaptation evolution strategy.
+// Zero values take Hansen's standard defaults for the problem dimension.
+type CMAESConfig struct {
+	// Lambda is the population size (default 4+⌊3 ln n⌋).
+	Lambda int
+	// Sigma0 is the initial step size (default 0.5).
+	Sigma0 float64
+	// MaxIter bounds the number of generations (default 300).
+	MaxIter int
+	// TolFun stops when the best fitness improves less than this over a
+	// generation window (default 1e-10).
+	TolFun float64
+}
+
+// CMAESResult reports the optimization outcome.
+type CMAESResult struct {
+	X           []float64 // best point found
+	F           float64   // its fitness
+	Generations int
+	Evaluations int
+}
+
+// MinimizeCMAES minimizes f starting from x0 with the (μ/μ_w, λ)-CMA-ES
+// (Hansen's standard formulation with rank-one and rank-μ covariance
+// updates and cumulative step-size adaptation).  It is derivative-free,
+// which is what the reliability attack needs: its fitness (a correlation
+// against measured reliabilities) has no useful gradient.
+func MinimizeCMAES(src *rng.Source, f func([]float64) float64, x0 []float64, cfg CMAESConfig) CMAESResult {
+	n := len(x0)
+	if n == 0 {
+		panic("mlattack: CMA-ES on empty vector")
+	}
+	lambda := cfg.Lambda
+	if lambda <= 0 {
+		lambda = 4 + int(3*math.Log(float64(n)))
+	}
+	mu := lambda / 2
+	sigma := cfg.Sigma0
+	if sigma <= 0 {
+		sigma = 0.5
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 300
+	}
+	tolFun := cfg.TolFun
+	if tolFun <= 0 {
+		tolFun = 1e-10
+	}
+
+	// Recombination weights.
+	weights := make([]float64, mu)
+	var wSum float64
+	for i := range weights {
+		weights[i] = math.Log(float64(mu)+0.5) - math.Log(float64(i+1))
+		wSum += weights[i]
+	}
+	var muEff float64
+	for i := range weights {
+		weights[i] /= wSum
+		muEff += weights[i] * weights[i]
+	}
+	muEff = 1 / muEff
+
+	fn := float64(n)
+	cSigma := (muEff + 2) / (fn + muEff + 5)
+	dSigma := 1 + 2*math.Max(0, math.Sqrt((muEff-1)/(fn+1))-1) + cSigma
+	cc := (4 + muEff/fn) / (fn + 4 + 2*muEff/fn)
+	c1 := 2 / ((fn+1.3)*(fn+1.3) + muEff)
+	cMu := math.Min(1-c1, 2*(muEff-2+1/muEff)/((fn+2)*(fn+2)+muEff))
+	chiN := math.Sqrt(fn) * (1 - 1/(4*fn) + 1/(21*fn*fn))
+
+	mean := linalg.Copy(x0)
+	pSigma := make([]float64, n)
+	pC := make([]float64, n)
+	cov := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		cov.Set(i, i, 1)
+	}
+	// Eigen-cached sampling basis: C = B·diag(d²)·Bᵀ.
+	eigVecs := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		eigVecs.Set(i, i, 1)
+	}
+	eigD := make([]float64, n)
+	for i := range eigD {
+		eigD[i] = 1
+	}
+	eigenEvery := int(math.Max(1, fn/(10*fn*(c1+cMu))))
+	lastEigen := 0
+
+	type candidate struct {
+		z, y, x []float64
+		f       float64
+	}
+	pop := make([]candidate, lambda)
+	for i := range pop {
+		pop[i] = candidate{
+			z: make([]float64, n),
+			y: make([]float64, n),
+			x: make([]float64, n),
+		}
+	}
+
+	res := CMAESResult{X: linalg.Copy(mean), F: math.Inf(1)}
+	prevBest := math.Inf(1)
+	stale := 0
+	for gen := 0; gen < maxIter; gen++ {
+		res.Generations = gen + 1
+		// Refresh the eigendecomposition periodically.
+		if gen-lastEigen >= eigenEvery {
+			vals, vecs := linalg.SymEig(cov)
+			for i, v := range vals {
+				if v < 1e-20 {
+					v = 1e-20
+				}
+				eigD[i] = math.Sqrt(v)
+			}
+			eigVecs = vecs
+			lastEigen = gen
+		}
+		// Sample and evaluate the population.
+		for i := range pop {
+			c := &pop[i]
+			for j := range c.z {
+				c.z[j] = src.Norm()
+			}
+			// y = B · diag(d) · z
+			for r := 0; r < n; r++ {
+				var s float64
+				row := eigVecs.Row(r)
+				for k := 0; k < n; k++ {
+					s += row[k] * eigD[k] * c.z[k]
+				}
+				c.y[r] = s
+			}
+			for j := range c.x {
+				c.x[j] = mean[j] + sigma*c.y[j]
+			}
+			c.f = f(c.x)
+			res.Evaluations++
+		}
+		sort.Slice(pop, func(i, j int) bool { return pop[i].f < pop[j].f })
+		if pop[0].f < res.F {
+			res.F = pop[0].f
+			copy(res.X, pop[0].x)
+		}
+		// Recombine.
+		yw := make([]float64, n)
+		for i := 0; i < mu; i++ {
+			linalg.Axpy(weights[i], pop[i].y, yw)
+		}
+		linalg.Axpy(sigma, yw, mean)
+		// Step-size path: pσ uses C^{-1/2}·yw = B·diag(1/d)·Bᵀ·yw.
+		bty := eigVecs.MulTVec(yw)
+		for k := range bty {
+			bty[k] /= eigD[k]
+		}
+		cInvHalfYw := eigVecs.MulVec(bty)
+		coefS := math.Sqrt(cSigma * (2 - cSigma) * muEff)
+		for j := range pSigma {
+			pSigma[j] = (1-cSigma)*pSigma[j] + coefS*cInvHalfYw[j]
+		}
+		psNorm := linalg.Norm2(pSigma)
+		hSigmaDenom := math.Sqrt(1 - math.Pow(1-cSigma, 2*float64(gen+1)))
+		hSigma := 0.0
+		if psNorm/hSigmaDenom < (1.4+2/(fn+1))*chiN {
+			hSigma = 1
+		}
+		coefC := math.Sqrt(cc * (2 - cc) * muEff)
+		for j := range pC {
+			pC[j] = (1-cc)*pC[j] + hSigma*coefC*yw[j]
+		}
+		// Covariance update: rank-one + rank-μ.
+		decay := 1 - c1 - cMu
+		oneMinusH := (1 - hSigma) * cc * (2 - cc)
+		for r := 0; r < n; r++ {
+			rowR := cov.Row(r)
+			for cIdx := 0; cIdx < n; cIdx++ {
+				v := decay*rowR[cIdx] + c1*(pC[r]*pC[cIdx]+oneMinusH*rowR[cIdx])
+				for i := 0; i < mu; i++ {
+					v += cMu * weights[i] * pop[i].y[r] * pop[i].y[cIdx]
+				}
+				rowR[cIdx] = v
+			}
+		}
+		// Step-size adaptation.
+		sigma *= math.Exp((cSigma / dSigma) * (psNorm/chiN - 1))
+		if sigma > 1e8 || sigma < 1e-12 {
+			break
+		}
+		// Stagnation stop.
+		if prevBest-pop[0].f < tolFun {
+			stale++
+			if stale >= 20 {
+				break
+			}
+		} else {
+			stale = 0
+		}
+		if pop[0].f < prevBest {
+			prevBest = pop[0].f
+		}
+	}
+	return res
+}

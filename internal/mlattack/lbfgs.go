@@ -1,0 +1,233 @@
+// Package mlattack implements the paper's modeling attacks from scratch: a
+// multi-layer perceptron classifier (the paper's 35-25-25 architecture)
+// trained with limited-memory BFGS, plus a logistic-regression baseline
+// (refs [2-5]).  Attacks consume transformed-challenge feature vectors and
+// 1-bit XOR responses, exactly as described in §2.3.
+package mlattack
+
+import (
+	"math"
+
+	"xorpuf/internal/linalg"
+)
+
+// Objective is a differentiable scalar function: it returns f(x) and writes
+// ∇f(x) into grad (len(grad) == len(x)).
+type Objective func(x, grad []float64) float64
+
+// LBFGSConfig tunes the optimizer.
+type LBFGSConfig struct {
+	// Memory is the number of (s, y) correction pairs kept (default 10).
+	Memory int
+	// MaxIter bounds the number of outer iterations (default 200,
+	// matching scikit-learn's MLPClassifier).
+	MaxIter int
+	// GradTol stops when ‖∇f‖∞ falls below it (default 1e-5).
+	GradTol float64
+	// FuncTol stops when the relative decrease of f between iterations
+	// falls below it (default 1e-9).
+	FuncTol float64
+	// MaxLineSearch bounds function evaluations per line search
+	// (default 20).
+	MaxLineSearch int
+}
+
+// DefaultLBFGSConfig mirrors scikit-learn's L-BFGS defaults.
+func DefaultLBFGSConfig() LBFGSConfig {
+	return LBFGSConfig{Memory: 10, MaxIter: 200, GradTol: 1e-5, FuncTol: 1e-9, MaxLineSearch: 20}
+}
+
+func (c *LBFGSConfig) fill() {
+	if c.Memory <= 0 {
+		c.Memory = 10
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 200
+	}
+	if c.GradTol <= 0 {
+		c.GradTol = 1e-5
+	}
+	if c.FuncTol <= 0 {
+		c.FuncTol = 1e-9
+	}
+	if c.MaxLineSearch <= 0 {
+		c.MaxLineSearch = 20
+	}
+}
+
+// LBFGSResult reports the optimization outcome.
+type LBFGSResult struct {
+	X           []float64 // final point
+	F           float64   // final objective value
+	GradNorm    float64   // final ‖∇f‖∞
+	Iterations  int
+	Evaluations int  // objective+gradient evaluations
+	Converged   bool // true if a tolerance (not MaxIter) stopped it
+}
+
+// MinimizeLBFGS minimizes obj from x0 using limited-memory BFGS with a
+// strong-Wolfe line search (Nocedal & Wright, Algorithms 7.5 + 3.5/3.6).
+func MinimizeLBFGS(obj Objective, x0 []float64, cfg LBFGSConfig) LBFGSResult {
+	cfg.fill()
+	n := len(x0)
+	x := linalg.Copy(x0)
+	grad := make([]float64, n)
+	f := obj(x, grad)
+	evals := 1
+
+	type pair struct {
+		s, y []float64
+		rho  float64
+	}
+	hist := make([]pair, 0, cfg.Memory)
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gradNew := make([]float64, n)
+
+	res := LBFGSResult{}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		gnorm := linalg.NormInf(grad)
+		if gnorm <= cfg.GradTol {
+			res.Converged = true
+			break
+		}
+		// Two-loop recursion: dir = -H·grad.
+		copy(dir, grad)
+		alphas := make([]float64, len(hist))
+		for i := len(hist) - 1; i >= 0; i-- {
+			h := &hist[i]
+			alphas[i] = h.rho * linalg.Dot(h.s, dir)
+			linalg.Axpy(-alphas[i], h.y, dir)
+		}
+		if len(hist) > 0 {
+			// Initial Hessian scaling γ = sᵀy / yᵀy.
+			h := &hist[len(hist)-1]
+			gamma := linalg.Dot(h.s, h.y) / linalg.Dot(h.y, h.y)
+			linalg.Scale(gamma, dir)
+		}
+		for i := range hist {
+			h := &hist[i]
+			beta := h.rho * linalg.Dot(h.y, dir)
+			linalg.Axpy(alphas[i]-beta, h.s, dir)
+		}
+		linalg.Scale(-1, dir)
+
+		dphi0 := linalg.Dot(grad, dir)
+		if dphi0 >= 0 {
+			// Not a descent direction (numerical breakdown):
+			// restart from steepest descent.
+			hist = hist[:0]
+			copy(dir, grad)
+			linalg.Scale(-1, dir)
+			dphi0 = -linalg.Dot(grad, grad)
+			if dphi0 == 0 {
+				res.Converged = true
+				break
+			}
+		}
+
+		alpha, fNew, lsEvals, ok := strongWolfe(obj, x, f, grad, dir, dphi0, xNew, gradNew, cfg)
+		evals += lsEvals
+		res.Iterations = iter + 1
+		if !ok {
+			// Line search failed; nothing better found.
+			break
+		}
+		// Update history with s = xNew − x, y = gradNew − grad.
+		s := make([]float64, n)
+		yv := make([]float64, n)
+		for i := range s {
+			s[i] = xNew[i] - x[i]
+			yv[i] = gradNew[i] - grad[i]
+		}
+		sy := linalg.Dot(s, yv)
+		if sy > 1e-12*linalg.Norm2(s)*linalg.Norm2(yv) {
+			if len(hist) == cfg.Memory {
+				copy(hist, hist[1:])
+				hist = hist[:cfg.Memory-1]
+			}
+			hist = append(hist, pair{s: s, y: yv, rho: 1 / sy})
+		}
+		relDecrease := (f - fNew) / math.Max(math.Abs(f), 1)
+		copy(x, xNew)
+		copy(grad, gradNew)
+		f = fNew
+		_ = alpha
+		if relDecrease >= 0 && relDecrease < cfg.FuncTol {
+			res.Converged = true
+			break
+		}
+	}
+	res.X = x
+	res.F = f
+	res.GradNorm = linalg.NormInf(grad)
+	res.Evaluations = evals
+	return res
+}
+
+// strongWolfe finds a step along dir satisfying the strong Wolfe conditions.
+// It writes the accepted point/gradient into xNew/gradNew and returns the
+// step length, objective value, evaluation count, and success.
+func strongWolfe(obj Objective, x []float64, f0 float64, grad0, dir []float64, dphi0 float64, xNew, gradNew []float64, cfg LBFGSConfig) (alpha, fNew float64, evals int, ok bool) {
+	const (
+		c1       = 1e-4
+		c2       = 0.9
+		alphaMax = 1e4
+	)
+	eval := func(a float64) (float64, float64) {
+		for i := range x {
+			xNew[i] = x[i] + a*dir[i]
+		}
+		f := obj(xNew, gradNew)
+		evals++
+		return f, linalg.Dot(gradNew, dir)
+	}
+	zoom := func(lo, hi, fLo float64) (float64, float64, bool) {
+		for iter := 0; iter < cfg.MaxLineSearch; iter++ {
+			a := (lo + hi) / 2
+			f, dphi := eval(a)
+			if f > f0+c1*a*dphi0 || f >= fLo {
+				hi = a
+				continue
+			}
+			if math.Abs(dphi) <= -c2*dphi0 {
+				return a, f, true
+			}
+			if dphi*(hi-lo) >= 0 {
+				hi = lo
+			}
+			lo, fLo = a, f
+		}
+		// Fall back to the best sufficient-decrease point found.
+		f, _ := eval(lo)
+		if f < f0 {
+			return lo, f, true
+		}
+		return 0, f0, false
+	}
+
+	prevA, prevF := 0.0, f0
+	a := 1.0
+	for iter := 0; iter < cfg.MaxLineSearch; iter++ {
+		f, dphi := eval(a)
+		if f > f0+c1*a*dphi0 || (iter > 0 && f >= prevF) {
+			za, zf, zok := zoom(prevA, a, prevF)
+			return za, zf, evals, zok
+		}
+		if math.Abs(dphi) <= -c2*dphi0 {
+			return a, f, evals, true
+		}
+		if dphi >= 0 {
+			za, zf, zok := zoom(a, prevA, f)
+			return za, zf, evals, zok
+		}
+		prevA, prevF = a, f
+		a *= 2
+		if a > alphaMax {
+			// Re-evaluate so xNew/gradNew match the returned step.
+			fPrev, _ := eval(prevA)
+			return prevA, fPrev, evals, true
+		}
+	}
+	return 0, f0, evals, false
+}

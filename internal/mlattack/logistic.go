@@ -1,0 +1,63 @@
+package mlattack
+
+import (
+	"fmt"
+
+	"xorpuf/internal/linalg"
+)
+
+// LogisticModel is an L2-regularized logistic-regression classifier over
+// parity features — the classical arbiter-PUF modeling attack of refs [2-5].
+// The learned weight vector is (up to scale) the PUF's delay parameter
+// vector, which is why a single MUX PUF falls to it with a few thousand CRPs.
+type LogisticModel struct {
+	// Weights has length inputDim (the parity features already include a
+	// constant component, so no separate intercept is needed).
+	Weights []float64
+}
+
+// LogisticObjective returns the mean cross-entropy objective of a linear
+// logistic model on (x, y) with L2 penalty alpha/(2n)·‖w‖².
+func LogisticObjective(x *linalg.Matrix, y []float64, alpha float64) Objective {
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("mlattack: %d samples but %d labels", x.Rows, len(y)))
+	}
+	n := float64(x.Rows)
+	return func(w, grad []float64) float64 {
+		logits := x.MulVec(w)
+		loss := 0.0
+		resid := make([]float64, len(logits))
+		for i, z := range logits {
+			loss += logLoss(z, y[i])
+			resid[i] = (sigmoid(z) - y[i]) / n
+		}
+		loss /= n
+		g := x.MulTVec(resid)
+		copy(grad, g)
+		if alpha > 0 {
+			var ss float64
+			for i, v := range w {
+				grad[i] += alpha / n * v
+				ss += v * v
+			}
+			loss += alpha / (2 * n) * ss
+		}
+		return loss
+	}
+}
+
+// TrainLogistic fits a logistic regression with L-BFGS from a zero start.
+func TrainLogistic(x *linalg.Matrix, y []float64, alpha float64, cfg LBFGSConfig) (*LogisticModel, LBFGSResult) {
+	obj := LogisticObjective(x, y, alpha)
+	res := MinimizeLBFGS(obj, make([]float64, x.Cols), cfg)
+	return &LogisticModel{Weights: res.X}, res
+}
+
+// Predict returns P(y=1|x) for each row of x.
+func (m *LogisticModel) Predict(x *linalg.Matrix) []float64 {
+	logits := x.MulVec(m.Weights)
+	for i, z := range logits {
+		logits[i] = sigmoid(z)
+	}
+	return logits
+}

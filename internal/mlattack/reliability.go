@@ -1,0 +1,181 @@
+package mlattack
+
+import (
+	"math"
+	"sort"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/linalg"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/xorpuf"
+)
+
+// Becker's reliability-based attack (the paper's ref [9], CHES 2015): an
+// attacker who can query the SAME challenge repeatedly learns each CRP's
+// reliability (how often the XOR output flips).  A challenge is unreliable
+// whenever ANY member arbiter races close to metastability, so the
+// reliability signal decomposes per member — and a CMA-ES search over a
+// single weight vector w locks onto ONE member at a time by maximizing the
+// correlation between the hypothesized reliability h = |w·Φ| > ε and the
+// measured one.  The attack therefore scales LINEARLY in the XOR width,
+// which is what broke wide XOR PUFs in practice.
+//
+// The flip side — and the reason the paper's protocol resists it — is that
+// the attack needs reliability VARIANCE: if the verifier only ever emits
+// model-selected 100 %-stable challenges answered with one-shot reads,
+// every measured reliability is identical and the fitness carries no
+// information.  TestReliabilityAttackBlindOnSelectedCRPs demonstrates
+// exactly that.
+
+// ReliabilityDataset holds repeated-measurement statistics per challenge.
+type ReliabilityDataset struct {
+	X *linalg.Matrix // parity features, one row per challenge
+	// R is the measured reliability per challenge: |2·(ones/reps) − 1|,
+	// 1 = perfectly stable, 0 = coin flip.
+	R []float64
+}
+
+// Len returns the number of challenges.
+func (d ReliabilityDataset) Len() int { return len(d.R) }
+
+// BuildReliabilityDataset queries the XOR PUF reps times per challenge —
+// the repeated-measurement access Becker's attack assumes the protocol
+// leaks — and records reliabilities.
+func BuildReliabilityDataset(src *rng.Source, x *xorpuf.XORPUF, n, reps int, cond silicon.Condition) ReliabilityDataset {
+	cs := challenge.RandomBatch(src.Split("challenges"), n, x.Stages())
+	meas := src.Split("measure")
+	r := make([]float64, n)
+	for i, c := range cs {
+		ones := 0
+		for rep := 0; rep < reps; rep++ {
+			ones += int(x.Eval(meas, c, cond))
+		}
+		r[i] = math.Abs(2*float64(ones)/float64(reps) - 1)
+	}
+	return ReliabilityDataset{X: challenge.FeatureMatrix(cs), R: r}
+}
+
+// DatasetFromSelectedCRPs builds the dataset an eavesdropper on the paper's
+// protocol would get: every challenge is 100 %-stable and answered once, so
+// all reliabilities read 1.
+func DatasetFromSelectedCRPs(crps []xorpuf.CRP) ReliabilityDataset {
+	cs := make([]challenge.Challenge, len(crps))
+	r := make([]float64, len(crps))
+	for i, crp := range crps {
+		cs[i] = crp.Challenge
+		r[i] = 1
+	}
+	return ReliabilityDataset{X: challenge.FeatureMatrix(cs), R: r}
+}
+
+// reliabilityFitness returns the negative Pearson correlation between the
+// hypothesis h_i = 1{|w·Φ_i| > ε} and the measured reliabilities (negative
+// because CMA-ES minimizes).  Following Becker, the decision threshold is
+// part of the genome: g = (w, εFactor) with ε = |εFactor|·E|w·Φ|, which
+// keeps the fitness invariant under rescaling of w while letting the search
+// tune how wide a band counts as "unreliable".
+func reliabilityFitness(d ReliabilityDataset) func(g []float64) float64 {
+	n := d.Len()
+	dim := d.X.Cols
+	rMean := 0.0
+	for _, v := range d.R {
+		rMean += v
+	}
+	rMean /= float64(n)
+	var rVar float64
+	for _, v := range d.R {
+		rVar += (v - rMean) * (v - rMean)
+	}
+	return func(g []float64) float64 {
+		w := g[:dim]
+		dots := d.X.MulVec(w)
+		var meanAbs float64
+		for _, v := range dots {
+			meanAbs += math.Abs(v)
+		}
+		meanAbs /= float64(n)
+		eps := math.Abs(g[dim]) * meanAbs
+		var hMean float64
+		h := make([]float64, n)
+		for i, v := range dots {
+			if math.Abs(v) > eps {
+				h[i] = 1
+			}
+			hMean += h[i]
+		}
+		hMean /= float64(n)
+		var cov, hVar float64
+		for i := range h {
+			cov += (h[i] - hMean) * (d.R[i] - rMean)
+			hVar += (h[i] - hMean) * (h[i] - hMean)
+		}
+		if hVar == 0 || rVar == 0 {
+			return 0 // no signal: flat hypothesis or flat measurements
+		}
+		return -cov / math.Sqrt(hVar*rVar)
+	}
+}
+
+// ReliabilityCandidate is one recovered weight-vector hypothesis.
+type ReliabilityCandidate struct {
+	W       []float64
+	Fitness float64 // Pearson correlation achieved (positive = signal)
+}
+
+// RunReliabilityAttack runs `restarts` independent CMA-ES searches over the
+// member weight space and returns the candidates sorted by achieved
+// correlation (best first).  Each restart converges toward whichever member
+// PUF dominates its basin, so distinct restarts recover distinct members.
+func RunReliabilityAttack(src *rng.Source, d ReliabilityDataset, restarts int, cfg CMAESConfig) []ReliabilityCandidate {
+	if restarts <= 0 {
+		restarts = 5
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = 30 // wide XOR reliability landscapes need a broad search
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 700
+	}
+	dim := d.X.Cols
+	fitness := reliabilityFitness(d)
+	out := make([]ReliabilityCandidate, 0, restarts)
+	for r := 0; r < restarts; r++ {
+		init := src.Fork("init", r)
+		x0 := make([]float64, dim+1) // weights + threshold factor
+		for i := 0; i < dim; i++ {
+			x0[i] = init.Norm()
+		}
+		x0[dim] = 0.3
+		res := MinimizeCMAES(src.Fork("cma", r), fitness, x0, cfg)
+		out = append(out, ReliabilityCandidate{W: res.X[:dim], Fitness: -res.F})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Fitness > out[j].Fitness })
+	return out
+}
+
+// CosineToMembers scores a candidate against the true member weight vectors
+// (oracle access, for evaluation only): it returns the best absolute cosine
+// similarity and the index of the matched member.  The constant feature is
+// excluded — the attack recovers delay directions, and the arbiter bias
+// term also absorbs the hypothesis threshold.
+func CosineToMembers(w []float64, members [][]float64) (best float64, idx int) {
+	idx = -1
+	for m, truth := range members {
+		var dot, nw, nt float64
+		for i := 0; i < len(truth)-1 && i < len(w); i++ {
+			dot += w[i] * truth[i]
+			nw += w[i] * w[i]
+			nt += truth[i] * truth[i]
+		}
+		if nw == 0 || nt == 0 {
+			continue
+		}
+		cos := math.Abs(dot) / math.Sqrt(nw*nt)
+		if cos > best {
+			best = cos
+			idx = m
+		}
+	}
+	return best, idx
+}

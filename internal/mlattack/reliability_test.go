@@ -1,0 +1,204 @@
+package mlattack
+
+import (
+	"math"
+	"testing"
+
+	"xorpuf/internal/linalg"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/xorpuf"
+)
+
+func TestCMAESSphere(t *testing.T) {
+	f := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += v * v
+		}
+		return s
+	}
+	x0 := make([]float64, 10)
+	for i := range x0 {
+		x0[i] = 3
+	}
+	res := MinimizeCMAES(rng.New(1), f, x0, CMAESConfig{MaxIter: 400})
+	if res.F > 1e-8 {
+		t.Fatalf("sphere minimum not found: f=%v after %d generations", res.F, res.Generations)
+	}
+}
+
+func TestCMAESRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		var s float64
+		for i := 0; i < len(x)-1; i++ {
+			a := x[i+1] - x[i]*x[i]
+			b := 1 - x[i]
+			s += 100*a*a + b*b
+		}
+		return s
+	}
+	res := MinimizeCMAES(rng.New(2), f, make([]float64, 5), CMAESConfig{MaxIter: 1500, Sigma0: 0.3})
+	if res.F > 1e-5 {
+		t.Fatalf("Rosenbrock-5 not solved: f=%v", res.F)
+	}
+	for i, v := range res.X {
+		if math.Abs(v-1) > 0.01 {
+			t.Fatalf("x[%d]=%v, want 1", i, v)
+		}
+	}
+}
+
+func TestCMAESIllConditionedEllipsoid(t *testing.T) {
+	// Covariance adaptation is exactly what handles axis scaling of 1e3.
+	f := func(x []float64) float64 {
+		var s float64
+		for i, v := range x {
+			c := math.Pow(1e3, float64(i)/float64(len(x)-1))
+			s += c * v * v
+		}
+		return s
+	}
+	x0 := make([]float64, 8)
+	for i := range x0 {
+		x0[i] = 1
+	}
+	res := MinimizeCMAES(rng.New(3), f, x0, CMAESConfig{MaxIter: 800})
+	if res.F > 1e-6 {
+		t.Fatalf("ellipsoid not solved: f=%v", res.F)
+	}
+}
+
+func TestReliabilityDatasetStatistics(t *testing.T) {
+	params := silicon.DefaultParams()
+	chip := silicon.NewChip(rng.New(4), params, 2)
+	x := xorpuf.FromChip(chip, 2)
+	d := BuildReliabilityDataset(rng.New(5), x, 2000, 15, silicon.Nominal)
+	if d.Len() != 2000 || d.X.Cols != params.Stages+1 {
+		t.Fatalf("dataset shape %d×%d", d.Len(), d.X.Cols)
+	}
+	// Most challenges are stable (reliability 1); a real minority is not.
+	stable, unstable := 0, 0
+	for _, r := range d.R {
+		if r < 0 || r > 1 {
+			t.Fatalf("reliability %v outside [0,1]", r)
+		}
+		if r == 1 {
+			stable++
+		}
+		if r < 0.9 {
+			unstable++
+		}
+	}
+	// Over a 15-read window the agreement boundary sits near |Δ| ≈ 2σ_n
+	// (much looser than the 100k counter's 4.35σ_n), so most challenges
+	// read fully reliable — but a solid minority must not.
+	if frac := float64(stable) / float64(d.Len()); frac < 0.45 || frac > 0.95 {
+		t.Errorf("fully-reliable fraction %.3f implausible", frac)
+	}
+	if unstable < 60 {
+		t.Errorf("only %d clearly unreliable challenges; attack has no signal", unstable)
+	}
+}
+
+func TestReliabilityAttackRecoversMember(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CMA-ES attack skipped in -short mode")
+	}
+	// Becker's result: reliability information cracks individual members
+	// of an XOR PUF even though the hard responses are XOR-masked.
+	params := silicon.DefaultParams()
+	chip := silicon.NewChip(rng.New(6), params, 2)
+	x := xorpuf.FromChip(chip, 2)
+	d := BuildReliabilityDataset(rng.New(7), x, 6000, 21, silicon.Nominal)
+	members := [][]float64{
+		chip.PUF(0).Weights(silicon.Nominal),
+		chip.PUF(1).Weights(silicon.Nominal),
+	}
+	cands := RunReliabilityAttack(rng.New(8), d, 5, CMAESConfig{})
+	bestCos := 0.0
+	for _, cand := range cands {
+		cos, _ := CosineToMembers(cand.W, members)
+		if cos > bestCos {
+			bestCos = cos
+		}
+	}
+	if bestCos < 0.85 {
+		t.Fatalf("reliability attack best member cosine %.3f, want > 0.85", bestCos)
+	}
+}
+
+func TestReliabilityAttackBlindOnSelectedCRPs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CMA-ES attack skipped in -short mode")
+	}
+	// The paper's defense: protocol traffic contains only 100 %-stable
+	// challenges answered once, so measured reliability is constant and
+	// the attack fitness is flat — candidates stay uncorrelated with the
+	// true members.
+	params := silicon.DefaultParams()
+	chip := silicon.NewChip(rng.New(9), params, 2)
+	x := xorpuf.FromChip(chip, 2)
+	crps, _ := x.StableCRPs(rng.New(10), 6000, silicon.Nominal, 0.999)
+	d := DatasetFromSelectedCRPs(crps)
+	members := [][]float64{
+		chip.PUF(0).Weights(silicon.Nominal),
+		chip.PUF(1).Weights(silicon.Nominal),
+	}
+	cands := RunReliabilityAttack(rng.New(11), d, 3, CMAESConfig{MaxIter: 150})
+	for _, cand := range cands {
+		if cand.Fitness > 0.05 {
+			t.Errorf("flat reliabilities produced fitness %.3f; expected no signal", cand.Fitness)
+		}
+		cos, _ := CosineToMembers(cand.W, members)
+		if cos > 0.6 {
+			t.Errorf("attack recovered a member (cos %.3f) from zero-variance reliabilities", cos)
+		}
+	}
+}
+
+func TestCosineToMembers(t *testing.T) {
+	members := [][]float64{
+		{1, 0, 0, 5}, // last entry (bias) must be ignored
+		{0, 1, 0, 7},
+	}
+	cos, idx := CosineToMembers([]float64{0, -2, 0, 0}, members)
+	if idx != 1 || math.Abs(cos-1) > 1e-12 {
+		t.Fatalf("cos=%v idx=%d, want 1.0 at member 1", cos, idx)
+	}
+	cos, idx = CosineToMembers([]float64{0, 0, 0, 0}, members)
+	if idx != -1 || cos != 0 {
+		t.Fatalf("zero vector should match nothing, got cos=%v idx=%d", cos, idx)
+	}
+}
+
+func TestSymEigViaCMAESPath(t *testing.T) {
+	// Sanity on the eigensolver CMA-ES depends on: reconstruct A.
+	src := rng.New(12)
+	const n = 12
+	b := linalg.NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = src.Norm()
+	}
+	a := linalg.MulAtB(b, b) // symmetric PSD
+	vals, vecs := linalg.SymEig(a)
+	// A·v_i == λ_i·v_i.
+	for i := 0; i < n; i++ {
+		v := make([]float64, n)
+		for r := 0; r < n; r++ {
+			v[r] = vecs.At(r, i)
+		}
+		av := a.MulVec(v)
+		for r := 0; r < n; r++ {
+			if math.Abs(av[r]-vals[i]*v[r]) > 1e-8*(1+math.Abs(vals[i])) {
+				t.Fatalf("eigenpair %d violated at row %d", i, r)
+			}
+		}
+	}
+	// Ascending order.
+	for i := 1; i < n; i++ {
+		if vals[i] < vals[i-1] {
+			t.Fatal("eigenvalues not sorted")
+		}
+	}
+}

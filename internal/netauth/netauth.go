@@ -1,0 +1,318 @@
+// Package netauth runs the paper's Fig 7 authentication protocol over a
+// network: a verification server that holds the enrolled model database and
+// issues freshly selected challenges, and a device client that answers them
+// with one-shot XOR readouts.
+//
+// Wire protocol: newline-delimited JSON over TCP, one authentication per
+// connection.
+//
+//	device → server   {"type":"hello","chip_id":"..."}
+//	server → device   {"type":"challenges","session":"...","challenges":["0101...",...]}
+//	device → server   {"type":"responses","session":"...","responses":[0,1,...]}
+//	server → device   {"type":"verdict","approved":true,"mismatches":0}
+//
+// Any protocol violation terminates the connection with
+// {"type":"error","message":"..."}.  The server never reveals which bits
+// mismatched beyond the count, and every authentication uses fresh
+// challenges, so transcripts leak only what the paper's threat model
+// already concedes (challenge, XOR response) — the modeling-attack tests in
+// internal/authproto quantify that leakage.
+package netauth
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// message is the single wire envelope; unused fields stay empty.
+type message struct {
+	Type       string   `json:"type"`
+	ChipID     string   `json:"chip_id,omitempty"`
+	Session    string   `json:"session,omitempty"`
+	Challenges []string `json:"challenges,omitempty"`
+	Responses  []uint8  `json:"responses,omitempty"`
+	Approved   bool     `json:"approved,omitempty"`
+	Mismatches int      `json:"mismatches,omitempty"`
+	Message    string   `json:"message,omitempty"`
+}
+
+// Server is the verification authority: it owns the enrolled model database
+// and decides authentications.
+type Server struct {
+	numChallenges int
+	timeout       time.Duration
+
+	mu      sync.Mutex
+	db      map[string]*chipEntry
+	selSrc  *rng.Source
+	ln      net.Listener
+	closed  bool
+	serving sync.WaitGroup
+
+	// Decisions counts completed authentications, for tests/monitoring.
+	decisions struct {
+		approved, denied int
+	}
+}
+
+// NewServer creates a server that authenticates with numChallenges CRPs per
+// decision.  seed drives challenge selection.
+func NewServer(numChallenges int, seed uint64) *Server {
+	if numChallenges <= 0 {
+		panic("netauth: numChallenges must be positive")
+	}
+	return &Server{
+		numChallenges: numChallenges,
+		timeout:       10 * time.Second,
+		db:            make(map[string]*chipEntry),
+		selSrc:        rng.New(seed),
+	}
+}
+
+// chipEntry pairs a registered model with its stateful challenge selector,
+// which guarantees (paper Fig 7 "Record challenge") that no challenge is
+// ever issued twice for the same chip.
+type chipEntry struct {
+	model    *core.ChipModel
+	selector *core.Selector
+}
+
+// SetTimeout changes the per-connection I/O deadline (default 10 s).
+func (s *Server) SetTimeout(d time.Duration) { s.timeout = d }
+
+// Register adds an enrolled chip model under an identifier.
+func (s *Server) Register(chipID string, model *core.ChipModel) error {
+	if chipID == "" || model == nil || model.Width() == 0 {
+		return errors.New("netauth: invalid registration")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.db[chipID]; dup {
+		return fmt.Errorf("netauth: chip %q already registered", chipID)
+	}
+	s.db[chipID] = &chipEntry{
+		model:    model,
+		selector: core.NewSelector(model, s.selSrc.Split("chip-"+chipID)),
+	}
+	return nil
+}
+
+// Stats returns the approved/denied decision counts so far.
+func (s *Server) Stats() (approved, denied int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decisions.approved, s.decisions.denied
+}
+
+// Serve accepts connections on ln until Close.  It blocks; run it in a
+// goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("netauth: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.serving.Add(1)
+		go func() {
+			defer s.serving.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight authentications.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.serving.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(s.timeout))
+	r := bufio.NewReader(conn)
+	enc := json.NewEncoder(conn)
+	fail := func(format string, args ...interface{}) {
+		_ = enc.Encode(message{Type: "error", Message: fmt.Sprintf(format, args...)})
+	}
+
+	hello, err := readMessage(r, "hello")
+	if err != nil {
+		fail("bad hello: %v", err)
+		return
+	}
+	s.mu.Lock()
+	entry := s.db[hello.ChipID]
+	s.mu.Unlock()
+	if entry == nil {
+		fail("unknown chip %q", hello.ChipID)
+		return
+	}
+
+	// Select fresh, never-reused challenges and predict responses
+	// (paper Fig 7 left box, including the "Record challenge" step).
+	s.mu.Lock()
+	session := fmt.Sprintf("%016x", s.selSrc.Uint64())
+	cs, predicted, err := entry.selector.Next(s.numChallenges, 0)
+	s.mu.Unlock()
+	if err != nil {
+		fail("challenge selection failed: %v", err)
+		return
+	}
+	out := message{Type: "challenges", Session: session, Challenges: make([]string, len(cs))}
+	for i, c := range cs {
+		out.Challenges[i] = c.String()
+	}
+	if err := enc.Encode(out); err != nil {
+		return
+	}
+
+	resp, err := readMessage(r, "responses")
+	if err != nil {
+		fail("bad responses: %v", err)
+		return
+	}
+	if resp.Session != session {
+		fail("session mismatch")
+		return
+	}
+	if len(resp.Responses) != len(predicted) {
+		fail("expected %d responses, got %d", len(predicted), len(resp.Responses))
+		return
+	}
+	mismatches := 0
+	for i, bit := range resp.Responses {
+		if bit > 1 {
+			fail("response %d is not a bit", i)
+			return
+		}
+		if bit != predicted[i] {
+			mismatches++
+		}
+	}
+	approved := mismatches == 0 // the paper's zero-HD criterion
+	s.mu.Lock()
+	if approved {
+		s.decisions.approved++
+	} else {
+		s.decisions.denied++
+	}
+	s.mu.Unlock()
+	_ = enc.Encode(message{Type: "verdict", Approved: approved, Mismatches: mismatches})
+}
+
+// readMessage decodes one line and checks its type.
+func readMessage(r *bufio.Reader, wantType string) (*message, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, err
+	}
+	if m.Type == "error" {
+		return nil, fmt.Errorf("peer error: %s", m.Message)
+	}
+	if m.Type != wantType {
+		return nil, fmt.Errorf("unexpected message type %q, want %q", m.Type, wantType)
+	}
+	return &m, nil
+}
+
+// Result is the outcome of a client-side authentication run.
+type Result struct {
+	Approved   bool
+	Mismatches int
+	Challenges int
+}
+
+// Authenticate connects to the server at addr and authenticates the device
+// under chipID, evaluating the chip at cond.  The device answers each
+// challenge with a single XOR readout, as the protocol permits for selected
+// (100 %-stable) CRPs.
+func Authenticate(addr, chipID string, dev core.Device, cond silicon.Condition, timeout time.Duration) (Result, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return Result{}, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	r := bufio.NewReader(conn)
+	enc := json.NewEncoder(conn)
+
+	if err := enc.Encode(message{Type: "hello", ChipID: chipID}); err != nil {
+		return Result{}, err
+	}
+	ch, err := readMessage(r, "challenges")
+	if err != nil {
+		return Result{}, err
+	}
+	resp := message{Type: "responses", Session: ch.Session, Responses: make([]uint8, len(ch.Challenges))}
+	for i, bits := range ch.Challenges {
+		c, err := parseChallenge(bits)
+		if err != nil {
+			return Result{}, err
+		}
+		resp.Responses[i] = dev.ReadXOR(c, cond)
+	}
+	if err := enc.Encode(resp); err != nil {
+		return Result{}, err
+	}
+	verdict, err := readMessage(r, "verdict")
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Approved:   verdict.Approved,
+		Mismatches: verdict.Mismatches,
+		Challenges: len(ch.Challenges),
+	}, nil
+}
+
+// parseChallenge decodes a "0101..." bit string.
+func parseChallenge(s string) (challenge.Challenge, error) {
+	if len(s) == 0 {
+		return nil, errors.New("netauth: empty challenge")
+	}
+	c := make(challenge.Challenge, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			c[i] = 0
+		case '1':
+			c[i] = 1
+		default:
+			return nil, fmt.Errorf("netauth: invalid challenge character %q", s[i])
+		}
+	}
+	return c, nil
+}

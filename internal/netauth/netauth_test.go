@@ -1,0 +1,306 @@
+package netauth
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// startServer enrolls a chip, registers it, and serves on a loopback
+// listener; it returns the address, the chip, and a shutdown func.
+func startServer(t *testing.T, numChallenges int) (addr string, srv *Server, chip *silicon.Chip) {
+	t.Helper()
+	chip = silicon.NewChip(rng.New(1), silicon.DefaultParams(), 4)
+	cfg := core.DefaultEnrollConfig()
+	cfg.TrainingSize = 2000
+	cfg.ValidationSize = 5000
+	enr, err := core.EnrollChip(chip, rng.New(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv = NewServer(numChallenges, 3)
+	if err := srv.Register("chip-A", enr.Model); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	t.Cleanup(srv.Close)
+	return ln.Addr().String(), srv, chip
+}
+
+func TestAuthenticateGenuineOverTCP(t *testing.T) {
+	addr, srv, chip := startServer(t, 60)
+	res, err := Authenticate(addr, "chip-A", chip, silicon.Nominal, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved || res.Mismatches != 0 || res.Challenges != 60 {
+		t.Errorf("genuine device: %+v", res)
+	}
+	approved, denied := srv.Stats()
+	if approved != 1 || denied != 0 {
+		t.Errorf("stats %d/%d, want 1/0", approved, denied)
+	}
+}
+
+func TestAuthenticateImpostorOverTCP(t *testing.T) {
+	addr, srv, _ := startServer(t, 60)
+	impostor := silicon.NewChip(rng.New(999), silicon.DefaultParams(), 4)
+	res, err := Authenticate(addr, "chip-A", impostor, silicon.Nominal, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approved {
+		t.Error("impostor approved over TCP")
+	}
+	if res.Mismatches < 10 {
+		t.Errorf("impostor only mismatched %d/60", res.Mismatches)
+	}
+	_, denied := srv.Stats()
+	if denied != 1 {
+		t.Errorf("denied count %d, want 1", denied)
+	}
+}
+
+func TestUnknownChipRejected(t *testing.T) {
+	addr, _, chip := startServer(t, 10)
+	_, err := Authenticate(addr, "no-such-chip", chip, silicon.Nominal, 5*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "unknown chip") {
+		t.Errorf("err = %v, want unknown-chip error", err)
+	}
+}
+
+func TestConcurrentAuthentications(t *testing.T) {
+	addr, srv, chip := startServer(t, 30)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	results := make([]Result, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Authenticate(addr, "chip-A", chip, silicon.Nominal, 10*time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if !results[i].Approved {
+			t.Errorf("client %d denied: %+v", i, results[i])
+		}
+	}
+	approved, _ := srv.Stats()
+	if approved != clients {
+		t.Errorf("approved %d, want %d", approved, clients)
+	}
+}
+
+func TestFreshChallengesPerSession(t *testing.T) {
+	addr, _, chip := startServer(t, 20)
+	// Capture challenges from two raw sessions and verify disjointness.
+	grab := func() map[string]bool {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		enc := json.NewEncoder(conn)
+		r := bufio.NewReader(conn)
+		if err := enc.Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := readMessage(r, "challenges")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, c := range m.Challenges {
+			out[c] = true
+		}
+		// Answer honestly so the server completes cleanly.
+		resp := message{Type: "responses", Session: m.Session, Responses: make([]uint8, len(m.Challenges))}
+		for i, bits := range m.Challenges {
+			c, err := parseChallenge(bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Responses[i] = chip.ReadXOR(c, silicon.Nominal)
+		}
+		if err := enc.Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readMessage(r, "verdict"); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a := grab()
+	b := grab()
+	for c := range a {
+		if b[c] {
+			t.Fatalf("challenge %s reused across sessions", c)
+		}
+	}
+}
+
+func TestMalformedHello(t *testing.T) {
+	addr, _, _ := startServer(t, 10)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != "error" {
+		t.Errorf("expected error message, got %+v", m)
+	}
+}
+
+func TestSessionMismatchRejected(t *testing.T) {
+	addr, _, _ := startServer(t, 5)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	r := bufio.NewReader(conn)
+	if err := enc.Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readMessage(r, "challenges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := message{Type: "responses", Session: "forged", Responses: make([]uint8, len(m.Challenges))}
+	if err := enc.Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readMessage(r, "verdict"); err == nil ||
+		!strings.Contains(err.Error(), "session mismatch") {
+		t.Errorf("err = %v, want session mismatch", err)
+	}
+}
+
+func TestWrongResponseCountRejected(t *testing.T) {
+	addr, _, _ := startServer(t, 5)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	r := bufio.NewReader(conn)
+	if err := enc.Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readMessage(r, "challenges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := message{Type: "responses", Session: m.Session, Responses: []uint8{0}}
+	if err := enc.Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readMessage(r, "verdict"); err == nil ||
+		!strings.Contains(err.Error(), "expected") {
+		t.Errorf("err = %v, want response-count error", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	srv := NewServer(10, 1)
+	if err := srv.Register("", &core.ChipModel{}); err == nil {
+		t.Error("empty chip ID should fail")
+	}
+	if err := srv.Register("x", nil); err == nil {
+		t.Error("nil model should fail")
+	}
+	model := &core.ChipModel{PUFs: []*core.PUFModel{{Theta: make([]float64, 33), Thr0: 0.3, Thr1: 0.7}}, Beta0: 1, Beta1: 1}
+	if err := srv.Register("x", model); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("x", model); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+}
+
+func TestParseChallenge(t *testing.T) {
+	c, err := parseChallenge("0110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{0, 1, 1, 0}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("parseChallenge = %v", c)
+		}
+	}
+	if _, err := parseChallenge(""); err == nil {
+		t.Error("empty challenge should fail")
+	}
+	if _, err := parseChallenge("01x1"); err == nil {
+		t.Error("invalid character should fail")
+	}
+}
+
+func TestAuthenticateAtCorner(t *testing.T) {
+	// Enroll with V/T hardening; the device authenticates from a harsh
+	// corner over the network.
+	chip := silicon.NewChip(rng.New(10), silicon.DefaultParams(), 4)
+	cfg := core.DefaultEnrollConfig()
+	cfg.TrainingSize = 2000
+	cfg.ValidationSize = 6000
+	cfg.Conditions = silicon.Corners()
+	enr, err := core.EnrollChip(chip, rng.New(11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(50, 12)
+	if err := srv.Register("edge-device", enr.Model); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+	res, err := Authenticate(ln.Addr().String(), "edge-device", chip,
+		silicon.Condition{VDD: 0.8, TempC: 60}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved {
+		t.Errorf("V/T-hardened device denied at 0.8V/60°C: %+v", res)
+	}
+}

@@ -1,0 +1,84 @@
+package rng
+
+import "math"
+
+// Binomial returns an exact sample from Binomial(n, p): the number of
+// successes in n independent Bernoulli(p) trials.
+//
+// This is the workhorse behind the simulated on-chip soft-response counters:
+// instead of evaluating a PUF 100,000 times per challenge (the paper's
+// measurement procedure, 10^11 evaluations overall), the counter draws the
+// count of '1' responses directly from its exact distribution.
+//
+// Implementation: when the smaller-tail mean n*min(p,1-p) is below a
+// threshold, sequential CDF inversion on the rarer outcome is used, which is
+// exact and costs O(mean).  Stability decisions depend on P(count==0) and
+// P(count==n), which always live in this exact regime.  For mid-range p the
+// count is drawn from a normal approximation with continuity correction;
+// there the count is only used as a fractional soft response where the
+// approximation error (relative error < 1e-3 for n >= 1000) is far below the
+// quantization step 1/n.
+func (s *Source) Binomial(n int, p float64) int {
+	switch {
+	case n < 0:
+		panic("rng: Binomial with negative n")
+	case n == 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	// Work with the rarer outcome so the inversion loop stays short.
+	q := p
+	flipped := false
+	if q > 0.5 {
+		q = 1 - q
+		flipped = true
+	}
+	var k int
+	if float64(n)*q <= 30 || n < 1000 {
+		k = s.binomialInversion(n, q)
+	} else {
+		k = s.binomialNormal(n, q)
+	}
+	if flipped {
+		return n - k
+	}
+	return k
+}
+
+// binomialInversion draws Binomial(n, q) by sequential inversion of the CDF,
+// exact up to floating-point rounding.  Requires n*q modest (O(mean) loop).
+func (s *Source) binomialInversion(n int, q float64) int {
+	u := s.Float64()
+	// pmf(0) = (1-q)^n, computed in log space to avoid underflow for the
+	// large n used by the counters.
+	logPMF := float64(n) * math.Log1p(-q)
+	if logPMF < -745 { // pmf(0) underflows float64; fall back to normal.
+		return s.binomialNormal(n, q)
+	}
+	pmf := math.Exp(logPMF)
+	cum := pmf
+	ratio := q / (1 - q)
+	k := 0
+	for u > cum && k < n {
+		pmf *= ratio * float64(n-k) / float64(k+1)
+		k++
+		cum += pmf
+	}
+	return k
+}
+
+// binomialNormal draws Binomial(n, q) from the normal approximation with
+// continuity correction, clamped to [0, n].
+func (s *Source) binomialNormal(n int, q float64) int {
+	mean := float64(n) * q
+	sd := math.Sqrt(mean * (1 - q))
+	x := math.Floor(mean + sd*s.Norm() + 0.5)
+	if x < 0 {
+		return 0
+	}
+	if x > float64(n) {
+		return n
+	}
+	return int(x)
+}

@@ -1,0 +1,135 @@
+package silicon
+
+import (
+	"errors"
+	"fmt"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+)
+
+// ErrFusesBlown is returned when individual-PUF access is attempted after
+// the one-time enrollment fuses have been blown.
+var ErrFusesBlown = errors.New("silicon: fuses blown, individual PUF access disabled")
+
+// Chip models one packaged test chip: n parallel arbiter PUFs sharing a
+// challenge input, an n-input XOR on their outputs, per-PUF counters for
+// soft-response measurement, and one-time fuses that gate individual-PUF
+// observability (paper Fig 5).
+//
+// Before BlowFuses, an authorized tester can read each PUF's hard response
+// and counter-averaged soft response (enrollment phase).  After BlowFuses,
+// only the XOR of all responses is observable (authentication phase), which
+// is what makes the XOR construction resistant to modeling.
+type Chip struct {
+	params Params
+	pufs   []*ArbiterPUF
+	noise  *rng.Source // evaluation-noise stream for this chip's tester
+	blown  bool
+}
+
+// NewChip fabricates a chip with n arbiter PUFs.  All process variation and
+// the chip's measurement noise stream derive deterministically from src, so
+// a chip is reproducible from (seed, chip index).
+func NewChip(src *rng.Source, params Params, n int) *Chip {
+	if n <= 0 {
+		panic(fmt.Sprintf("silicon: chip needs at least one PUF, got %d", n))
+	}
+	c := &Chip{
+		params: params,
+		pufs:   make([]*ArbiterPUF, n),
+		noise:  src.Split("noise"),
+	}
+	for i := range c.pufs {
+		c.pufs[i] = NewArbiterPUF(src.Fork("puf", i), params)
+	}
+	return c
+}
+
+// NumPUFs returns the number of parallel arbiter PUFs on the chip.
+func (c *Chip) NumPUFs() int { return len(c.pufs) }
+
+// Stages returns the number of MUX stages per PUF.
+func (c *Chip) Stages() int { return c.params.Stages }
+
+// Params returns the chip's fabrication/measurement parameters.
+func (c *Chip) Params() Params { return c.params }
+
+// BlowFuses permanently disables individual-PUF access.  It is idempotent.
+func (c *Chip) BlowFuses() { c.blown = true }
+
+// FusesBlown reports whether enrollment access has been disabled.
+func (c *Chip) FusesBlown() bool { return c.blown }
+
+// ReadIndividual performs one noisy evaluation of PUF i.  It fails once the
+// fuses are blown.
+func (c *Chip) ReadIndividual(i int, ch challenge.Challenge, cond Condition) (uint8, error) {
+	if c.blown {
+		return 0, ErrFusesBlown
+	}
+	return c.pufs[i].Eval(c.noise, ch, cond), nil
+}
+
+// SoftResponse measures PUF i's soft response with the on-chip counter
+// (CounterDepth repeated evaluations).  It fails once the fuses are blown.
+func (c *Chip) SoftResponse(i int, ch challenge.Challenge, cond Condition) (float64, error) {
+	if c.blown {
+		return 0, ErrFusesBlown
+	}
+	return c.pufs[i].MeasureSoft(c.noise, ch, cond, c.params.CounterDepth), nil
+}
+
+// ReadXOR performs one noisy evaluation of every PUF and returns the XOR of
+// the n responses — the only output available during authentication.
+func (c *Chip) ReadXOR(ch challenge.Challenge, cond Condition) uint8 {
+	var x uint8
+	for _, p := range c.pufs {
+		x ^= p.Eval(c.noise, ch, cond)
+	}
+	return x
+}
+
+// ReadXORSubset evaluates the XOR over the first n PUFs only, letting one
+// fabricated chip stand in for XOR PUFs of every width up to NumPUFs — the
+// same methodology the paper uses for its n-sweep plots.
+func (c *Chip) ReadXORSubset(n int, ch challenge.Challenge, cond Condition) uint8 {
+	if n <= 0 || n > len(c.pufs) {
+		panic(fmt.Sprintf("silicon: XOR subset width %d out of range [1,%d]", n, len(c.pufs)))
+	}
+	var x uint8
+	for _, p := range c.pufs[:n] {
+		x ^= p.Eval(c.noise, ch, cond)
+	}
+	return x
+}
+
+// PUF returns direct oracle access to PUF i, bypassing the fuses.  This is
+// ground-truth access for experiments and tests (e.g. computing exact
+// stability probabilities); protocol and attack code must go through
+// ReadIndividual/SoftResponse/ReadXOR instead.
+func (c *Chip) PUF(i int) *ArbiterPUF { return c.pufs[i] }
+
+// XORStabilityProbability returns the exact probability that the width-n XOR
+// output is 100 % stable over a counter window of the chip's depth: every
+// individual PUF must be stable, and stabilities are independent given the
+// fabricated delays.
+func (c *Chip) XORStabilityProbability(n int, ch challenge.Challenge, cond Condition) float64 {
+	if n <= 0 || n > len(c.pufs) {
+		panic(fmt.Sprintf("silicon: XOR width %d out of range [1,%d]", n, len(c.pufs)))
+	}
+	prob := 1.0
+	for _, p := range c.pufs[:n] {
+		prob *= p.StabilityProbability(ch, cond, c.params.CounterDepth)
+	}
+	return prob
+}
+
+// FabricateLot fabricates count chips with n PUFs each, seeded as
+// independent streams of src — the equivalent of the paper's 10-chip lot.
+func FabricateLot(src *rng.Source, params Params, count, n int) []*Chip {
+	chips := make([]*Chip, count)
+	for i := range chips {
+		chips[i] = NewChip(src.Fork("chip", i), params, n)
+	}
+	return chips
+}

@@ -1,0 +1,91 @@
+package stats
+
+import "fmt"
+
+// The classical PUF quality metrics, computed over response matrices.
+// Conventions: a "response matrix" R has one row per chip (or PUF instance)
+// and one column per challenge, entries 0/1.
+
+// Uniformity returns the fraction of 1s in a single instance's responses;
+// ideal is 0.5.
+func Uniformity(responses []uint8) float64 {
+	if len(responses) == 0 {
+		return 0
+	}
+	ones := 0
+	for _, r := range responses {
+		ones += int(r)
+	}
+	return float64(ones) / float64(len(responses))
+}
+
+// HammingFrac returns the normalized Hamming distance between two
+// equal-length response vectors.
+func HammingFrac(a, b []uint8) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Hamming length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return float64(d) / float64(len(a))
+}
+
+// Uniqueness returns the mean pairwise normalized inter-chip Hamming
+// distance over the rows of the response matrix; ideal is 0.5.
+func Uniqueness(matrix [][]uint8) float64 {
+	n := len(matrix)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sum += HammingFrac(matrix[i], matrix[j])
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// Reliability returns 1 − mean intra-chip Hamming distance between a
+// reference readout and repeated readouts of the same instance; ideal is 1.
+func Reliability(reference []uint8, repeats [][]uint8) float64 {
+	if len(repeats) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, r := range repeats {
+		sum += HammingFrac(reference, r)
+	}
+	return 1 - sum/float64(len(repeats))
+}
+
+// BitAliasing returns, per challenge, the fraction of chips answering 1;
+// ideal is 0.5 everywhere.  Input is a response matrix (rows = chips).
+func BitAliasing(matrix [][]uint8) []float64 {
+	if len(matrix) == 0 {
+		return nil
+	}
+	cols := len(matrix[0])
+	out := make([]float64, cols)
+	for _, row := range matrix {
+		if len(row) != cols {
+			panic("stats: ragged response matrix")
+		}
+		for j, r := range row {
+			out[j] += float64(r)
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(matrix))
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package xorpuf
+
+import (
+	"math"
+	"testing"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+func testChip(seed uint64, n int) *silicon.Chip {
+	return silicon.NewChip(rng.New(seed), silicon.DefaultParams(), n)
+}
+
+func TestWidthAndStages(t *testing.T) {
+	chip := testChip(1, 6)
+	x := FromChip(chip, 4)
+	if x.Width() != 4 {
+		t.Errorf("Width = %d, want 4", x.Width())
+	}
+	if x.Stages() != chip.Stages() {
+		t.Errorf("Stages = %d, want %d", x.Stages(), chip.Stages())
+	}
+}
+
+func TestNoiselessResponseIsXOROfMembers(t *testing.T) {
+	chip := testChip(2, 5)
+	x := FromChip(chip, 5)
+	src := rng.New(3)
+	for i := 0; i < 500; i++ {
+		c := challenge.Random(src, x.Stages())
+		var want uint8
+		for j := 0; j < 5; j++ {
+			if chip.PUF(j).Delay(c, silicon.Nominal) > 0 {
+				want ^= 1
+			}
+		}
+		if got := x.NoiselessResponse(c, silicon.Nominal); got != want {
+			t.Fatalf("NoiselessResponse = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestResponseProbabilityParityIdentity(t *testing.T) {
+	// For width 2: P(xor=1) = p1(1-p2) + p2(1-p1).
+	chip := testChip(4, 2)
+	x := FromChip(chip, 2)
+	src := rng.New(5)
+	for i := 0; i < 500; i++ {
+		c := challenge.Random(src, x.Stages())
+		p1 := chip.PUF(0).ResponseProbability(c, silicon.Nominal)
+		p2 := chip.PUF(1).ResponseProbability(c, silicon.Nominal)
+		want := p1*(1-p2) + p2*(1-p1)
+		if got := x.ResponseProbability(c, silicon.Nominal); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(xor=1) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestResponseProbabilityMatchesEval(t *testing.T) {
+	chip := testChip(6, 3)
+	x := FromChip(chip, 3)
+	src := rng.New(7)
+	noise := rng.New(8)
+	// Find a challenge with a genuinely uncertain XOR output.
+	var c challenge.Challenge
+	for {
+		c = challenge.Random(src, x.Stages())
+		if p := x.ResponseProbability(c, silicon.Nominal); p > 0.3 && p < 0.7 {
+			break
+		}
+	}
+	p := x.ResponseProbability(c, silicon.Nominal)
+	const n = 40000
+	ones := 0
+	for i := 0; i < n; i++ {
+		ones += int(x.Eval(noise, c, silicon.Nominal))
+	}
+	got := float64(ones) / n
+	if math.Abs(got-p) > 0.02 {
+		t.Errorf("empirical P(xor=1) = %v, want %v", got, p)
+	}
+}
+
+func TestStabilityDecaysExponentially(t *testing.T) {
+	// Fig 3: the stable fraction of an n-input XOR PUF is ≈ (stable
+	// fraction of one PUF)ⁿ because members are uncorrelated.
+	chip := testChip(9, 10)
+	const trials = 4000
+	fracs := make([]float64, 11)   // index = width: XOR-level stable fraction
+	members := make([]float64, 10) // per-member stable fraction
+	for width := 1; width <= 10; width++ {
+		x := FromChip(chip, width)
+		var sum float64
+		src := rng.New(11) // same challenge set at every width
+		for i := 0; i < trials; i++ {
+			c := challenge.Random(src, x.Stages())
+			sum += x.StabilityProbability(c, silicon.Nominal)
+		}
+		fracs[width] = sum / trials
+	}
+	for m := 0; m < 10; m++ {
+		src := rng.New(11)
+		var sum float64
+		for i := 0; i < trials; i++ {
+			c := challenge.Random(src, chip.Stages())
+			sum += chip.PUF(m).StabilityProbability(c, silicon.Nominal, chip.Params().CounterDepth)
+		}
+		members[m] = sum / trials
+		if members[m] < 0.72 || members[m] > 0.88 {
+			t.Fatalf("member %d stable fraction %.3f, want ≈0.80", m, members[m])
+		}
+	}
+	// XOR-level stability must track the product of its members' individual
+	// stable fractions (independence up to challenge-level correlation).
+	prod := 1.0
+	for width := 1; width <= 10; width++ {
+		prod *= members[width-1]
+		if fracs[width] <= 0 {
+			t.Fatalf("width %d: zero stable fraction", width)
+		}
+		ratio := fracs[width] / prod
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("width %d: stable fraction %.4f, want ≈%.4f (Π member fractions)",
+				width, fracs[width], prod)
+		}
+	}
+	if fracs[10] < 0.05 || fracs[10] > 0.18 {
+		t.Errorf("width 10 stable fraction %.4f, want ≈0.109 (Fig 3)", fracs[10])
+	}
+}
+
+func TestStabilityProbabilityIsProduct(t *testing.T) {
+	chip := testChip(12, 4)
+	x := FromChip(chip, 4)
+	c := challenge.Random(rng.New(13), x.Stages())
+	want := 1.0
+	for i := 0; i < 4; i++ {
+		want *= chip.PUF(i).StabilityProbability(c, silicon.Nominal, x.CounterDepth())
+	}
+	if got := x.StabilityProbability(c, silicon.Nominal); math.Abs(got-want) > 1e-15 {
+		t.Errorf("stability %v, want product %v", got, want)
+	}
+}
+
+func TestMeasureSoftStableChallenge(t *testing.T) {
+	chip := testChip(14, 4)
+	x := FromChip(chip, 4)
+	src := rng.New(15)
+	meas := rng.New(16)
+	crps, _ := x.StableCRPs(src, 20, silicon.Nominal, 0.999999)
+	for _, crp := range crps {
+		soft := x.MeasureSoft(meas, crp.Challenge, silicon.Nominal, 100000)
+		if soft != float64(crp.Response) {
+			t.Fatalf("stable CRP measured soft %v, want exactly %d", soft, crp.Response)
+		}
+	}
+}
+
+func TestStableCRPsYieldMatchesStability(t *testing.T) {
+	chip := testChip(17, 6)
+	x := FromChip(chip, 6)
+	src := rng.New(18)
+	crps, examined := x.StableCRPs(src, 300, silicon.Nominal, 0.999)
+	if len(crps) != 300 {
+		t.Fatalf("got %d CRPs, want 300", len(crps))
+	}
+	yield := float64(len(crps)) / float64(examined)
+	want := math.Pow(0.8, 6) // ≈ 0.262
+	if yield < want*0.6 || yield > want*1.6 {
+		t.Errorf("stable yield %.3f, want ≈%.3f", yield, want)
+	}
+	for _, crp := range crps {
+		if crp.Stability < 0.999 {
+			t.Fatal("returned CRP below stability floor")
+		}
+	}
+}
+
+func TestOutputAgreeProbabilityAtLeastMemberStability(t *testing.T) {
+	// XOR-level agreement can only exceed the all-members-stable bound
+	// (instabilities can cancel), never fall below it for the same window.
+	chip := testChip(19, 3)
+	x := FromChip(chip, 3)
+	src := rng.New(20)
+	for i := 0; i < 300; i++ {
+		c := challenge.Random(src, x.Stages())
+		agree := x.OutputAgreeProbability(c, silicon.Nominal, x.CounterDepth())
+		stab := x.StabilityProbability(c, silicon.Nominal)
+		if agree < stab-1e-9 {
+			t.Fatalf("agree %v < member stability %v", agree, stab)
+		}
+	}
+}
+
+func TestEvalUniformityForWideXOR(t *testing.T) {
+	// XOR of many PUFs should produce nearly perfectly uniform responses.
+	chip := testChip(21, 10)
+	x := FromChip(chip, 10)
+	src := rng.New(22)
+	ones := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		c := challenge.Random(src, x.Stages())
+		ones += int(x.NoiselessResponse(c, silicon.Nominal))
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("XOR-10 uniformity %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty member list")
+		}
+	}()
+	New(nil, 1000)
+}
+
+func BenchmarkXORStability10(b *testing.B) {
+	chip := testChip(23, 10)
+	x := FromChip(chip, 10)
+	cs := challenge.RandomBatch(rng.New(24), 1024, x.Stages())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.StabilityProbability(cs[i%len(cs)], silicon.Nominal)
+	}
+}
