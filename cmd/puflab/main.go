@@ -19,6 +19,12 @@
 //	protocols paper's protocol vs refs [1],[6],[7] and classic HD
 //	avalanche bit-position sensitivity of single vs XOR PUFs
 //	campaign  dump a measurement dataset to CSV (-o, -corners)
+//	serve     run a TCP verification server over enrolled simulated chips
+//	          (-addr, -chips, -xor, -n, -lockout, -throttle, -maxconns,
+//	          -budget, -drain, and -fault-* chaos knobs)
+//	auth      authenticate a simulated device against a serve instance
+//	          (-addr, -chip, -impostor, -sessions, -attempts, -base-delay,
+//	          -max-delay, and -fault-* chaos knobs)
 //	all       every experiment above (fig4 at fast scale)
 //
 // Common flags:
@@ -51,6 +57,14 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	switch cmd {
+	case "serve":
+		runServe(os.Args[2:])
+		return
+	case "auth":
+		runAuth(os.Args[2:])
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	full := fs.Bool("full", false, "run at the paper's scale (slow)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
@@ -205,5 +219,6 @@ func usage() {
 
 usage: puflab <experiment> [-full] [-seed N] [-csv]
 
-experiments: fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 metrics protocols avalanche campaign all`)
+experiments: fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 metrics protocols avalanche campaign all
+network:     serve auth   (run "puflab serve -h" / "puflab auth -h" for the resilience and fault-injection knobs)`)
 }

@@ -1,0 +1,214 @@
+// serve/auth: run the Fig 7 authentication protocol over real TCP, with
+// the resilience layer (retries, throttling, lockout, challenge budgets)
+// and optional deterministic fault injection on either side of the link.
+//
+// The device fleet is simulated: `serve` fabricates and enrolls -chips
+// chips derived from -seed, registering them as chip-0, chip-1, …; `auth`
+// re-derives the same silicon from the same seed, so a client started with
+// matching -seed/-xor flags is the genuine device and one started with
+// -impostor is a counterfeit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/faultnet"
+	"xorpuf/internal/netauth"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// faultFlags registers the shared fault-injection knobs and returns a
+// loader that builds the config after flag parsing.
+func faultFlags(fs *flag.FlagSet) func() faultnet.Config {
+	seed := fs.Uint64("fault-seed", 1, "fault-injection rng seed")
+	reset := fs.Float64("fault-reset", 0, "probability of an injected connection reset per I/O op")
+	corrupt := fs.Float64("fault-corrupt", 0, "probability of one corrupted byte per write")
+	stall := fs.Float64("fault-stall", 0, "probability of a stalled I/O op")
+	stallFor := fs.Duration("fault-stall-for", 500*time.Millisecond, "stall duration")
+	partial := fs.Float64("fault-partial", 0, "probability of a partial write followed by a reset")
+	latency := fs.Duration("fault-latency", 0, "max uniform latency added per I/O op")
+	return func() faultnet.Config {
+		return faultnet.Config{
+			Seed:             *seed,
+			ResetProb:        *reset,
+			CorruptProb:      *corrupt,
+			StallProb:        *stall,
+			Stall:            *stallFor,
+			PartialWriteProb: *partial,
+			MaxLatency:       *latency,
+		}
+	}
+}
+
+func (c netConfig) chip(i int, impostor bool) *silicon.Chip {
+	src := rng.New(c.seed).Fork("chip", i)
+	if impostor {
+		src = rng.New(^c.seed).Fork("counterfeit", i)
+	}
+	return silicon.NewChip(src, silicon.DefaultParams(), c.xor)
+}
+
+type netConfig struct {
+	seed uint64
+	xor  int
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7410", "listen address")
+	chips := fs.Int("chips", 2, "number of simulated chips to enroll and register")
+	xorWidth := fs.Int("xor", 6, "XOR width of each chip")
+	n := fs.Int("n", 100, "challenges per authentication")
+	seed := fs.Uint64("seed", 1, "simulation seed (must match the auth side)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-message I/O deadline")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain deadline")
+	maxConns := fs.Int("maxconns", 0, "concurrent session cap (0 = unlimited)")
+	lockout := fs.Int("lockout", 5, "consecutive denials before a chip is locked out (0 = off)")
+	throttle := fs.Duration("throttle", 0, "minimum interval between attempts per chip (0 = off)")
+	budget := fs.Int("budget", 0, "lifetime challenge budget per chip (0 = unlimited)")
+	fault := faultFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	nc := netConfig{seed: *seed, xor: *xorWidth}
+	srv := netauth.NewServer(*n, *seed+1)
+	srv.SetTimeout(*timeout)
+	srv.SetDrainTimeout(*drain)
+	srv.SetMaxConns(*maxConns)
+	srv.SetLockout(*lockout)
+	srv.SetThrottle(*throttle)
+	srv.SetChallengeBudget(*budget)
+
+	enrollCfg := core.DefaultEnrollConfig()
+	for i := 0; i < *chips; i++ {
+		chip := nc.chip(i, false)
+		start := time.Now()
+		enr, err := core.EnrollChip(chip, rng.New(*seed).Fork("enroll", i), enrollCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: enrolling chip-%d: %v\n", i, err)
+			os.Exit(1)
+		}
+		id := fmt.Sprintf("chip-%d", i)
+		if err := srv.Register(id, enr.Model); err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("enrolled %s (%d-XOR, β0=%.2f β1=%.2f) in %v\n",
+			id, *xorWidth, enr.Model.Beta0, enr.Model.Beta1,
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
+		os.Exit(1)
+	}
+	var serveLn net.Listener = ln
+	if cfg := fault(); cfg.ResetProb > 0 || cfg.CorruptProb > 0 || cfg.StallProb > 0 ||
+		cfg.PartialWriteProb > 0 || cfg.MaxLatency > 0 {
+		serveLn = faultnet.WrapListener(ln, cfg)
+		fmt.Printf("fault injection active: %+v\n", cfg)
+	}
+	fmt.Printf("verification server on %s (n=%d, lockout=%d, throttle=%v, budget=%d)\n",
+		ln.Addr(), *n, *lockout, *throttle, *budget)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(serveLn) }()
+	select {
+	case <-sig:
+		fmt.Println("\ndraining in-flight sessions…")
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	approved, denied := srv.Stats()
+	fmt.Printf("decision log: %d approved, %d denied\n", approved, denied)
+}
+
+func runAuth(args []string) {
+	fs := flag.NewFlagSet("auth", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7410", "server address")
+	chipIdx := fs.Int("chip", 0, "chip index (authenticates as chip-<index>)")
+	xorWidth := fs.Int("xor", 6, "XOR width (must match the serve side)")
+	seed := fs.Uint64("seed", 1, "simulation seed (must match the serve side)")
+	impostor := fs.Bool("impostor", false, "present counterfeit silicon for the chip ID")
+	sessions := fs.Int("sessions", 1, "number of authentication sessions to run")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-message I/O deadline")
+	attempts := fs.Int("attempts", 4, "retry budget per session (including the first try)")
+	baseDelay := fs.Duration("base-delay", 50*time.Millisecond, "initial retry backoff")
+	maxDelay := fs.Duration("max-delay", 2*time.Second, "retry backoff cap")
+	vdd := fs.Float64("vdd", silicon.Nominal.VDD, "supply voltage the device is read at")
+	tempC := fs.Float64("temp", silicon.Nominal.TempC, "temperature (°C) the device is read at")
+	fault := faultFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	nc := netConfig{seed: *seed, xor: *xorWidth}
+	chip := nc.chip(*chipIdx, *impostor)
+	client := &netauth.Client{
+		Addr:    *addr,
+		ChipID:  fmt.Sprintf("chip-%d", *chipIdx),
+		Device:  chip,
+		Cond:    silicon.Condition{VDD: *vdd, TempC: *tempC},
+		Timeout: *timeout,
+		Policy: netauth.RetryPolicy{
+			MaxAttempts: *attempts,
+			BaseDelay:   *baseDelay,
+			MaxDelay:    *maxDelay,
+			Multiplier:  2,
+			Jitter:      0.5,
+		},
+	}
+	if cfg := fault(); cfg.ResetProb > 0 || cfg.CorruptProb > 0 || cfg.StallProb > 0 ||
+		cfg.PartialWriteProb > 0 || cfg.MaxLatency > 0 {
+		client.DialContext = faultnet.NewDialer(cfg).DialContext
+		fmt.Printf("fault injection active: %+v\n", cfg)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	exitCode := 0
+	for i := 0; i < *sessions; i++ {
+		start := time.Now()
+		res, err := client.Authenticate(ctx)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		switch {
+		case err != nil:
+			kind := "terminal"
+			if netauth.Transient(err) {
+				kind = "retry budget exhausted"
+			}
+			fmt.Printf("session %d: FAILED (%s) after %d attempt(s) in %v: %v\n",
+				i+1, kind, res.Attempts, elapsed, err)
+			exitCode = 1
+			if !netauth.Transient(err) {
+				os.Exit(1)
+			}
+		case res.Approved:
+			fmt.Printf("session %d: APPROVED (%d/%d mismatches, %d attempt(s), %v)\n",
+				i+1, res.Mismatches, res.Challenges, res.Attempts, elapsed)
+		default:
+			fmt.Printf("session %d: DENIED (%d/%d mismatches, %d attempt(s), %v)\n",
+				i+1, res.Mismatches, res.Challenges, res.Attempts, elapsed)
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}

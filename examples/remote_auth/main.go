@@ -3,16 +3,25 @@
 // device side holds the chip and answers freshly selected challenges with
 // one-shot XOR reads.
 //
+// This example runs the hardened deployment: the link is deliberately
+// unreliable (seeded faultnet injection of resets, stalls, and byte
+// corruption), the device rides out the faults with a retrying client, and
+// the server enforces the abuse controls — per-chip lockout after
+// consecutive denials and a lifetime challenge budget.
+//
 //	go run ./examples/remote_auth
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"time"
 
 	"xorpuf"
+	"xorpuf/internal/faultnet"
 	"xorpuf/internal/netauth"
 )
 
@@ -31,8 +40,13 @@ func main() {
 	fmt.Printf("enrolled 6-XOR chip (β0=%.2f β1=%.2f), fuses blown\n",
 		enr.Model.Beta0, enr.Model.Beta1)
 
-	// Verification server.
+	// Verification server with the resilience controls switched on: three
+	// consecutive denials quarantine a chip, and each chip may burn at
+	// most 5,000 challenges over its lifetime.
 	srv := netauth.NewServer(100, 99)
+	srv.SetTimeout(300 * time.Millisecond) // per message, not per connection
+	srv.SetLockout(3)
+	srv.SetChallengeBudget(5000)
 	if err := srv.Register("device-0042", enr.Model); err != nil {
 		log.Fatal(err)
 	}
@@ -40,34 +54,76 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go srv.Serve(ln) //nolint:errcheck
+	// The server reads from a hostile network: 6 % of I/O ops reset the
+	// connection, 6 % stall past the message deadline, and 6 % of writes
+	// corrupt a byte.  Seeded, so every run injects the same faults.
+	fln := faultnet.WrapListener(ln, faultnet.Config{
+		Seed:        2024,
+		ResetProb:   0.06,
+		StallProb:   0.06,
+		Stall:       500 * time.Millisecond,
+		CorruptProb: 0.06,
+	})
+	go srv.Serve(fln) //nolint:errcheck
 	defer srv.Close()
-	fmt.Printf("verification server listening on %s\n\n", ln.Addr())
+	fmt.Printf("verification server listening on %s (faulty link)\n\n", ln.Addr())
 
-	// Genuine device authenticates from several operating corners.
+	// Genuine device authenticates from several operating corners,
+	// retrying transient faults with jittered exponential backoff.
+	client := &netauth.Client{
+		Addr:    ln.Addr().String(),
+		ChipID:  "device-0042",
+		Device:  chip,
+		Timeout: 300 * time.Millisecond,
+		Policy: netauth.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    200 * time.Millisecond,
+			Multiplier:  2,
+			Jitter:      0.5,
+		},
+	}
 	for _, cond := range []xorpuf.Condition{
 		xorpuf.Nominal,
 		{VDD: 0.8, TempC: 0},
 		{VDD: 1.0, TempC: 60},
 	} {
-		res, err := netauth.Authenticate(ln.Addr().String(), "device-0042",
-			chip, cond, 5*time.Second)
+		client.Cond = cond
+		res, err := client.Authenticate(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("genuine device at %-12s → approved=%v (%d/%d mismatches)\n",
-			cond, res.Approved, res.Mismatches, res.Challenges)
+		fmt.Printf("genuine device at %-12s → approved=%v (%d/%d mismatches, %d attempt(s))\n",
+			cond, res.Approved, res.Mismatches, res.Challenges, res.Attempts)
 	}
 
-	// A counterfeit device with its own silicon fails.
+	// A counterfeit device with its own silicon is denied, and after
+	// three consecutive denials the server quarantines the chip ID: the
+	// fourth attempt fails terminally without burning any challenges.
 	counterfeit := xorpuf.NewChip(666, params, 6)
-	res, err := netauth.Authenticate(ln.Addr().String(), "device-0042",
-		counterfeit, xorpuf.Nominal, 5*time.Second)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Println()
+	for i := 1; ; i++ {
+		imp := &netauth.Client{
+			Addr: ln.Addr().String(), ChipID: "device-0042",
+			Device: counterfeit, Cond: xorpuf.Nominal,
+			Timeout: 300 * time.Millisecond, Policy: client.Policy,
+		}
+		res, err := imp.Authenticate(context.Background())
+		var pe *netauth.ProtocolError
+		if errors.As(err, &pe) && pe.Code == netauth.CodeLockedOut {
+			fmt.Printf("counterfeit attempt %d     → %v\n", i, err)
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("counterfeit attempt %d     → approved=%v (%d/%d mismatches)\n",
+			i, res.Approved, res.Mismatches, res.Challenges)
 	}
-	fmt.Printf("counterfeit device        → approved=%v (%d/%d mismatches)\n",
-		res.Approved, res.Mismatches, res.Challenges)
+	st := srv.ChipStatus("device-0042")
+	fmt.Printf("chip status: locked=%v, consecutive denials=%d, "+
+		"challenges burned=%d (budget remaining %d)\n",
+		st.Locked, st.ConsecutiveDenials, st.Issued, st.Remaining)
 
 	// Note: a software clone built from the stolen *model database* would
 	// succeed — the database, unlike the PUF, must be kept secret

@@ -625,3 +625,46 @@ func TestIncrementalFitStreamingUsable(t *testing.T) {
 		t.Errorf("early-model selection error %.3f, want < 0.02", frac)
 	}
 }
+
+func TestSelectorBudgetAccounting(t *testing.T) {
+	_, enr := enrollTestChip(t, 46, 3, testConfig())
+	sel := NewSelector(enr.Model, rng.New(47))
+	if sel.Remaining() != -1 {
+		t.Fatalf("unbudgeted Remaining = %d, want -1", sel.Remaining())
+	}
+	sel.SetBudget(120)
+	if got := sel.Remaining(); got != 120 {
+		t.Fatalf("Remaining = %d, want 120", got)
+	}
+	if _, _, err := sel.Next(50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Remaining(); got != 70 {
+		t.Errorf("after 50 issued, Remaining = %d, want 70", got)
+	}
+	// A request that would overrun the budget fails without issuing
+	// anything: a partial session burns CRPs with no verdict.
+	_, _, err := sel.Next(71, 0)
+	var exhausted *ErrBudgetExhausted
+	if !errors.As(err, &exhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if exhausted.Budget != 120 || exhausted.Issued != 50 || exhausted.Wanted != 71 {
+		t.Errorf("exhausted = %+v", exhausted)
+	}
+	if sel.Issued() != 50 {
+		t.Errorf("failed request burned budget: Issued = %d, want 50", sel.Issued())
+	}
+	// Exactly consuming the remainder still works.
+	if _, _, err := sel.Next(70, 0); err != nil {
+		t.Fatal(err)
+	}
+	if sel.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", sel.Remaining())
+	}
+	// Lifting the cap re-enables issuing.
+	sel.SetBudget(0)
+	if _, _, err := sel.Next(10, 0); err != nil {
+		t.Errorf("after lifting budget: %v", err)
+	}
+}

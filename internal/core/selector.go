@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/rng"
 )
@@ -14,9 +16,10 @@ import (
 // A Selector is not safe for concurrent use; wrap it in the caller's lock
 // (netauth.Server does).
 type Selector struct {
-	model *ChipModel
-	src   *rng.Source
-	used  map[uint64]struct{}
+	model  *ChipModel
+	src    *rng.Source
+	used   map[uint64]struct{}
+	budget int // lifetime cap on issued challenges; 0 = unlimited
 }
 
 // NewSelector creates a selector for an enrolled chip model.  src drives
@@ -31,10 +34,52 @@ func NewSelector(model *ChipModel, src *rng.Source) *Selector {
 // Issued returns how many distinct challenges have been handed out.
 func (s *Selector) Issued() int { return len(s.used) }
 
+// SetBudget caps the lifetime number of challenges this selector may
+// issue; 0 removes the cap.  Because issued challenges are never reused,
+// every authentication attempt — including ones that fail in transit —
+// permanently burns budget, so a verifier can bound how many CRPs a chip
+// exposes to eavesdroppers and modeling attacks over its lifetime.
+func (s *Selector) SetBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.budget = n
+}
+
+// Budget returns the lifetime cap (0 = unlimited).
+func (s *Selector) Budget() int { return s.budget }
+
+// Remaining returns how many challenges may still be issued, or -1 if the
+// selector is unbudgeted.
+func (s *Selector) Remaining() int {
+	if s.budget == 0 {
+		return -1
+	}
+	if r := s.budget - len(s.used); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// ErrBudgetExhausted is returned when issuing the requested challenges
+// would exceed the selector's lifetime budget.  Nothing is issued — a
+// partial session would burn CRPs without ever producing a verdict.
+type ErrBudgetExhausted struct {
+	Budget, Issued, Wanted int
+}
+
+func (e *ErrBudgetExhausted) Error() string {
+	return fmt.Sprintf("core: challenge budget exhausted: %d issued of %d, cannot issue %d more",
+		e.Issued, e.Budget, e.Wanted)
+}
+
 // Next returns count fresh predicted-stable challenges and their predicted
 // XOR bits.  Challenges issued by earlier calls are never repeated.
 // maxExamined bounds the search (0 = 10,000 × count).
 func (s *Selector) Next(count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
+	if s.budget > 0 && len(s.used)+count > s.budget {
+		return nil, nil, &ErrBudgetExhausted{Budget: s.budget, Issued: len(s.used), Wanted: count}
+	}
 	if maxExamined <= 0 {
 		maxExamined = 10000 * count
 	}

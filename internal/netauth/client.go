@@ -1,0 +1,280 @@
+package netauth
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// Result is the outcome of a client-side authentication run.
+type Result struct {
+	Approved   bool
+	Mismatches int
+	Challenges int
+	// Attempts is how many protocol attempts the run took (1 = no retry).
+	Attempts int
+}
+
+// RetryPolicy bounds and paces the client's retries of transient failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget, including the first try.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Multiplier scales the delay between consecutive retries (≥ 1).
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized (0 = fixed delays,
+	// 1 = delays drawn uniformly from [½d, 1½d)).  Jitter decorrelates
+	// retry storms from many devices that failed at the same instant.
+	Jitter float64
+}
+
+// DefaultRetryPolicy matches a device on a flaky but usable link: four
+// attempts, 50 ms–2 s backoff, ×2 growth, 50 % jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.5,
+	}
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = def.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = def.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = def.MaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = def.Multiplier
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = def.Jitter
+	}
+	return p
+}
+
+// delay returns the jittered backoff before retry number retry (1-based).
+func (p RetryPolicy) delay(retry int, src *rng.Source) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter/2 + p.Jitter*src.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Client authenticates a device against a netauth server with bounded
+// retries.  The zero value is not usable; set at least Addr, ChipID, and
+// Device.
+type Client struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// ChipID identifies the enrolled chip.
+	ChipID string
+	// Device answers challenges (normally the physical chip).
+	Device core.Device
+	// Cond is the operating condition the device is evaluated at.
+	Cond silicon.Condition
+	// Timeout is the per-message I/O deadline (default 10 s).
+	Timeout time.Duration
+	// Policy bounds the retries; zero fields take DefaultRetryPolicy
+	// values.
+	Policy RetryPolicy
+	// DialContext dials the server; nil uses net.Dialer.  Tests inject
+	// faultnet.Dialer here.
+	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Jitter seeds backoff jitter; nil lazily seeds from the wall clock.
+	Jitter *rng.Source
+
+	once sync.Once
+}
+
+func (c *Client) init() {
+	c.once.Do(func() {
+		if c.Timeout <= 0 {
+			c.Timeout = 10 * time.Second
+		}
+		c.Policy = c.Policy.normalized()
+		if c.DialContext == nil {
+			var d net.Dialer
+			c.DialContext = d.DialContext
+		}
+		if c.Jitter == nil {
+			c.Jitter = rng.New(uint64(time.Now().UnixNano()))
+		}
+	})
+}
+
+// Authenticate runs the protocol until a verdict, a terminal error, the
+// attempt budget, or ctx ends it.  Transient failures — I/O errors,
+// timeouts, and server errors marked retryable — are retried with jittered
+// exponential backoff; terminal server errors (unknown_chip, locked_out,
+// selection_failed) and context cancellation return immediately.
+func (c *Client) Authenticate(ctx context.Context) (Result, error) {
+	c.init()
+	var lastErr error
+	for attempt := 1; attempt <= c.Policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := sleepCtx(ctx, c.Policy.delay(attempt-1, c.Jitter)); err != nil {
+				return Result{Attempts: attempt - 1}, err
+			}
+		}
+		res, err := c.attempt(ctx)
+		res.Attempts = attempt
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !Transient(err) {
+			return Result{Attempts: attempt}, err
+		}
+	}
+	return Result{Attempts: c.Policy.MaxAttempts}, fmt.Errorf(
+		"netauth: giving up after %d attempts: %w", c.Policy.MaxAttempts, lastErr)
+}
+
+// attempt runs one full protocol exchange.
+func (c *Client) attempt(ctx context.Context) (Result, error) {
+	dialCtx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	conn, err := c.DialContext(dialCtx, "tcp", c.Addr)
+	if err != nil {
+		return Result{}, err
+	}
+	defer conn.Close()
+	// Cancellation must interrupt blocked reads/writes, not just the
+	// gaps between them: closing the connection fails the pending I/O.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	r := bufio.NewReader(conn)
+	writeMsg := func(m message) error {
+		b, err := encodeFrame(m)
+		if err != nil {
+			return err
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+		_, err = conn.Write(b)
+		return err
+	}
+	readMsg := func(want string) (*message, error) {
+		_ = conn.SetReadDeadline(time.Now().Add(c.Timeout))
+		return readMessage(r, want)
+	}
+
+	if err := writeMsg(message{Type: "hello", ChipID: c.ChipID}); err != nil {
+		return Result{}, ctxErr(ctx, err)
+	}
+	ch, err := readMsg("challenges")
+	if err != nil {
+		return Result{}, ctxErr(ctx, err)
+	}
+	resp := message{Type: "responses", Session: ch.Session, Responses: make([]uint8, len(ch.Challenges))}
+	for i, bits := range ch.Challenges {
+		cc, err := parseChallenge(bits)
+		if err != nil {
+			return Result{}, err
+		}
+		resp.Responses[i] = c.Device.ReadXOR(cc, c.Cond)
+	}
+	if err := writeMsg(resp); err != nil {
+		return Result{}, ctxErr(ctx, err)
+	}
+	verdict, err := readMsg("verdict")
+	if err != nil {
+		return Result{}, ctxErr(ctx, err)
+	}
+	return Result{
+		Approved:   verdict.Approved,
+		Mismatches: verdict.Mismatches,
+		Challenges: len(ch.Challenges),
+	}, nil
+}
+
+// ctxErr prefers the context's error over the I/O error it caused: a read
+// failing because cancellation closed the connection should surface as
+// context.Canceled, which the retry loop treats as terminal.
+func ctxErr(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return err
+}
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Transient classifies an error from Authenticate or attempt: true means a
+// retry may succeed (network faults, timeouts, retryable server errors),
+// false means give up (terminal server errors, context cancellation, bad
+// local state).  Erring transient is safe — the attempt budget still
+// bounds the session — but a terminal misclassified as transient would
+// burn server-side challenges, so server verdict errors always win.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var pe *ProtocolError
+	if errors.As(err, &pe) {
+		return pe.Retryable
+	}
+	// Everything else — dial failures, resets, EOFs, deadline
+	// expirations, JSON decode failures from corrupted frames — is a
+	// channel problem, not a protocol verdict.
+	return true
+}
+
+// Authenticate connects to the server at addr and authenticates the device
+// under chipID, evaluating the chip at cond.  The device answers each
+// challenge with a single XOR readout, as the protocol permits for selected
+// (100 %-stable) CRPs.  This is the single-shot form — no retries; use
+// Client for resilience on lossy links.
+func Authenticate(addr, chipID string, dev core.Device, cond silicon.Condition, timeout time.Duration) (Result, error) {
+	c := &Client{
+		Addr:    addr,
+		ChipID:  chipID,
+		Device:  dev,
+		Cond:    cond,
+		Timeout: timeout,
+		Policy:  RetryPolicy{MaxAttempts: 1},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return c.Authenticate(ctx)
+}

@@ -4,26 +4,62 @@
 // with one-shot XOR readouts.
 //
 // Wire protocol: newline-delimited JSON over TCP, one authentication per
-// connection.
+// connection.  Lines are capped at 1 MiB; longer frames terminate the
+// session.
 //
-//	device → server   {"type":"hello","chip_id":"..."}
-//	server → device   {"type":"challenges","session":"...","challenges":["0101...",...]}
-//	device → server   {"type":"responses","session":"...","responses":[0,1,...]}
-//	server → device   {"type":"verdict","approved":true,"mismatches":0}
+//	device → server   {"type":"hello","chip_id":"...","crc":...}
+//	server → device   {"type":"challenges","session":"...","challenges":["0101...",...],"crc":...}
+//	device → server   {"type":"responses","session":"...","responses":[0,1,...],"crc":...}
+//	server → device   {"type":"verdict","approved":true,"mismatches":0,"crc":...}
 //
-// Any protocol violation terminates the connection with
-// {"type":"error","message":"..."}.  The server never reveals which bits
-// mismatched beyond the count, and every authentication uses fresh
-// challenges, so transcripts leak only what the paper's threat model
-// already concedes (challenge, XOR response) — the modeling-attack tests in
-// internal/authproto quantify that leakage.
+// Every frame carries a CRC32 (IEEE) of its own JSON encoding with the crc
+// field zeroed, and decoding rejects unknown fields.  JSON alone is not a
+// sufficient integrity check: Go's decoder replaces invalid UTF-8 with
+// U+FFFD and drops unrecognised keys, so a single corrupted byte inside
+// the "approved" key yields a parseable frame whose Approved field
+// silently defaults to false — a false denial that burns challenge budget
+// and counts toward lockout.  With the checksum, surviving corruption
+// becomes a retryable bad_message instead of a wrong verdict.  Frames
+// without a crc field (legacy peers) are still accepted.
+//
+// Any failure terminates the connection with
+//
+//	{"type":"error","message":"...","code":"...","retryable":true|false}
+//
+// where code is one of the Code* constants.  Retryable errors (bad_message,
+// throttled, busy) describe conditions a well-behaved device may retry
+// after backing off — a corrupted frame or a momentarily loaded server.
+// Terminal errors (unknown_chip, locked_out, selection_failed) will not
+// succeed on retry and the client must give up.  The distinction is a
+// security control as much as a reliability one: every authentication burns
+// never-reused challenges from the chip's finite budget (core.Selector),
+// and unlimited free retries are exactly what chosen-challenge and
+// active-learning modeling attacks want.  The server therefore supports
+// per-chip throttling (minimum interval between attempts) and lockout: K
+// consecutive denied verdicts quarantine the chip — subsequent attempts get
+// locked_out without burning challenges — until an operator calls Unlock.
+//
+// Reliability hardening on the server side: per-message (not
+// per-connection) I/O deadlines, a cap on concurrent sessions, and a
+// graceful drain on Close with a hard deadline after which straggling
+// connections are force-closed.  The client side (Client) retries
+// transient failures with jittered exponential backoff under a bounded
+// attempt budget and honours context cancellation through dial, read, and
+// write.
+//
+// The server never reveals which bits mismatched beyond the count, and
+// every authentication uses fresh challenges, so transcripts leak only
+// what the paper's threat model already concedes (challenge, XOR response)
+// — the modeling-attack tests in internal/authproto quantify that leakage.
 package netauth
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"sync"
 	"time"
@@ -31,64 +67,225 @@ import (
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/core"
 	"xorpuf/internal/rng"
-	"xorpuf/internal/silicon"
 )
 
-// message is the single wire envelope; unused fields stay empty.
+// maxLineBytes caps one wire frame.  ReadBytes without a cap would let a
+// client that never sends '\n' grow the server's buffer without bound.
+const maxLineBytes = 1 << 20
+
+// Error codes carried in the wire envelope's "code" field.
+const (
+	// CodeBadMessage: a frame failed to parse, had the wrong type, a bad
+	// session ID, a non-bit response, or the wrong response count.
+	// Retryable — in-flight corruption is indistinguishable from a buggy
+	// peer, and a fresh session uses fresh challenges anyway.
+	CodeBadMessage = "bad_message"
+	// CodeUnknownChip: the chip ID is not in the model database.  Terminal.
+	CodeUnknownChip = "unknown_chip"
+	// CodeThrottled: the chip attempted again before the per-chip minimum
+	// interval elapsed.  Retryable after backoff.
+	CodeThrottled = "throttled"
+	// CodeLockedOut: the chip hit K consecutive denials and is
+	// quarantined.  Terminal until an operator calls Unlock.
+	CodeLockedOut = "locked_out"
+	// CodeBusy: the server is at its concurrent-session cap.  Retryable.
+	CodeBusy = "busy"
+	// CodeSelectionFailed: the server could not issue fresh challenges —
+	// typically the chip's lifetime CRP budget is exhausted.  Terminal.
+	CodeSelectionFailed = "selection_failed"
+)
+
+// message is the single wire envelope; unused fields stay empty.  Approved
+// and Mismatches deliberately lack omitempty: a denied verdict must be
+// explicit on the wire ("approved":false,"mismatches":0), not an absent
+// field the peer has to default.
 type message struct {
 	Type       string   `json:"type"`
 	ChipID     string   `json:"chip_id,omitempty"`
 	Session    string   `json:"session,omitempty"`
 	Challenges []string `json:"challenges,omitempty"`
 	Responses  []uint8  `json:"responses,omitempty"`
-	Approved   bool     `json:"approved,omitempty"`
-	Mismatches int      `json:"mismatches,omitempty"`
+	Approved   bool     `json:"approved"`
+	Mismatches int      `json:"mismatches"`
 	Message    string   `json:"message,omitempty"`
+	Code       string   `json:"code,omitempty"`
+	Retryable  bool     `json:"retryable,omitempty"`
+	// CRC is an IEEE CRC32 over the frame's JSON encoding with this
+	// field zeroed.  Without it, a single flipped byte inside a JSON
+	// string can survive parsing — Go replaces invalid UTF-8 with
+	// U+FFFD — and silently turn an approval into a denial (or a hello
+	// into an unknown chip).  Frames without a CRC are accepted for
+	// compatibility; frames with one must match bit-exactly.
+	CRC uint32 `json:"crc,omitempty"`
+}
+
+// encodeFrame marshals m with its integrity checksum and trailing newline.
+func encodeFrame(m message) ([]byte, error) {
+	m.CRC = 0
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	m.CRC = crc32.ChecksumIEEE(body)
+	framed, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	return append(framed, '\n'), nil
+}
+
+// decodeFrame strictly parses one frame and verifies its checksum.
+// Unknown fields are rejected — a corrupted key would otherwise be
+// silently dropped and its value defaulted.
+func decodeFrame(line []byte) (*message, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var m message
+	if err := dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	if m.CRC != 0 {
+		want := m.CRC
+		m.CRC = 0
+		body, err := json.Marshal(m)
+		if err != nil {
+			return nil, err
+		}
+		if got := crc32.ChecksumIEEE(body); got != want {
+			return nil, fmt.Errorf("frame integrity check failed (crc %08x, want %08x)", got, want)
+		}
+	}
+	return &m, nil
+}
+
+// ProtocolError is a structured error the server reported over the wire.
+type ProtocolError struct {
+	Code      string
+	Message   string
+	Retryable bool
+}
+
+func (e *ProtocolError) Error() string {
+	kind := "terminal"
+	if e.Retryable {
+		kind = "retryable"
+	}
+	return fmt.Sprintf("netauth: server error [%s, %s]: %s", e.Code, kind, e.Message)
 }
 
 // Server is the verification authority: it owns the enrolled model database
 // and decides authentications.
 type Server struct {
 	numChallenges int
-	timeout       time.Duration
 
-	mu      sync.Mutex
+	mu         sync.Mutex
+	msgTimeout time.Duration
+	maxConns   int
+	lockoutK   int
+	throttle   time.Duration
+	drain      time.Duration
+	budget     int
+	now        func() time.Time
+
 	db      map[string]*chipEntry
 	selSrc  *rng.Source
 	ln      net.Listener
 	closed  bool
+	active  map[net.Conn]struct{}
+	inUse   int
 	serving sync.WaitGroup
 
-	// Decisions counts completed authentications, for tests/monitoring.
+	// decisions counts completed authentications, for tests/monitoring.
 	decisions struct {
 		approved, denied int
 	}
 }
 
 // NewServer creates a server that authenticates with numChallenges CRPs per
-// decision.  seed drives challenge selection.
+// decision.  seed drives challenge selection.  Throttling, lockout, the
+// connection cap, and the per-chip challenge budget are off by default;
+// enable them with the setters before Serve.
 func NewServer(numChallenges int, seed uint64) *Server {
 	if numChallenges <= 0 {
 		panic("netauth: numChallenges must be positive")
 	}
 	return &Server{
 		numChallenges: numChallenges,
-		timeout:       10 * time.Second,
+		msgTimeout:    10 * time.Second,
+		drain:         5 * time.Second,
+		now:           time.Now,
 		db:            make(map[string]*chipEntry),
+		active:        make(map[net.Conn]struct{}),
 		selSrc:        rng.New(seed),
 	}
 }
 
 // chipEntry pairs a registered model with its stateful challenge selector,
 // which guarantees (paper Fig 7 "Record challenge") that no challenge is
-// ever issued twice for the same chip.
+// ever issued twice for the same chip, plus the per-chip abuse-control
+// state.
 type chipEntry struct {
 	model    *core.ChipModel
 	selector *core.Selector
+
+	lastAttempt        time.Time
+	consecutiveDenials int
+	locked             bool
 }
 
-// SetTimeout changes the per-connection I/O deadline (default 10 s).
-func (s *Server) SetTimeout(d time.Duration) { s.timeout = d }
+// SetTimeout changes the per-message I/O deadline (default 10 s).  Unlike a
+// per-connection deadline, a slow client cannot bank unused time from one
+// message against the next.
+func (s *Server) SetTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.msgTimeout = d
+}
+
+// SetMaxConns caps concurrent authentication sessions; excess connections
+// are refused with a retryable busy error.  0 (the default) is unlimited.
+func (s *Server) SetMaxConns(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxConns = n
+}
+
+// SetLockout quarantines a chip after k consecutive denied verdicts:
+// further attempts fail with locked_out — burning no challenges — until
+// Unlock.  A chip under modeling attack stops feeding the attacker CRPs.
+// k = 0 (the default) disables lockout.
+func (s *Server) SetLockout(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockoutK = k
+}
+
+// SetThrottle enforces a minimum interval between authentication attempts
+// per chip; faster attempts fail with a retryable throttled error.  0 (the
+// default) disables throttling.
+func (s *Server) SetThrottle(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.throttle = d
+}
+
+// SetDrainTimeout bounds how long Close waits for in-flight sessions
+// before force-closing their connections (default 5 s).
+func (s *Server) SetDrainTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drain = d
+}
+
+// SetChallengeBudget caps the lifetime number of challenges issued per
+// chip, for chips registered after the call.  0 (the default) is
+// unlimited.  Budget exhaustion is terminal (selection_failed): the chip
+// must be re-enrolled.
+func (s *Server) SetChallengeBudget(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.budget = n
+}
 
 // Register adds an enrolled chip model under an identifier.
 func (s *Server) Register(chipID string, model *core.ChipModel) error {
@@ -100,11 +297,55 @@ func (s *Server) Register(chipID string, model *core.ChipModel) error {
 	if _, dup := s.db[chipID]; dup {
 		return fmt.Errorf("netauth: chip %q already registered", chipID)
 	}
-	s.db[chipID] = &chipEntry{
-		model:    model,
-		selector: core.NewSelector(model, s.selSrc.Split("chip-"+chipID)),
-	}
+	sel := core.NewSelector(model, s.selSrc.Split("chip-"+chipID))
+	sel.SetBudget(s.budget)
+	s.db[chipID] = &chipEntry{model: model, selector: sel}
 	return nil
+}
+
+// ChipStatus is the server's per-chip abuse-control and budget accounting.
+type ChipStatus struct {
+	Registered bool
+	// Issued is how many distinct challenges the chip has burned.
+	Issued int
+	// Remaining is the unissued remainder of the challenge budget, or -1
+	// if the chip is unbudgeted.
+	Remaining int
+	// ConsecutiveDenials counts denied verdicts since the last approval.
+	ConsecutiveDenials int
+	// Locked reports whether the chip is quarantined.
+	Locked bool
+}
+
+// ChipStatus reports the abuse-control state of a registered chip.
+func (s *Server) ChipStatus(chipID string) ChipStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.db[chipID]
+	if e == nil {
+		return ChipStatus{}
+	}
+	return ChipStatus{
+		Registered:         true,
+		Issued:             e.selector.Issued(),
+		Remaining:          e.selector.Remaining(),
+		ConsecutiveDenials: e.consecutiveDenials,
+		Locked:             e.locked,
+	}
+}
+
+// Unlock lifts a chip's lockout (an operator decision after investigating
+// the denial streak).  It reports whether the chip was locked.
+func (s *Server) Unlock(chipID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.db[chipID]
+	if e == nil || !e.locked {
+		return false
+	}
+	e.locked = false
+	e.consecutiveDenials = 0
+	return true
 }
 
 // Stats returns the approved/denied decision counts so far.
@@ -135,45 +376,130 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		s.mu.Lock()
+		busy := s.maxConns > 0 && s.inUse >= s.maxConns
+		if !busy {
+			s.inUse++
+			s.active[conn] = struct{}{}
+		}
+		s.mu.Unlock()
 		s.serving.Add(1)
+		if busy {
+			go func() {
+				defer s.serving.Done()
+				defer conn.Close()
+				s.writeMsg(conn, message{ //nolint:errcheck
+					Type: "error", Code: CodeBusy, Retryable: true,
+					Message: "server at concurrent-session capacity",
+				})
+			}()
+			continue
+		}
 		go func() {
 			defer s.serving.Done()
+			defer func() {
+				s.mu.Lock()
+				s.inUse--
+				delete(s.active, conn)
+				s.mu.Unlock()
+			}()
 			s.handle(conn)
 		}()
 	}
 }
 
-// Close stops accepting and waits for in-flight authentications.
+// Close stops accepting, waits up to the drain timeout for in-flight
+// authentications, then force-closes whatever is left.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	drain := s.drain
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
-	s.serving.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.serving.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drain):
+		s.mu.Lock()
+		for conn := range s.active {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// writeMsg sends one frame under the per-message write deadline.
+func (s *Server) writeMsg(conn net.Conn, m message) error {
+	s.mu.Lock()
+	d := s.msgTimeout
+	s.mu.Unlock()
+	b, err := encodeFrame(m)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(d))
+	_, err = conn.Write(b)
+	return err
+}
+
+// readMsg receives one frame under the per-message read deadline.
+func (s *Server) readMsg(conn net.Conn, r *bufio.Reader, wantType string) (*message, error) {
+	s.mu.Lock()
+	d := s.msgTimeout
+	s.mu.Unlock()
+	_ = conn.SetReadDeadline(time.Now().Add(d))
+	return readMessage(r, wantType)
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(s.timeout))
 	r := bufio.NewReader(conn)
-	enc := json.NewEncoder(conn)
-	fail := func(format string, args ...interface{}) {
-		_ = enc.Encode(message{Type: "error", Message: fmt.Sprintf(format, args...)})
+	fail := func(code string, retryable bool, format string, args ...interface{}) {
+		_ = s.writeMsg(conn, message{
+			Type: "error", Code: code, Retryable: retryable,
+			Message: fmt.Sprintf(format, args...),
+		})
 	}
 
-	hello, err := readMessage(r, "hello")
+	hello, err := s.readMsg(conn, r, "hello")
 	if err != nil {
-		fail("bad hello: %v", err)
+		fail(CodeBadMessage, true, "bad hello: %v", err)
 		return
 	}
+
+	// Admission control, all under one lock: existence, throttle, lockout.
 	s.mu.Lock()
 	entry := s.db[hello.ChipID]
+	lockoutK := s.lockoutK
+	var throttled, locked bool
+	if entry != nil {
+		now := s.now()
+		throttled = s.throttle > 0 && !entry.lastAttempt.IsZero() &&
+			now.Sub(entry.lastAttempt) < s.throttle
+		if !throttled {
+			entry.lastAttempt = now
+		}
+		locked = entry.locked
+	}
 	s.mu.Unlock()
-	if entry == nil {
-		fail("unknown chip %q", hello.ChipID)
+	switch {
+	case entry == nil:
+		fail(CodeUnknownChip, false, "unknown chip %q", hello.ChipID)
+		return
+	case locked:
+		fail(CodeLockedOut, false, "chip %q is locked out after %d consecutive denials",
+			hello.ChipID, lockoutK)
+		return
+	case throttled:
+		fail(CodeThrottled, true, "chip %q attempting too fast", hello.ChipID)
 		return
 	}
 
@@ -184,34 +510,34 @@ func (s *Server) handle(conn net.Conn) {
 	cs, predicted, err := entry.selector.Next(s.numChallenges, 0)
 	s.mu.Unlock()
 	if err != nil {
-		fail("challenge selection failed: %v", err)
+		fail(CodeSelectionFailed, false, "challenge selection failed: %v", err)
 		return
 	}
 	out := message{Type: "challenges", Session: session, Challenges: make([]string, len(cs))}
 	for i, c := range cs {
 		out.Challenges[i] = c.String()
 	}
-	if err := enc.Encode(out); err != nil {
+	if err := s.writeMsg(conn, out); err != nil {
 		return
 	}
 
-	resp, err := readMessage(r, "responses")
+	resp, err := s.readMsg(conn, r, "responses")
 	if err != nil {
-		fail("bad responses: %v", err)
+		fail(CodeBadMessage, true, "bad responses: %v", err)
 		return
 	}
 	if resp.Session != session {
-		fail("session mismatch")
+		fail(CodeBadMessage, true, "session mismatch")
 		return
 	}
 	if len(resp.Responses) != len(predicted) {
-		fail("expected %d responses, got %d", len(predicted), len(resp.Responses))
+		fail(CodeBadMessage, true, "expected %d responses, got %d", len(predicted), len(resp.Responses))
 		return
 	}
 	mismatches := 0
 	for i, bit := range resp.Responses {
 		if bit > 1 {
-			fail("response %d is not a bit", i)
+			fail(CodeBadMessage, true, "response %d is not a bit", i)
 			return
 		}
 		if bit != predicted[i] {
@@ -222,80 +548,64 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Lock()
 	if approved {
 		s.decisions.approved++
+		entry.consecutiveDenials = 0
 	} else {
 		s.decisions.denied++
+		entry.consecutiveDenials++
+		if s.lockoutK > 0 && entry.consecutiveDenials >= s.lockoutK {
+			entry.locked = true
+		}
 	}
 	s.mu.Unlock()
-	_ = enc.Encode(message{Type: "verdict", Approved: approved, Mismatches: mismatches})
+	_ = s.writeMsg(conn, message{Type: "verdict", Approved: approved, Mismatches: mismatches})
 }
 
-// readMessage decodes one line and checks its type.
+// errLineTooLong reports a frame over the 1 MiB cap.
+var errLineTooLong = fmt.Errorf("netauth: line exceeds %d bytes", maxLineBytes)
+
+// readLine reads one '\n'-terminated frame, refusing to buffer more than
+// maxLineBytes — an unbounded ReadBytes would let a hostile peer OOM us.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		if len(line)+len(frag) > maxLineBytes {
+			return nil, errLineTooLong
+		}
+		line = append(line, frag...)
+		if err == nil {
+			return line, nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+	}
+}
+
+// readMessage decodes one integrity-checked line and checks its type.
 func readMessage(r *bufio.Reader, wantType string) (*message, error) {
-	line, err := r.ReadBytes('\n')
+	line, err := readLine(r)
 	if err != nil {
 		return nil, err
 	}
-	var m message
-	if err := json.Unmarshal(line, &m); err != nil {
+	m, err := decodeFrame(line)
+	if err != nil {
 		return nil, err
 	}
 	if m.Type == "error" {
-		return nil, fmt.Errorf("peer error: %s", m.Message)
+		code := m.Code
+		if code == "" {
+			// Pre-taxonomy peers send bare messages; assume retryable
+			// unless proven otherwise.
+			code = CodeBadMessage
+			m.Retryable = true
+		}
+		return nil, &ProtocolError{Code: code, Message: m.Message, Retryable: m.Retryable}
 	}
 	if m.Type != wantType {
 		return nil, fmt.Errorf("unexpected message type %q, want %q", m.Type, wantType)
 	}
-	return &m, nil
-}
-
-// Result is the outcome of a client-side authentication run.
-type Result struct {
-	Approved   bool
-	Mismatches int
-	Challenges int
-}
-
-// Authenticate connects to the server at addr and authenticates the device
-// under chipID, evaluating the chip at cond.  The device answers each
-// challenge with a single XOR readout, as the protocol permits for selected
-// (100 %-stable) CRPs.
-func Authenticate(addr, chipID string, dev core.Device, cond silicon.Condition, timeout time.Duration) (Result, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return Result{}, err
-	}
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(timeout))
-	r := bufio.NewReader(conn)
-	enc := json.NewEncoder(conn)
-
-	if err := enc.Encode(message{Type: "hello", ChipID: chipID}); err != nil {
-		return Result{}, err
-	}
-	ch, err := readMessage(r, "challenges")
-	if err != nil {
-		return Result{}, err
-	}
-	resp := message{Type: "responses", Session: ch.Session, Responses: make([]uint8, len(ch.Challenges))}
-	for i, bits := range ch.Challenges {
-		c, err := parseChallenge(bits)
-		if err != nil {
-			return Result{}, err
-		}
-		resp.Responses[i] = dev.ReadXOR(c, cond)
-	}
-	if err := enc.Encode(resp); err != nil {
-		return Result{}, err
-	}
-	verdict, err := readMessage(r, "verdict")
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		Approved:   verdict.Approved,
-		Mismatches: verdict.Mismatches,
-		Challenges: len(ch.Challenges),
-	}, nil
+	return m, nil
 }
 
 // parseChallenge decodes a "0101..." bit string.

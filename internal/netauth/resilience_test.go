@@ -1,0 +1,480 @@
+package netauth
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// waitGoroutines polls until the goroutine count drops back to at most
+// want, failing the test if it never does.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d running, want ≤ %d", runtime.NumGoroutine(), want)
+}
+
+func TestReadLineCapsOversizedFrames(t *testing.T) {
+	huge := append(bytes.Repeat([]byte{'x'}, maxLineBytes+4096), '\n')
+	_, err := readLine(bufio.NewReader(bytes.NewReader(huge)))
+	if !errors.Is(err, errLineTooLong) {
+		t.Fatalf("err = %v, want errLineTooLong", err)
+	}
+	// A line exactly at the cap (including '\n') still parses.
+	ok := append(bytes.Repeat([]byte{'y'}, maxLineBytes-1), '\n')
+	line, err := readLine(bufio.NewReader(bytes.NewReader(ok)))
+	if err != nil || len(line) != maxLineBytes {
+		t.Fatalf("cap-sized line: len=%d err=%v", len(line), err)
+	}
+}
+
+func TestOversizedHelloTerminatedCleanly(t *testing.T) {
+	addr, _, _ := startServer(t, 5)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Stream junk without a newline; the server must cut us off at the
+	// frame cap instead of buffering without bound.
+	junk := bytes.Repeat([]byte{'z'}, 64<<10)
+	wrote := 0
+	conn.SetDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	for wrote < maxLineBytes+(128<<10) {
+		n, err := conn.Write(junk)
+		wrote += n
+		if err != nil {
+			return // server tore the session down — the defended outcome
+		}
+	}
+	// If every write was accepted, the server must still answer with an
+	// error (or a reset) rather than keep reading forever.
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return
+	}
+	var m message
+	if json.Unmarshal(line, &m) == nil && m.Type != "error" {
+		t.Errorf("oversized hello got non-error reply %+v", m)
+	}
+}
+
+// rawSession dials and performs the hello exchange, returning the decoder
+// state for protocol-violation probes.
+func rawSession(t *testing.T, addr string) (net.Conn, *json.Encoder, *bufio.Reader, *message) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	enc := json.NewEncoder(conn)
+	r := bufio.NewReader(conn)
+	if err := enc.Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := readMessage(r, "challenges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, enc, r, ch
+}
+
+// expectProtocolError reads the next frame and asserts it is an error with
+// the given code and retryability.
+func expectProtocolError(t *testing.T, r *bufio.Reader, code string, retryable bool) *ProtocolError {
+	t.Helper()
+	_, err := readMessage(r, "verdict")
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ProtocolError", err)
+	}
+	if pe.Code != code || pe.Retryable != retryable {
+		t.Fatalf("got [%s, retryable=%v] %q, want [%s, retryable=%v]",
+			pe.Code, pe.Retryable, pe.Message, code, retryable)
+	}
+	return pe
+}
+
+func TestTruncatedJSONRejected(t *testing.T) {
+	addr, _, _ := startServer(t, 5)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"type":"hello","chip_id":"chip-A"` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	pe := expectProtocolError(t, r, CodeBadMessage, true)
+	if !strings.Contains(pe.Message, "bad hello") {
+		t.Errorf("message %q does not mention bad hello", pe.Message)
+	}
+}
+
+func TestNonBitResponsesRejected(t *testing.T) {
+	addr, _, _ := startServer(t, 5)
+	_, enc, r, ch := rawSession(t, addr)
+	resp := message{Type: "responses", Session: ch.Session, Responses: make([]uint8, len(ch.Challenges))}
+	resp.Responses[2] = 7
+	if err := enc.Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	pe := expectProtocolError(t, r, CodeBadMessage, true)
+	if !strings.Contains(pe.Message, "not a bit") {
+		t.Errorf("message %q does not mention non-bit response", pe.Message)
+	}
+}
+
+func TestDuplicateHelloRejected(t *testing.T) {
+	addr, _, _ := startServer(t, 5)
+	_, enc, r, _ := rawSession(t, addr)
+	if err := enc.Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
+		t.Fatal(err)
+	}
+	pe := expectProtocolError(t, r, CodeBadMessage, true)
+	if !strings.Contains(pe.Message, `unexpected message type "hello"`) {
+		t.Errorf("message %q does not flag the duplicate hello", pe.Message)
+	}
+}
+
+func TestSilentClientTimesOutWithoutLeak(t *testing.T) {
+	addr, srv, _ := startServer(t, 5)
+	srv.SetTimeout(150 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Say nothing.  The per-message deadline must fire, the handler must
+	// answer with an error frame and exit.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("expected an error frame after the deadline, got %v", err)
+	}
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil || m.Type != "error" {
+		t.Fatalf("got %q, want an error frame", line)
+	}
+	conn.Close()
+	waitGoroutines(t, baseline)
+}
+
+func TestVerdictDenialExplicitOnWire(t *testing.T) {
+	addr, _, _ := startServer(t, 5)
+	_, enc, r, ch := rawSession(t, addr)
+	// Answer everything wrong is not guaranteed, but all-zeros and
+	// all-ones cannot both be right; send all zeros and flip if approved.
+	resp := message{Type: "responses", Session: ch.Session, Responses: make([]uint8, len(ch.Challenges))}
+	if err := enc.Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	line, err := readLine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != "verdict" {
+		t.Fatalf("got %s frame, want verdict", m.Type)
+	}
+	// The denial fields must be spelled out on the wire, not omitted.
+	if !bytes.Contains(line, []byte(`"approved":`)) || !bytes.Contains(line, []byte(`"mismatches":`)) {
+		t.Errorf("verdict frame omits explicit fields: %s", line)
+	}
+	if !m.Approved && !bytes.Contains(line, []byte(`"approved":false`)) {
+		t.Errorf("denied verdict not explicit: %s", line)
+	}
+}
+
+func TestRetryClientRecoversFromTransientDialFailures(t *testing.T) {
+	addr, _, chip := startServer(t, 30)
+	dials := 0
+	var d net.Dialer
+	c := &Client{
+		Addr: addr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		Timeout: 5 * time.Second,
+		Policy:  RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		Jitter:  rng.New(1),
+		DialContext: func(ctx context.Context, network, a string) (net.Conn, error) {
+			dials++
+			if dials <= 2 {
+				return nil, errors.New("synthetic dial failure")
+			}
+			return d.DialContext(ctx, network, a)
+		},
+	}
+	res, err := c.Authenticate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Approved || res.Attempts != 3 {
+		t.Errorf("result %+v, want approved on attempt 3", res)
+	}
+}
+
+func TestTerminalErrorShortCircuitsRetries(t *testing.T) {
+	addr, _, chip := startServer(t, 10)
+	c := &Client{
+		Addr: addr, ChipID: "no-such-chip", Device: chip, Cond: silicon.Nominal,
+		Timeout: 5 * time.Second,
+		Policy:  RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+		Jitter:  rng.New(2),
+	}
+	res, err := c.Authenticate(context.Background())
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != CodeUnknownChip {
+		t.Fatalf("err = %v, want unknown_chip ProtocolError", err)
+	}
+	if Transient(err) {
+		t.Error("unknown_chip classified transient")
+	}
+	if res.Attempts != 1 {
+		t.Errorf("terminal error took %d attempts, want 1 (no retries burned)", res.Attempts)
+	}
+}
+
+func TestLockoutAfterConsecutiveDenials(t *testing.T) {
+	const k = 3
+	addr, srv, _ := startServer(t, 20)
+	srv.SetLockout(k)
+	impostor := silicon.NewChip(rng.New(999), silicon.DefaultParams(), 4)
+
+	for i := 0; i < k; i++ {
+		res, err := Authenticate(addr, "chip-A", impostor, silicon.Nominal, 5*time.Second)
+		if err != nil {
+			t.Fatalf("denial %d: %v", i+1, err)
+		}
+		if res.Approved {
+			t.Fatalf("impostor approved on attempt %d", i+1)
+		}
+	}
+	st := srv.ChipStatus("chip-A")
+	if !st.Locked || st.ConsecutiveDenials != k {
+		t.Fatalf("after %d denials: %+v, want locked", k, st)
+	}
+	burned := st.Issued
+
+	// The locked chip gets a terminal error and burns no challenges.
+	_, err := Authenticate(addr, "chip-A", impostor, silicon.Nominal, 5*time.Second)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != CodeLockedOut || pe.Retryable {
+		t.Fatalf("locked chip err = %v, want terminal locked_out", err)
+	}
+	if got := srv.ChipStatus("chip-A").Issued; got != burned {
+		t.Errorf("locked-out attempt burned challenges: %d → %d", burned, got)
+	}
+
+	// An operator unlock restores service.
+	if !srv.Unlock("chip-A") {
+		t.Fatal("Unlock reported chip not locked")
+	}
+	if _, err := Authenticate(addr, "chip-A", impostor, silicon.Nominal, 5*time.Second); err != nil {
+		t.Fatalf("after unlock: %v", err)
+	}
+}
+
+func TestThrottleEnforcesMinimumInterval(t *testing.T) {
+	addr, srv, chip := startServer(t, 10)
+	srv.SetThrottle(time.Hour)
+	if _, err := Authenticate(addr, "chip-A", chip, silicon.Nominal, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Authenticate(addr, "chip-A", chip, silicon.Nominal, 5*time.Second)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != CodeThrottled || !pe.Retryable {
+		t.Fatalf("err = %v, want retryable throttled", err)
+	}
+}
+
+func TestMaxConnsRefusesWithBusy(t *testing.T) {
+	addr, srv, chip := startServer(t, 10)
+	srv.SetMaxConns(1)
+	srv.SetTimeout(2 * time.Second)
+
+	// Occupy the only slot with a half-open session.
+	hog, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hog.Close()
+	if err := json.NewEncoder(hog).Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the hog's session reaches the server handler.
+	if _, err := readMessage(bufio.NewReader(hog), "challenges"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Authenticate(addr, "chip-A", chip, silicon.Nominal, 2*time.Second)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != CodeBusy || !pe.Retryable {
+		t.Fatalf("err = %v, want retryable busy", err)
+	}
+}
+
+func TestChallengeBudgetExhaustionIsTerminal(t *testing.T) {
+	chip := silicon.NewChip(rng.New(1), silicon.DefaultParams(), 4)
+	cfg := core.DefaultEnrollConfig()
+	cfg.TrainingSize = 2000
+	cfg.ValidationSize = 5000
+	enr, err := core.EnrollChip(chip, rng.New(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(60, 3)
+	srv.SetChallengeBudget(120) // exactly two sessions' worth
+	if err := srv.Register("chip-A", enr.Model); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(srv.Close)
+	addr := ln.Addr().String()
+
+	for i := 0; i < 2; i++ {
+		if _, err := Authenticate(addr, "chip-A", chip, silicon.Nominal, 5*time.Second); err != nil {
+			t.Fatalf("session %d: %v", i+1, err)
+		}
+	}
+	st := srv.ChipStatus("chip-A")
+	if st.Issued != 120 || st.Remaining != 0 {
+		t.Fatalf("budget accounting off: %+v", st)
+	}
+	_, err = Authenticate(addr, "chip-A", chip, silicon.Nominal, 5*time.Second)
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != CodeSelectionFailed || pe.Retryable {
+		t.Fatalf("err = %v, want terminal selection_failed", err)
+	}
+}
+
+func TestCloseForceClosesStragglers(t *testing.T) {
+	addr, srv, _ := startServer(t, 10)
+	srv.SetTimeout(time.Minute) // a straggler could hold a slot for ages
+	srv.SetDrainTimeout(200 * time.Millisecond)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Reach the handler, then go silent so the session is in flight.
+	if err := json.NewEncoder(conn).Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readMessage(bufio.NewReader(conn), "challenges"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	srv.Close()
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("Close took %v despite 200ms drain deadline", d)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	// A listener that accepts and then never answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+		}
+	}()
+	chip := silicon.NewChip(rng.New(1), silicon.DefaultParams(), 4)
+	c := &Client{
+		Addr: ln.Addr().String(), ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		Timeout: time.Minute, // cancellation, not the deadline, must end this
+		Policy:  RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		Jitter:  rng.New(3),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = c.Authenticate(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancellation took %v to take effect", d)
+	}
+}
+
+// Frame integrity: the faultnet chaos runs exposed that a corrupted byte
+// inside a JSON key can survive json decoding (invalid UTF-8 becomes
+// U+FFFD, unknown keys are dropped), turning line noise into a false
+// "approved":false verdict.  Every frame therefore carries a CRC32 and
+// decoding rejects unknown fields.
+func TestFrameIntegrity(t *testing.T) {
+	frame, err := encodeFrame(message{Type: "verdict", Approved: true, Mismatches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Untampered frames round-trip.
+	m, err := decodeFrame(bytes.TrimSuffix(frame, []byte{'\n'}))
+	if err != nil {
+		t.Fatalf("decodeFrame(untampered) = %v", err)
+	}
+	if !m.Approved || m.Mismatches != 3 {
+		t.Fatalf("round-trip lost fields: %+v", m)
+	}
+
+	// Tamper a digit of "mismatches" so the JSON still parses with only
+	// known fields — exactly the corruption json alone cannot catch.
+	tampered := bytes.Replace(frame, []byte(`"mismatches":3`), []byte(`"mismatches":7`), 1)
+	if bytes.Equal(tampered, frame) {
+		t.Fatal("tamper target not found in frame")
+	}
+	if _, err := decodeFrame(bytes.TrimSuffix(tampered, []byte{'\n'})); err == nil {
+		t.Fatal("decodeFrame accepted a tampered frame")
+	} else if !strings.Contains(err.Error(), "integrity") {
+		t.Fatalf("err = %v, want frame integrity failure", err)
+	}
+
+	// A key corrupted into an unknown field is rejected outright instead
+	// of silently dropped (the original false-DENIED failure mode).
+	mangled := bytes.Replace(frame, []byte(`"approved"`), []byte(`"app�oved"`), 1)
+	if _, err := decodeFrame(bytes.TrimSuffix(mangled, []byte{'\n'})); err == nil {
+		t.Fatal("decodeFrame accepted a frame with an unknown key")
+	}
+
+	// Legacy peers that omit crc are still accepted.
+	legacy := []byte(`{"type":"verdict","approved":true,"mismatches":0}`)
+	if m, err := decodeFrame(legacy); err != nil || !m.Approved {
+		t.Fatalf("decodeFrame(legacy, no crc) = %+v, %v", m, err)
+	}
+}
