@@ -10,6 +10,7 @@
 package xorpuf_test
 
 import (
+	"fmt"
 	"testing"
 
 	"xorpuf/internal/challenge"
@@ -17,6 +18,8 @@ import (
 	"xorpuf/internal/experiments"
 	"xorpuf/internal/keygen"
 	"xorpuf/internal/mlattack"
+	"xorpuf/internal/registry"
+	"xorpuf/internal/registry/fleet"
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
 	"xorpuf/internal/xorpuf"
@@ -409,6 +412,78 @@ func BenchmarkAblationLBFGSVsAdam(b *testing.B) {
 		b.ReportMetric(100*ad.TestAccuracy, "%acc-adam")
 		b.ReportMetric(float64(lr.TrainTime.Milliseconds()), "ms-lbfgs")
 		b.ReportMetric(float64(ad.TrainTime.Milliseconds()), "ms-adam")
+	}
+}
+
+// BenchmarkFleetEnrollment times the parallel manufacturing pipeline: a
+// worker pool fabricating, enrolling (soft-response measurement + regression
+// + thresholding), and registering a fleet of chips into a WAL-backed
+// persistent registry.  Metric: chips enrolled per second.
+func BenchmarkFleetEnrollment(b *testing.B) {
+	enrollCfg := core.DefaultEnrollConfig()
+	enrollCfg.TrainingSize = 400
+	enrollCfg.ValidationSize = 1500
+	const chips = 64
+	for i := 0; i < b.N; i++ {
+		reg, err := registry.Open(b.TempDir(), registry.Options{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := fleet.Run(fleet.Config{
+			Chips:    chips,
+			XORWidth: 2,
+			Seed:     uint64(i + 1),
+			Enroll:   enrollCfg,
+		}, reg)
+		if err != nil || rep.Enrolled != chips {
+			b.Fatalf("fleet.Run: %+v, %v", rep, err)
+		}
+		if err := reg.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.PerSecond, "chips/s")
+	}
+}
+
+// BenchmarkRegistryRecovery times restart recovery: reopening a registry
+// whose fleet (models + issued-challenge history) lives in a compacted
+// snapshot on disk.  This is the server-restart cost for a persisted fleet.
+func BenchmarkRegistryRecovery(b *testing.B) {
+	dir := b.TempDir()
+	enrollCfg := core.DefaultEnrollConfig()
+	enrollCfg.TrainingSize = 400
+	enrollCfg.ValidationSize = 1500
+	const chips = 128
+	reg, err := registry.Open(dir, registry.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := fleet.Run(fleet.Config{Chips: chips, XORWidth: 2, Seed: 1, Enroll: enrollCfg}, reg)
+	if err != nil || rep.Enrolled != chips {
+		b.Fatalf("fleet.Run: %+v, %v", rep, err)
+	}
+	for i := 0; i < chips; i++ {
+		if _, _, err := reg.Lookup(fmt.Sprintf("chip-%d", i)).Issue(20, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := reg.Close(); err != nil { // compacts into the snapshot
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := registry.Open(dir, registry.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Len() != chips {
+			b.Fatalf("recovered %d chips, want %d", r.Len(), chips)
+		}
+		b.StopTimer()
+		if err := r.Close(); err != nil { // rewrites an identical snapshot
+			b.Fatal(err)
+		}
+		b.StartTimer()
 	}
 }
 

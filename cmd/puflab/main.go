@@ -21,7 +21,11 @@
 //	campaign  dump a measurement dataset to CSV (-o, -corners)
 //	serve     run a TCP verification server over enrolled simulated chips
 //	          (-addr, -chips, -xor, -n, -lockout, -throttle, -maxconns,
-//	          -budget, -drain, and -fault-* chaos knobs)
+//	          -budget, -drain, -state, -workers, and -fault-* chaos knobs)
+//	fleet     benchmark the persistent chip registry at manufacturing scale:
+//	          parallel enrollment throughput, concurrent lookups/s, and
+//	          crash-recovery time (-chips, -workers, -xor, -dir, -budget,
+//	          -train, -validate, -lookups, -snap-every)
 //	auth      authenticate a simulated device against a serve instance
 //	          (-addr, -chip, -impostor, -sessions, -attempts, -base-delay,
 //	          -max-delay, and -fault-* chaos knobs)
@@ -63,6 +67,9 @@ func main() {
 		return
 	case "auth":
 		runAuth(os.Args[2:])
+		return
+	case "fleet":
+		runFleet(os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -220,5 +227,6 @@ func usage() {
 usage: puflab <experiment> [-full] [-seed N] [-csv]
 
 experiments: fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 metrics protocols avalanche campaign all
-network:     serve auth   (run "puflab serve -h" / "puflab auth -h" for the resilience and fault-injection knobs)`)
+network:     serve auth   (run "puflab serve -h" / "puflab auth -h" for the resilience and fault-injection knobs)
+fleet:       fleet        (persistent registry benchmark: enrollment throughput, lookups/s, recovery time)`)
 }

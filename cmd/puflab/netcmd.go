@@ -22,6 +22,8 @@ import (
 	"xorpuf/internal/core"
 	"xorpuf/internal/faultnet"
 	"xorpuf/internal/netauth"
+	"xorpuf/internal/registry"
+	"xorpuf/internal/registry/fleet"
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
 )
@@ -75,13 +77,28 @@ func runServe(args []string) {
 	lockout := fs.Int("lockout", 5, "consecutive denials before a chip is locked out (0 = off)")
 	throttle := fs.Duration("throttle", 0, "minimum interval between attempts per chip (0 = off)")
 	budget := fs.Int("budget", 0, "lifetime challenge budget per chip (0 = unlimited)")
+	state := fs.String("state", "", "registry state directory (empty = in-memory; set to survive restarts)")
+	workers := fs.Int("workers", 0, "enrollment worker-pool size (0 = GOMAXPROCS)")
 	fault := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
-	nc := netConfig{seed: *seed, xor: *xorWidth}
-	srv := netauth.NewServer(*n, *seed+1)
+	// The model database lives in a registry keyed by *seed+1 (selector
+	// streams); with -state it persists enrollments AND the never-reuse
+	// challenge history across server restarts.
+	openStart := time.Now()
+	reg, err := registry.Open(*state, registry.Options{Seed: *seed + 1})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "puflab serve: opening registry: %v\n", err)
+		os.Exit(1)
+	}
+	defer reg.Close()
+	if recovered := reg.Len(); recovered > 0 {
+		fmt.Printf("recovered %d chips from %s in %v\n",
+			recovered, *state, time.Since(openStart).Round(time.Millisecond))
+	}
+	srv := netauth.NewServerWithRegistry(*n, *seed+1, reg)
 	srv.SetTimeout(*timeout)
 	srv.SetDrainTimeout(*drain)
 	srv.SetMaxConns(*maxConns)
@@ -89,24 +106,22 @@ func runServe(args []string) {
 	srv.SetThrottle(*throttle)
 	srv.SetChallengeBudget(*budget)
 
-	enrollCfg := core.DefaultEnrollConfig()
-	for i := 0; i < *chips; i++ {
-		chip := nc.chip(i, false)
-		start := time.Now()
-		enr, err := core.EnrollChip(chip, rng.New(*seed).Fork("enroll", i), enrollCfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "puflab serve: enrolling chip-%d: %v\n", i, err)
-			os.Exit(1)
-		}
-		id := fmt.Sprintf("chip-%d", i)
-		if err := srv.Register(id, enr.Model); err != nil {
-			fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("enrolled %s (%d-XOR, β0=%.2f β1=%.2f) in %v\n",
-			id, *xorWidth, enr.Model.Beta0, enr.Model.Beta1,
-			time.Since(start).Round(time.Millisecond))
+	rep, err := fleet.Run(fleet.Config{
+		Chips:        *chips,
+		Workers:      *workers,
+		XORWidth:     *xorWidth,
+		Seed:         *seed,
+		Enroll:       core.DefaultEnrollConfig(),
+		Budget:       *budget,
+		SkipExisting: true, // resume over recovered state
+		Progress:     fleetProgress(*chips),
+	}, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "puflab serve: fleet enrollment: %v\n", err)
+		os.Exit(1)
 	}
+	fmt.Printf("enrolled %d chips (%d already present) in %v — %.1f chips/s\n",
+		rep.Enrolled, rep.Skipped, rep.Duration.Round(time.Millisecond), rep.PerSecond)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/rng"
@@ -71,6 +72,53 @@ type ErrBudgetExhausted struct {
 func (e *ErrBudgetExhausted) Error() string {
 	return fmt.Sprintf("core: challenge budget exhausted: %d issued of %d, cannot issue %d more",
 		e.Issued, e.Budget, e.Wanted)
+}
+
+// SelectorState is the portable persistent state of a Selector: everything a
+// verifier must retain across process lifetimes to keep the never-reuse
+// guarantee.  The rng stream deliberately is NOT part of the state — a
+// restarted selector may regenerate old candidate challenges, but the Used
+// set filters them out, so no challenge is ever issued twice.
+type SelectorState struct {
+	// Used holds the Word() keys of every challenge ever issued, sorted
+	// ascending so that equal states serialize identically.
+	Used []uint64
+	// Budget is the lifetime issuance cap (0 = unlimited).
+	Budget int
+}
+
+// ExportState returns a deterministic snapshot of the selector's
+// issued-challenge set and budget.
+func (s *Selector) ExportState() SelectorState {
+	words := make([]uint64, 0, len(s.used))
+	for w := range s.used {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool { return words[i] < words[j] })
+	return SelectorState{Used: words, Budget: s.budget}
+}
+
+// ImportState replaces the selector's issued set and budget with st —
+// typically state exported by an earlier process lifetime.
+func (s *Selector) ImportState(st SelectorState) {
+	used := make(map[uint64]struct{}, len(st.Used))
+	for _, w := range st.Used {
+		used[w] = struct{}{}
+	}
+	s.used = used
+	s.budget = st.Budget
+	if s.budget < 0 {
+		s.budget = 0
+	}
+}
+
+// MarkUsed records challenge words as already issued without generating
+// anything — the hook for replaying an issuance journal over an imported
+// snapshot.  Marking a word twice is harmless.
+func (s *Selector) MarkUsed(words ...uint64) {
+	for _, w := range words {
+		s.used[w] = struct{}{}
+	}
 }
 
 // Next returns count fresh predicted-stable challenges and their predicted

@@ -39,18 +39,55 @@ type CRP struct {
 // ErrBadFormat is returned when decoding input that is not a CRP database.
 var ErrBadFormat = errors.New("crpstore: not a CRP database")
 
-// maxCount bounds decoded databases (1 GiB of packed 64-stage challenges);
-// it exists so a corrupted header cannot trigger an absurd allocation.
+// maxCount bounds databases in both directions (1 GiB of packed 64-stage
+// challenges): on decode so a corrupted header cannot trigger an absurd
+// allocation, on encode so the count always fits the header's uint32 — a
+// larger slice would silently truncate the count field and every reader
+// would mis-frame the records that follow.
 const maxCount = 1 << 27
 
-// Write encodes the CRPs to w.  All challenges must share the same length.
-func Write(w io.Writer, crps []CRP) error {
-	if len(crps) == 0 {
+// checkCount validates a record count against the format's limits.
+func checkCount(n int) error {
+	switch {
+	case n == 0:
 		return errors.New("crpstore: refusing to write an empty database")
+	case n > maxCount:
+		return fmt.Errorf("crpstore: %d records exceed the format limit %d", n, maxCount)
+	}
+	return nil
+}
+
+// validateRecords checks every record against the header geometry before
+// anything is written, so a bad record cannot leave a torn database behind.
+func validateRecords(crps []CRP, stages int) error {
+	for i, crp := range crps {
+		if len(crp.Challenge) != stages {
+			return fmt.Errorf("crpstore: record %d has %d stages, want %d", i, len(crp.Challenge), stages)
+		}
+		for _, b := range crp.Challenge {
+			if b > 1 {
+				return fmt.Errorf("crpstore: record %d has invalid challenge bit %d", i, b)
+			}
+		}
+		if crp.Response > 1 {
+			return fmt.Errorf("crpstore: record %d has invalid response %d", i, crp.Response)
+		}
+	}
+	return nil
+}
+
+// Write encodes the CRPs to w.  All challenges must share the same length.
+// Validation happens up front: on error, nothing has been written.
+func Write(w io.Writer, crps []CRP) error {
+	if err := checkCount(len(crps)); err != nil {
+		return err
 	}
 	stages := len(crps[0].Challenge)
 	if stages == 0 || stages > 65535 {
 		return fmt.Errorf("crpstore: unsupported challenge length %d", stages)
+	}
+	if err := validateRecords(crps, stages); err != nil {
+		return err
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
@@ -64,17 +101,11 @@ func Write(w io.Writer, crps []CRP) error {
 	}
 	chalBytes := (stages + 7) / 8
 	buf := make([]byte, chalBytes)
-	for i, crp := range crps {
-		if len(crp.Challenge) != stages {
-			return fmt.Errorf("crpstore: record %d has %d stages, want %d", i, len(crp.Challenge), stages)
-		}
+	for _, crp := range crps {
 		for j := range buf {
 			buf[j] = 0
 		}
 		for j, b := range crp.Challenge {
-			if b > 1 {
-				return fmt.Errorf("crpstore: record %d has invalid challenge bit %d", i, b)
-			}
 			buf[j/8] |= b << uint(j%8)
 		}
 		if _, err := bw.Write(buf); err != nil {
@@ -83,9 +114,6 @@ func Write(w io.Writer, crps []CRP) error {
 	}
 	respBytes := make([]byte, (len(crps)+7)/8)
 	for i, crp := range crps {
-		if crp.Response > 1 {
-			return fmt.Errorf("crpstore: record %d has invalid response %d", i, crp.Response)
-		}
 		respBytes[i/8] |= crp.Response << uint(i%8)
 	}
 	if _, err := bw.Write(respBytes); err != nil {

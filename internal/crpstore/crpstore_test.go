@@ -176,3 +176,47 @@ func BenchmarkRead10k(b *testing.B) {
 		}
 	}
 }
+
+func TestWriteRejectsOverflowingCounts(t *testing.T) {
+	// A count beyond maxCount would truncate in the header's uint32 (or at
+	// best produce a database Read refuses), so Write must reject it.  The
+	// slice itself would be hundreds of GiB, so the check is exercised
+	// through the same helper Write calls.
+	for _, n := range []int{maxCount + 1, 1 << 32, (1 << 32) + 5} {
+		if err := checkCount(n); err == nil {
+			t.Errorf("count %d accepted, want rejection", n)
+		}
+	}
+	if err := checkCount(0); err == nil {
+		t.Error("count 0 accepted, want rejection")
+	}
+	for _, n := range []int{1, 1000, maxCount} {
+		if err := checkCount(n); err != nil {
+			t.Errorf("count %d rejected: %v", n, err)
+		}
+	}
+}
+
+func TestWriteValidatesBeforeWriting(t *testing.T) {
+	// A record whose stage width disagrees with the header must fail the
+	// whole Write with NOTHING emitted — a torn database that parses up to
+	// the bad record is worse than no database.
+	crps := randomCRPs(5, 5, 16)
+	crps[3].Challenge = challenge.Challenge{1, 0, 1} // width 3, header says 16
+	var buf bytes.Buffer
+	if err := Write(&buf, crps); err == nil {
+		t.Fatal("stage-width mismatch accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed Write left %d bytes behind", buf.Len())
+	}
+	crps = randomCRPs(6, 6, 16)
+	crps[5].Response = 7
+	buf.Reset()
+	if err := Write(&buf, crps); err == nil {
+		t.Fatal("invalid response accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed Write left %d bytes behind", buf.Len())
+	}
+}

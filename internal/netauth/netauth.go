@@ -66,6 +66,7 @@ import (
 
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/core"
+	"xorpuf/internal/registry"
 	"xorpuf/internal/rng"
 )
 
@@ -173,8 +174,10 @@ func (e *ProtocolError) Error() string {
 	return fmt.Sprintf("netauth: server error [%s, %s]: %s", e.Code, kind, e.Message)
 }
 
-// Server is the verification authority: it owns the enrolled model database
-// and decides authentications.
+// Server is the verification authority: it decides authentications against
+// an enrolled model database held in a registry.Registry — a sharded,
+// optionally persistent store whose WAL keeps both the enrollments and the
+// never-reuse challenge history alive across server restarts.
 type Server struct {
 	numChallenges int
 
@@ -187,7 +190,8 @@ type Server struct {
 	budget     int
 	now        func() time.Time
 
-	db      map[string]*chipEntry
+	reg     *registry.Registry
+	ownReg  bool // Close also closes reg when the server created it
 	selSrc  *rng.Source
 	ln      net.Listener
 	closed  bool
@@ -201,37 +205,47 @@ type Server struct {
 	}
 }
 
-// NewServer creates a server that authenticates with numChallenges CRPs per
-// decision.  seed drives challenge selection.  Throttling, lockout, the
-// connection cap, and the per-chip challenge budget are off by default;
-// enable them with the setters before Serve.
+// NewServer creates a server with a volatile in-memory model database that
+// authenticates with numChallenges CRPs per decision.  seed drives challenge
+// selection and session IDs.  Throttling, lockout, the connection cap, and
+// the per-chip challenge budget are off by default; enable them with the
+// setters before Serve.  For a database that survives restarts, open a
+// persistent registry.Registry and use NewServerWithRegistry.
 func NewServer(numChallenges int, seed uint64) *Server {
+	reg, err := registry.Open("", registry.Options{Seed: seed})
+	if err != nil {
+		panic("netauth: in-memory registry open failed: " + err.Error())
+	}
+	s := NewServerWithRegistry(numChallenges, seed, reg)
+	s.ownReg = true
+	return s
+}
+
+// NewServerWithRegistry creates a server over an existing registry —
+// typically one recovered from disk with enrollments (and issued-challenge
+// state) from a previous process lifetime, or filled by the fleet pipeline.
+// seed drives session IDs.  The caller keeps ownership of reg: Close drains
+// connections but leaves reg open.
+func NewServerWithRegistry(numChallenges int, seed uint64, reg *registry.Registry) *Server {
 	if numChallenges <= 0 {
 		panic("netauth: numChallenges must be positive")
+	}
+	if reg == nil {
+		panic("netauth: nil registry")
 	}
 	return &Server{
 		numChallenges: numChallenges,
 		msgTimeout:    10 * time.Second,
 		drain:         5 * time.Second,
 		now:           time.Now,
-		db:            make(map[string]*chipEntry),
+		reg:           reg,
 		active:        make(map[net.Conn]struct{}),
 		selSrc:        rng.New(seed),
 	}
 }
 
-// chipEntry pairs a registered model with its stateful challenge selector,
-// which guarantees (paper Fig 7 "Record challenge") that no challenge is
-// ever issued twice for the same chip, plus the per-chip abuse-control
-// state.
-type chipEntry struct {
-	model    *core.ChipModel
-	selector *core.Selector
-
-	lastAttempt        time.Time
-	consecutiveDenials int
-	locked             bool
-}
+// Registry exposes the backing model database (for operator tooling).
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // SetTimeout changes the per-message I/O deadline (default 10 s).  Unlike a
 // per-connection deadline, a slow client cannot bank unused time from one
@@ -287,20 +301,28 @@ func (s *Server) SetChallengeBudget(n int) {
 	s.budget = n
 }
 
-// Register adds an enrolled chip model under an identifier.
+// Register adds an enrolled chip model under an identifier, applying the
+// server's per-chip challenge budget.  When the backing registry is
+// persistent, the registration is journaled before Register returns.
 func (s *Server) Register(chipID string, model *core.ChipModel) error {
-	if chipID == "" || model == nil || model.Width() == 0 {
-		return errors.New("netauth: invalid registration")
-	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.db[chipID]; dup {
-		return fmt.Errorf("netauth: chip %q already registered", chipID)
+	budget := s.budget
+	s.mu.Unlock()
+	if err := s.reg.Register(chipID, model, budget); err != nil {
+		if errors.Is(err, registry.ErrDuplicate) {
+			return fmt.Errorf("netauth: chip %q already registered", chipID)
+		}
+		return fmt.Errorf("netauth: %w", err)
 	}
-	sel := core.NewSelector(model, s.selSrc.Split("chip-"+chipID))
-	sel.SetBudget(s.budget)
-	s.db[chipID] = &chipEntry{model: model, selector: sel}
 	return nil
+}
+
+// Deregister revokes a chip's enrollment: subsequent authentication attempts
+// fail with unknown_chip.  It reports whether the chip was registered.  Use
+// it to retire distrusted or budget-exhausted silicon without restarting the
+// server.
+func (s *Server) Deregister(chipID string) bool {
+	return s.reg.Deregister(chipID)
 }
 
 // ChipStatus is the server's per-chip abuse-control and budget accounting.
@@ -319,33 +341,25 @@ type ChipStatus struct {
 
 // ChipStatus reports the abuse-control state of a registered chip.
 func (s *Server) ChipStatus(chipID string) ChipStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.db[chipID]
+	e := s.reg.Lookup(chipID)
 	if e == nil {
 		return ChipStatus{}
 	}
+	st := e.Status()
 	return ChipStatus{
 		Registered:         true,
-		Issued:             e.selector.Issued(),
-		Remaining:          e.selector.Remaining(),
-		ConsecutiveDenials: e.consecutiveDenials,
-		Locked:             e.locked,
+		Issued:             st.Issued,
+		Remaining:          st.Remaining,
+		ConsecutiveDenials: st.Denials,
+		Locked:             st.Locked,
 	}
 }
 
 // Unlock lifts a chip's lockout (an operator decision after investigating
 // the denial streak).  It reports whether the chip was locked.
 func (s *Server) Unlock(chipID string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e := s.db[chipID]
-	if e == nil || !e.locked {
-		return false
-	}
-	e.locked = false
-	e.consecutiveDenials = 0
-	return true
+	e := s.reg.Lookup(chipID)
+	return e != nil && e.Unlock()
 }
 
 // Stats returns the approved/denied decision counts so far.
@@ -434,6 +448,9 @@ func (s *Server) Close() {
 		s.mu.Unlock()
 		<-done
 	}
+	if s.ownReg {
+		_ = s.reg.Close()
+	}
 }
 
 // writeMsg sends one frame under the per-message write deadline.
@@ -475,25 +492,21 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
-	// Admission control, all under one lock: existence, throttle, lockout.
+	// Admission control: existence, lockout, throttle.  The per-chip state
+	// lives in the registry entry, so sessions for different chips contend
+	// only on their own entry (and shard), not a global lock.
 	s.mu.Lock()
-	entry := s.db[hello.ChipID]
 	lockoutK := s.lockoutK
-	var throttled, locked bool
-	if entry != nil {
-		now := s.now()
-		throttled = s.throttle > 0 && !entry.lastAttempt.IsZero() &&
-			now.Sub(entry.lastAttempt) < s.throttle
-		if !throttled {
-			entry.lastAttempt = now
-		}
-		locked = entry.locked
-	}
+	throttle := s.throttle
+	now := s.now()
 	s.mu.Unlock()
-	switch {
-	case entry == nil:
+	entry := s.reg.Lookup(hello.ChipID)
+	if entry == nil {
 		fail(CodeUnknownChip, false, "unknown chip %q", hello.ChipID)
 		return
+	}
+	locked, throttled := entry.Admit(now, throttle)
+	switch {
 	case locked:
 		fail(CodeLockedOut, false, "chip %q is locked out after %d consecutive denials",
 			hello.ChipID, lockoutK)
@@ -503,12 +516,14 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
-	// Select fresh, never-reused challenges and predict responses
-	// (paper Fig 7 left box, including the "Record challenge" step).
+	// Select fresh, never-reused challenges and predict responses (paper
+	// Fig 7 left box, including the "Record challenge" step — Issue journals
+	// the drawn words before handing them out, so the never-reuse guarantee
+	// survives a crash mid-session).
 	s.mu.Lock()
 	session := fmt.Sprintf("%016x", s.selSrc.Uint64())
-	cs, predicted, err := entry.selector.Next(s.numChallenges, 0)
 	s.mu.Unlock()
+	cs, predicted, err := entry.Issue(s.numChallenges, 0)
 	if err != nil {
 		fail(CodeSelectionFailed, false, "challenge selection failed: %v", err)
 		return
@@ -545,16 +560,12 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 	approved := mismatches == 0 // the paper's zero-HD criterion
+	entry.Verdict(approved, lockoutK)
 	s.mu.Lock()
 	if approved {
 		s.decisions.approved++
-		entry.consecutiveDenials = 0
 	} else {
 		s.decisions.denied++
-		entry.consecutiveDenials++
-		if s.lockoutK > 0 && entry.consecutiveDenials >= s.lockoutK {
-			entry.locked = true
-		}
 	}
 	s.mu.Unlock()
 	_ = s.writeMsg(conn, message{Type: "verdict", Approved: approved, Mismatches: mismatches})

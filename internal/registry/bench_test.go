@@ -1,0 +1,188 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+)
+
+// singleMutexDB is the pre-registry design netauth used: one flat map behind
+// one mutex.  It exists here only as the benchmark baseline the sharded
+// registry is measured against.
+type singleMutexDB struct {
+	mu sync.Mutex
+	m  map[string]*singleMutexEntry
+}
+
+type singleMutexEntry struct {
+	model    *core.ChipModel
+	selector *core.Selector
+	denials  int
+	locked   bool
+}
+
+func newSingleMutexDB(n int, model *core.ChipModel) *singleMutexDB {
+	db := &singleMutexDB{m: make(map[string]*singleMutexEntry, n)}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("chip-%d", i)
+		db.m[id] = &singleMutexEntry{
+			model:    model,
+			selector: core.NewSelector(model, rng.New(1).Split("chip-"+id)),
+		}
+	}
+	return db
+}
+
+// status mirrors what netauth's admission + ChipStatus path reads per
+// authentication: entry existence, issuance accounting, abuse flags — all
+// under the one global lock.
+func (db *singleMutexDB) status(id string) (Status, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e := db.m[id]
+	if e == nil {
+		return Status{}, false
+	}
+	return Status{
+		Issued:    e.selector.Issued(),
+		Remaining: e.selector.Remaining(),
+		Denials:   e.denials,
+		Locked:    e.locked,
+	}, true
+}
+
+const benchFleetSize = 4096
+
+func benchRegistry(b *testing.B, shards int) *Registry {
+	b.Helper()
+	r, err := Open("", Options{Seed: 1, Shards: shards})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	model := syntheticModel(2, 32)
+	for i := 0; i < benchFleetSize; i++ {
+		if err := r.Register(fmt.Sprintf("chip-%d", i), model, 0); err != nil {
+			b.Fatalf("Register: %v", err)
+		}
+	}
+	return r
+}
+
+// The benchmarks pair each contended server operation across the two
+// designs: the old flat map behind one global mutex, and the sharded
+// registry with per-entry locks.  The sharded win is a function of hardware
+// parallelism — on a single-core runner the two tie (with the sharded store
+// paying one extra uncontended lock), so compare with e.g.
+//
+//	go test -bench 'Status|Issue' -cpu 8 ./internal/registry/
+//
+// on a multi-core machine, where the global mutex serializes every session
+// behind every other session's selection work.
+
+// BenchmarkStatusSingleMutex vs BenchmarkStatusSharded measure the per-auth
+// admission read path (lookup + status) under parallel load — the contended
+// operation a verification server performs once per session.
+func BenchmarkStatusSingleMutex(b *testing.B) {
+	db := newSingleMutexDB(benchFleetSize, syntheticModel(2, 32))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			id := fmt.Sprintf("chip-%d", i%benchFleetSize)
+			if _, ok := db.status(id); !ok {
+				b.Fatal("missing entry")
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkStatusSharded(b *testing.B) {
+	r := benchRegistry(b, 64)
+	defer r.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			e := r.Lookup(fmt.Sprintf("chip-%d", i%benchFleetSize))
+			if e == nil {
+				b.Fatal("missing entry")
+			}
+			_ = e.Status()
+			i++
+		}
+	})
+}
+
+// BenchmarkLookupSharded isolates the hash + shard-read itself.
+func BenchmarkLookupSharded(b *testing.B) {
+	r := benchRegistry(b, 64)
+	defer r.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if r.Lookup(fmt.Sprintf("chip-%d", i%benchFleetSize)) == nil {
+				b.Fatal("missing entry")
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkIssueSingleMutex reproduces the old netauth critical section:
+// the ONE global mutex is held for the entire challenge selection (candidate
+// generation + model prediction), so concurrent sessions for different chips
+// fully serialize.
+func BenchmarkIssueSingleMutex(b *testing.B) {
+	db := newSingleMutexDB(benchFleetSize, syntheticModel(2, 32))
+	var next int64
+	var seed sync.Mutex
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		seed.Lock()
+		worker := next
+		next++
+		seed.Unlock()
+		i := int(worker)
+		for pb.Next() {
+			id := fmt.Sprintf("chip-%d", i%benchFleetSize)
+			db.mu.Lock()
+			e := db.m[id]
+			_, _, err := e.selector.Next(1, 0)
+			db.mu.Unlock()
+			if err != nil {
+				b.Fatalf("Next: %v", err)
+			}
+			i += 16 // stride so workers touch different entries
+		}
+	})
+}
+
+// BenchmarkIssueSharded measures the same issuance (selection + never-reuse
+// bookkeeping) on the registry, where only the chip's own entry lock is held
+// — different chips never serialize.
+func BenchmarkIssueSharded(b *testing.B) {
+	r := benchRegistry(b, 64)
+	defer r.Close()
+	var next int64
+	var seed sync.Mutex
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		seed.Lock()
+		worker := next
+		next++
+		seed.Unlock()
+		i := int(worker)
+		for pb.Next() {
+			e := r.Lookup(fmt.Sprintf("chip-%d", i%benchFleetSize))
+			if _, _, err := e.Issue(1, 0); err != nil {
+				b.Fatalf("Issue: %v", err)
+			}
+			i += 16 // stride so workers touch different entries
+		}
+	})
+}

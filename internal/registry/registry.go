@@ -1,0 +1,403 @@
+// Package registry is the verification server's chip-model database at fleet
+// scale: a sharded concurrent in-memory store of enrolled core.ChipModels
+// and their stateful challenge selectors, made durable by an append-only WAL
+// of mutations with periodic compacted snapshots.
+//
+// The paper's Fig 7 protocol has the server hold a "model database" and
+// *record every issued challenge* so none is reused.  Both halves of that
+// state are security-critical across process lifetimes: losing enrollments
+// is an availability failure, but losing the used-challenge sets silently
+// re-arms replay — a restarted verifier would hand an eavesdropper the same
+// challenge twice, exactly what the zero-HD protocol's never-reuse rule
+// exists to prevent.  The registry therefore journals challenge issuance
+// (and lockout transitions) alongside registrations, and crash recovery
+// replays the journal over the latest snapshot, so the guarantee holds
+// through kill -9.
+//
+// Concurrency: chip IDs are fnv-1a-sharded over N independent RWMutex-guarded
+// maps, so lookups from thousands of concurrent authentication sessions
+// never contend on one global lock (the sharded-vs-single-mutex benchmark
+// quantifies the win).  Each entry additionally owns a mutex for its mutable
+// per-chip state, so two sessions for different chips never serialize.
+//
+// Lock order (must hold everywhere): opmu → shard.mu / Entry.mu → pmu.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+)
+
+// ErrDuplicate is returned when registering a chip ID that already exists.
+var ErrDuplicate = errors.New("registry: chip already registered")
+
+// ErrClosed is returned for mutations after Close.
+var ErrClosed = errors.New("registry: closed")
+
+// Options configures a Registry.
+type Options struct {
+	// Seed drives per-chip challenge-generation streams.  A restarted
+	// registry opened with the same seed regenerates the same candidate
+	// streams; the persisted used-challenge sets filter out everything
+	// already issued, so determinism costs nothing in security.
+	Seed uint64
+	// Shards is the shard count, rounded up to a power of two (default 64).
+	Shards int
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// journal records (0 = default 4096; negative = never auto-compact,
+	// Compact must be called explicitly).
+	SnapshotEvery int
+	// Fsync forces an fsync per WAL append.  Off by default: appends are
+	// still single write syscalls (data survives process death), fsync
+	// additionally survives OS/power failure at a large throughput cost.
+	Fsync bool
+}
+
+func (o Options) normalized() Options {
+	if o.Shards <= 0 {
+		o.Shards = 64
+	}
+	n := 1
+	for n < o.Shards {
+		n <<= 1
+	}
+	o.Shards = n
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 4096
+	}
+	return o
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string]*Entry
+}
+
+// Registry is a persistent sharded chip-model store.  All methods are safe
+// for concurrent use.
+type Registry struct {
+	opts Options
+
+	shards []shard
+	mask   uint64
+
+	// opmu is held R by every mutating operation and W by Compact/Close,
+	// so compaction observes a quiescent store without stopping reads.
+	opmu sync.RWMutex
+
+	// pmu serializes WAL appends and sequence-number assignment.
+	pmu       sync.Mutex
+	dir       string
+	wal       *walFile
+	seq       uint64
+	sinceSnap int
+
+	closed     atomic.Bool
+	compacting atomic.Bool
+}
+
+// Open creates or recovers a registry.  dir == "" yields a volatile
+// in-memory registry (no WAL, no snapshots) that never fails to open;
+// otherwise dir is created if needed, the latest snapshot is loaded, and the
+// WAL tail is replayed over it.
+func Open(dir string, opts Options) (*Registry, error) {
+	r := &Registry{opts: opts.normalized(), dir: dir}
+	r.shards = make([]shard, r.opts.Shards)
+	r.mask = uint64(r.opts.Shards - 1)
+	for i := range r.shards {
+		r.shards[i].m = make(map[string]*Entry)
+	}
+	if dir == "" {
+		return r, nil
+	}
+	if err := r.recover(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// fnv-1a over the chip ID picks the shard; inlined so the hot lookup path
+// allocates nothing.
+func (r *Registry) shard(id string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &r.shards[h&r.mask]
+}
+
+func (r *Registry) newSelector(id string, model *core.ChipModel) *core.Selector {
+	// Fresh parent per chip, so streams are independent of registration
+	// order and reproducible after restart.
+	return core.NewSelector(model, rng.New(r.opts.Seed).Split("chip-"+id))
+}
+
+// Register adds an enrolled chip model under id with a lifetime challenge
+// budget (0 = unlimited), durably journaling the registration.
+func (r *Registry) Register(id string, model *core.ChipModel, budget int) error {
+	switch {
+	case id == "" || len(id) > maxIDLen:
+		return fmt.Errorf("registry: invalid chip ID %q", id)
+	case model == nil || model.Width() == 0:
+		return errors.New("registry: nil or empty model")
+	case model.Width() > maxWidth || model.Stages() < 1 || model.Stages() > maxStages:
+		return fmt.Errorf("registry: unsupported model geometry %d×%d", model.Width(), model.Stages())
+	}
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	r.opmu.RLock()
+	defer r.opmu.RUnlock()
+	sel := r.newSelector(id, model)
+	sel.SetBudget(budget)
+	e := &Entry{id: id, reg: r, model: model, selector: sel}
+	sh := r.shard(id)
+	sh.mu.Lock()
+	if _, dup := sh.m[id]; dup {
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrDuplicate, id)
+	}
+	sh.m[id] = e
+	sh.mu.Unlock()
+	if err := r.appendRecord(recRegister, registerPayload(id, budget, model)); err != nil {
+		// Not durable — roll back visibility so callers can retry.
+		sh.mu.Lock()
+		delete(sh.m, id)
+		sh.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Lookup returns the live entry for id, or nil.
+func (r *Registry) Lookup(id string) *Entry {
+	sh := r.shard(id)
+	sh.mu.RLock()
+	e := sh.m[id]
+	sh.mu.RUnlock()
+	return e
+}
+
+// Deregister revokes a chip's enrollment (journaled), reporting whether the
+// chip was registered.  A deregistered chip's used-challenge history is
+// dropped with it; re-registering the same ID starts a fresh selector, so
+// revoked IDs should not be recycled for distrusted silicon.
+func (r *Registry) Deregister(id string) bool {
+	if r.closed.Load() {
+		return false
+	}
+	r.opmu.RLock()
+	defer r.opmu.RUnlock()
+	sh := r.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.m[id]
+	delete(sh.m, id)
+	sh.mu.Unlock()
+	if ok {
+		_ = r.appendRecord(recDeregister, appendString(nil, id))
+	}
+	return ok
+}
+
+// Len returns the number of registered chips.
+func (r *Registry) Len() int {
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Close compacts (when persistent) and releases the WAL.  A registry that is
+// killed without Close loses nothing — recovery replays the WAL — Close just
+// makes the next Open a pure snapshot load.
+func (r *Registry) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	r.opmu.Lock()
+	defer r.opmu.Unlock()
+	if r.wal == nil {
+		return nil
+	}
+	cerr := r.compactLocked()
+	werr := r.wal.close()
+	r.wal = nil
+	if cerr != nil {
+		return cerr
+	}
+	return werr
+}
+
+// Status is a point-in-time snapshot of one chip's accounting.
+type Status struct {
+	// Issued is how many distinct challenges the chip has burned.
+	Issued int
+	// Remaining is the unissued remainder of the budget, or -1 if
+	// unbudgeted.
+	Remaining int
+	// Denials counts denied verdicts since the last approval.
+	Denials int
+	// Locked reports whether the chip is quarantined.
+	Locked bool
+}
+
+// Entry is one live registered chip.  All methods are safe for concurrent
+// use; per-entry state is guarded by the entry's own mutex so sessions for
+// different chips never serialize on each other.
+type Entry struct {
+	id  string
+	reg *Registry
+
+	mu          sync.Mutex
+	model       *core.ChipModel
+	selector    *core.Selector
+	lastAttempt time.Time
+	denials     int
+	locked      bool
+}
+
+// ID returns the chip identifier.
+func (e *Entry) ID() string { return e.id }
+
+// Model returns the enrolled chip model.  The model is immutable after
+// registration.
+func (e *Entry) Model() *core.ChipModel { return e.model }
+
+// Status reports the chip's current accounting.
+func (e *Entry) Status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Status{
+		Issued:    e.selector.Issued(),
+		Remaining: e.selector.Remaining(),
+		Denials:   e.denials,
+		Locked:    e.locked,
+	}
+}
+
+// Admit performs per-chip admission control for one authentication attempt:
+// it reports the lockout flag and whether the attempt violates the throttle
+// interval, recording the attempt time when it does not.  The attempt
+// timestamp is deliberately volatile (not journaled): a restart reopens the
+// throttle window, which is harmless — lockout, the security-critical flag,
+// is durable.
+func (e *Entry) Admit(now time.Time, throttle time.Duration) (locked, throttled bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	throttled = throttle > 0 && !e.lastAttempt.IsZero() && now.Sub(e.lastAttempt) < throttle
+	if !throttled {
+		e.lastAttempt = now
+	}
+	return e.locked, throttled
+}
+
+// Issue draws fresh never-reused challenges from the chip's selector and
+// journals their identities before returning, so the never-reuse guarantee
+// survives a crash between issuance and the device's answer.  On selection
+// failure any partially recorded challenges are still journaled — they are
+// burned either way.
+func (e *Entry) Issue(count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
+	if e.reg.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	e.reg.opmu.RLock()
+	defer e.reg.opmu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cs, bits, err := e.selector.Next(count, maxExamined)
+	if len(cs) > 0 {
+		payload := appendString(nil, e.id)
+		payload = appendU32(payload, uint32(len(cs)))
+		for _, c := range cs {
+			payload = appendU64(payload, c.Word())
+		}
+		if werr := e.reg.appendRecord(recIssued, payload); werr != nil {
+			// The words are recorded in memory but not durable; refuse to
+			// hand them out.  Conservative: challenges burn, none reissue.
+			return nil, nil, werr
+		}
+	}
+	return cs, bits, err
+}
+
+// Verdict records the outcome of one authentication: an approval clears the
+// denial streak, a denial extends it and — with lockoutK > 0 — quarantines
+// the chip at K consecutive denials.  The resulting streak and lockout flag
+// are journaled.  It returns whether the chip is now locked.
+func (e *Entry) Verdict(approved bool, lockoutK int) bool {
+	e.reg.opmu.RLock()
+	defer e.reg.opmu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if approved {
+		e.denials = 0
+	} else {
+		e.denials++
+		if lockoutK > 0 && e.denials >= lockoutK {
+			e.locked = true
+		}
+	}
+	// A journal failure here degrades durability of the abuse counters
+	// only; the in-memory lockout still enforces, so don't fail the
+	// already-decided verdict.
+	_ = e.reg.appendRecord(recAbuse, abusePayload(e.id, e.denials, e.locked))
+	return e.locked
+}
+
+// Unlock lifts a lockout (an operator decision), journaled.  It reports
+// whether the chip was locked.
+func (e *Entry) Unlock() bool {
+	e.reg.opmu.RLock()
+	defer e.reg.opmu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.locked {
+		return false
+	}
+	e.locked = false
+	e.denials = 0
+	_ = e.reg.appendRecord(recAbuse, abusePayload(e.id, 0, false))
+	return true
+}
+
+func registerPayload(id string, budget int, model *core.ChipModel) []byte {
+	b := appendString(nil, id)
+	b = appendU32(b, uint32(budget))
+	return appendModel(b, model)
+}
+
+func abusePayload(id string, denials int, locked bool) []byte {
+	b := appendString(nil, id)
+	b = appendU32(b, uint32(denials))
+	if locked {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// install places a recovered entry into its shard (recovery is
+// single-threaded; no locks needed, but take them for uniformity).
+func (r *Registry) install(e *Entry) {
+	sh := r.shard(e.id)
+	sh.mu.Lock()
+	sh.m[e.id] = e
+	sh.mu.Unlock()
+}

@@ -1,0 +1,400 @@
+// Durability layer: an append-only write-ahead log of registry mutations
+// plus periodically compacted snapshots, in the crpstore binary format
+// family.
+//
+// WAL file ("registry.wal"):
+//
+//	magic   [4]byte  "XPW1"
+//	records, each:
+//	  seq     uint64   strictly increasing across the registry's lifetime
+//	  type    uint8    rec* constant
+//	  len     uint32   payload byte count
+//	  payload len bytes
+//	  crc     uint32   IEEE CRC32 over seq..payload
+//
+// Snapshot file ("registry.snap"):
+//
+//	magic   [4]byte  "XPS1"
+//	body:
+//	  seq     uint64   every WAL record with seq ≤ this is reflected here
+//	  count   uint32   number of chips
+//	  per chip: id, budgeted selector state, model, denials, locked
+//	crc     uint32   IEEE CRC32 over body
+//
+// Recovery loads the snapshot (if any), then replays WAL records with
+// seq > snapshot seq.  Compaction writes the snapshot to a temp file,
+// fsyncs, renames it into place, and only then truncates the WAL; a crash
+// anywhere in that window leaves records whose seq the snapshot already
+// covers, which replay skips.  A torn final record (crash mid-append) is
+// detected by length/CRC and truncated away so the log can be appended to
+// again.
+package registry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+var (
+	walMagic  = [4]byte{'X', 'P', 'W', '1'}
+	snapMagic = [4]byte{'X', 'P', 'S', '1'}
+)
+
+const (
+	walName  = "registry.wal"
+	snapName = "registry.snap"
+
+	recRegister   byte = 1
+	recIssued     byte = 2
+	recAbuse      byte = 3
+	recDeregister byte = 4
+
+	// recHeaderLen is seq(8) + type(1) + len(4); recTrailerLen the crc.
+	recHeaderLen  = 13
+	recTrailerLen = 4
+
+	// maxRecordPayload bounds one record so a corrupted length field cannot
+	// trigger a giant allocation during replay.
+	maxRecordPayload = 1 << 26
+)
+
+// walFile is the open append handle.
+type walFile struct {
+	f *os.File
+}
+
+func (w *walFile) append(buf []byte, fsync bool) error {
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("registry: wal append: %w", err)
+	}
+	if fsync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("registry: wal fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *walFile) close() error { return w.f.Close() }
+
+func (r *Registry) walPath() string  { return filepath.Join(r.dir, walName) }
+func (r *Registry) snapPath() string { return filepath.Join(r.dir, snapName) }
+
+// appendRecord journals one mutation.  Callers hold opmu.R (and usually an
+// entry lock); pmu serializes sequence assignment with the physical append
+// so the on-disk order equals the seq order.
+func (r *Registry) appendRecord(typ byte, payload []byte) error {
+	if r.wal == nil {
+		return nil // volatile registry
+	}
+	r.pmu.Lock()
+	r.seq++
+	buf := make([]byte, 0, recHeaderLen+len(payload)+recTrailerLen)
+	buf = appendU64(buf, r.seq)
+	buf = append(buf, typ)
+	buf = appendU32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = appendU32(buf, crc32.ChecksumIEEE(buf))
+	err := r.wal.append(buf, r.opts.Fsync)
+	r.sinceSnap++
+	needCompact := err == nil && r.opts.SnapshotEvery > 0 && r.sinceSnap >= r.opts.SnapshotEvery
+	r.pmu.Unlock()
+	if needCompact && r.compacting.CompareAndSwap(false, true) {
+		// Compact needs opmu.W; the triggering mutation still holds
+		// opmu.R, so compaction must run asynchronously.
+		go func() {
+			defer r.compacting.Store(false)
+			_ = r.Compact()
+		}()
+	}
+	return err
+}
+
+// Compact writes a full snapshot and resets the WAL.  It excludes all
+// mutations for its duration (reads proceed) and is a no-op for volatile
+// registries.
+func (r *Registry) Compact() error {
+	r.opmu.Lock()
+	defer r.opmu.Unlock()
+	return r.compactLocked()
+}
+
+// compactLocked requires opmu.W (a quiescent store).
+func (r *Registry) compactLocked() error {
+	if r.wal == nil {
+		return nil
+	}
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+
+	body := appendU64(nil, r.seq)
+	count := 0
+	for i := range r.shards {
+		count += len(r.shards[i].m)
+	}
+	body = appendU32(body, uint32(count))
+	for i := range r.shards {
+		for _, e := range r.shards[i].m {
+			// opmu.W excludes every mutator, so reading entry state
+			// without e.mu is race-free here.
+			body = appendString(body, e.id)
+			body = appendSelectorState(body, e.selector.ExportState())
+			body = appendModel(body, e.model)
+			body = appendU32(body, uint32(e.denials))
+			if e.locked {
+				body = append(body, 1)
+			} else {
+				body = append(body, 0)
+			}
+		}
+	}
+
+	tmp := r.snapPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 4+len(body)+4)
+	buf = append(buf, snapMagic[:]...)
+	buf = append(buf, body...)
+	buf = appendU32(buf, crc32.ChecksumIEEE(body))
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, r.snapPath()); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+
+	// Snapshot durable; the WAL prefix is now redundant.  Recreate it
+	// empty.  A crash before this point leaves seq ≤ snapshot-seq records
+	// behind, which replay skips.
+	if err := r.wal.close(); err != nil {
+		return err
+	}
+	f, err = os.Create(r.walPath())
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(walMagic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	r.wal = &walFile{f: f}
+	r.sinceSnap = 0
+	return nil
+}
+
+// recover loads snapshot + WAL tail and leaves the WAL open for append.
+func (r *Registry) recover() error {
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		return err
+	}
+	snapSeq, err := r.loadSnapshot()
+	if err != nil {
+		return err
+	}
+	r.seq = snapSeq
+	if err := r.replayWAL(snapSeq); err != nil {
+		return err
+	}
+	return nil
+}
+
+// loadSnapshot installs all entries from the snapshot file, returning its
+// sequence cut (0 when no snapshot exists).
+func (r *Registry) loadSnapshot() (uint64, error) {
+	data, err := os.ReadFile(r.snapPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < 4+8+4+4 || [4]byte(data[:4]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	body, trailer := data[4:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
+		return 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	rd := &reader{b: body}
+	seq := rd.u64()
+	count := int(rd.u32())
+	for i := 0; i < count && rd.err == nil; i++ {
+		id := rd.str()
+		st := rd.readSelectorState()
+		model := rd.readModel()
+		denials := int(rd.u32())
+		locked := rd.u8() == 1
+		if rd.err != nil {
+			break
+		}
+		sel := r.newSelector(id, model)
+		sel.ImportState(st)
+		r.install(&Entry{
+			id: id, reg: r, model: model, selector: sel,
+			denials: denials, locked: locked,
+		})
+	}
+	if rd.err != nil {
+		return 0, fmt.Errorf("snapshot entry decode: %w", rd.err)
+	}
+	return seq, nil
+}
+
+// replayWAL applies records with seq > snapSeq, truncates any torn tail, and
+// opens the file for append (creating it when absent).
+func (r *Registry) replayWAL(snapSeq uint64) error {
+	path := r.walPath()
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return r.createWAL()
+	}
+	if err != nil {
+		return err
+	}
+	if len(data) < 4 || [4]byte(data[:4]) != walMagic {
+		// Unrecognizable log: refuse to guess rather than silently drop
+		// the never-reuse history.
+		return fmt.Errorf("%w: bad WAL magic", ErrCorrupt)
+	}
+	good := 4
+	records := 0
+	for off := 4; off < len(data); {
+		rest := data[off:]
+		if len(rest) < recHeaderLen+recTrailerLen {
+			break // torn header
+		}
+		plen := int(binary.LittleEndian.Uint32(rest[9:13]))
+		if plen > maxRecordPayload || len(rest) < recHeaderLen+plen+recTrailerLen {
+			break // torn or garbage payload
+		}
+		frame := rest[:recHeaderLen+plen]
+		crc := binary.LittleEndian.Uint32(rest[recHeaderLen+plen : recHeaderLen+plen+4])
+		if crc32.ChecksumIEEE(frame) != crc {
+			break // corrupt record; everything after is untrustworthy
+		}
+		seq := binary.LittleEndian.Uint64(frame[:8])
+		typ := frame[8]
+		if seq > snapSeq {
+			if err := r.applyRecord(typ, frame[recHeaderLen:]); err != nil {
+				return err
+			}
+		}
+		if seq > r.seq {
+			r.seq = seq
+		}
+		off += recHeaderLen + plen + recTrailerLen
+		good = off
+		records++
+	}
+	r.sinceSnap = records
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	// Drop a torn/corrupt tail so subsequent appends land on a clean
+	// record boundary.
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return err
+	}
+	r.wal = &walFile{f: f}
+	return nil
+}
+
+func (r *Registry) createWAL() error {
+	f, err := os.Create(r.walPath())
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(walMagic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	r.wal = &walFile{f: f}
+	return nil
+}
+
+// applyRecord replays one journal record during recovery (single-threaded).
+func (r *Registry) applyRecord(typ byte, payload []byte) error {
+	rd := &reader{b: payload}
+	switch typ {
+	case recRegister:
+		id := rd.str()
+		budget := int(rd.u32())
+		model := rd.readModel()
+		if rd.err != nil {
+			return fmt.Errorf("register record: %w", rd.err)
+		}
+		if r.Lookup(id) != nil {
+			return nil // snapshot already covers it
+		}
+		sel := r.newSelector(id, model)
+		sel.SetBudget(budget)
+		r.install(&Entry{id: id, reg: r, model: model, selector: sel})
+	case recIssued:
+		id := rd.str()
+		n := int(rd.u32())
+		if rd.err == nil && n > maxUsedWords {
+			rd.fail("implausible issued count %d", n)
+		}
+		if rd.err != nil {
+			return fmt.Errorf("issued record: %w", rd.err)
+		}
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rd.u64()
+		}
+		if rd.err != nil {
+			return fmt.Errorf("issued record: %w", rd.err)
+		}
+		if e := r.Lookup(id); e != nil {
+			e.selector.MarkUsed(words...)
+		}
+	case recAbuse:
+		id := rd.str()
+		denials := int(rd.u32())
+		locked := rd.u8() == 1
+		if rd.err != nil {
+			return fmt.Errorf("abuse record: %w", rd.err)
+		}
+		if e := r.Lookup(id); e != nil {
+			e.denials = denials
+			e.locked = locked
+		}
+	case recDeregister:
+		id := rd.str()
+		if rd.err != nil {
+			return fmt.Errorf("deregister record: %w", rd.err)
+		}
+		sh := r.shard(id)
+		delete(sh.m, id)
+	default:
+		return fmt.Errorf("%w: unknown record type %d", ErrCorrupt, typ)
+	}
+	return nil
+}
