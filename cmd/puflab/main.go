@@ -21,14 +21,17 @@
 //	campaign  dump a measurement dataset to CSV (-o, -corners)
 //	serve     run a TCP verification server over enrolled simulated chips
 //	          (-addr, -chips, -xor, -n, -lockout, -throttle, -maxconns,
-//	          -budget, -drain, -state, -workers, and -fault-* chaos knobs)
+//	          -budget, -drain, -state, -workers, -auto-reenroll, and
+//	          -fault-* chaos knobs)
 //	fleet     benchmark the persistent chip registry at manufacturing scale:
 //	          parallel enrollment throughput, concurrent lookups/s, and
 //	          crash-recovery time (-chips, -workers, -xor, -dir, -budget,
 //	          -train, -validate, -lookups, -snap-every)
 //	auth      authenticate a simulated device against a serve instance
 //	          (-addr, -chip, -impostor, -sessions, -attempts, -base-delay,
-//	          -max-delay, and -fault-* chaos knobs)
+//	          -max-delay, -vdd, -temp, and -fault-* chaos knobs)
+//	health    inspect and repair drift-health state in a persistent registry
+//	          (report / quarantine / reenroll subcommands; -state, -chip)
 //	all       every experiment above (fig4 at fast scale)
 //
 // Common flags:
@@ -70,6 +73,9 @@ func main() {
 		return
 	case "fleet":
 		runFleet(os.Args[2:])
+		return
+	case "health":
+		runHealth(os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -228,5 +234,6 @@ usage: puflab <experiment> [-full] [-seed N] [-csv]
 
 experiments: fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 metrics protocols avalanche campaign all
 network:     serve auth   (run "puflab serve -h" / "puflab auth -h" for the resilience and fault-injection knobs)
-fleet:       fleet        (persistent registry benchmark: enrollment throughput, lookups/s, recovery time)`)
+fleet:       fleet        (persistent registry benchmark: enrollment throughput, lookups/s, recovery time)
+lifecycle:   health       (drift-detector report, force-quarantine, re-enrollment; "puflab health" for usage)`)
 }

@@ -21,6 +21,7 @@ import (
 
 	"xorpuf/internal/core"
 	"xorpuf/internal/faultnet"
+	"xorpuf/internal/health"
 	"xorpuf/internal/netauth"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/registry/fleet"
@@ -79,6 +80,7 @@ func runServe(args []string) {
 	budget := fs.Int("budget", 0, "lifetime challenge budget per chip (0 = unlimited)")
 	state := fs.String("state", "", "registry state directory (empty = in-memory; set to survive restarts)")
 	workers := fs.Int("workers", 0, "enrollment worker-pool size (0 = GOMAXPROCS)")
+	autoReenroll := fs.Bool("auto-reenroll", false, "automatically re-enroll chips the drift detectors quarantine")
 	fault := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -123,6 +125,42 @@ func runServe(args []string) {
 	fmt.Printf("enrolled %d chips (%d already present) in %v — %.1f chips/s\n",
 		rep.Enrolled, rep.Skipped, rep.Duration.Round(time.Millisecond), rep.PerSecond)
 
+	// Health transitions are always reported; with -auto-reenroll a
+	// quarantined chip is also repaired in place (re-measured, refit,
+	// swapped) without restarting the server.
+	var repair *fleet.ReEnroller
+	if *autoReenroll {
+		nc := netConfig{seed: *seed, xor: *xorWidth}
+		repair, err = fleet.NewReEnroller(reg, fleet.ReEnrollConfig{
+			Seed:   *seed,
+			Budget: *budget,
+			Chip: func(id string) (*silicon.Chip, error) {
+				var idx int
+				if _, err := fmt.Sscanf(id, "chip-%d", &idx); err != nil {
+					return nil, fmt.Errorf("cannot derive fleet index from id %q", id)
+				}
+				return nc.chip(idx, false), nil
+			},
+			OnResult: func(id string, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "puflab serve: auto re-enroll %s: %v\n", id, err)
+					return
+				}
+				fmt.Printf("health: %s re-enrolled and restored to service\n", id)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	srv.SetHealthHandler(func(ev health.Event) {
+		fmt.Printf("health: %s %v → %v (%s)\n", ev.ChipID, ev.From, ev.To, ev.Cause)
+		if repair != nil {
+			repair.Handle(ev)
+		}
+	})
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
@@ -137,13 +175,20 @@ func runServe(args []string) {
 	fmt.Printf("verification server on %s (n=%d, lockout=%d, throttle=%v, budget=%d)\n",
 		ln.Addr(), *n, *lockout, *throttle, *budget)
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(serveLn) }()
 	select {
-	case <-sig:
-		fmt.Println("\ndraining in-flight sessions…")
+	case s := <-sig:
+		fmt.Printf("\n%v: draining in-flight sessions (signal again to force exit)…\n", s)
+		go func() {
+			<-sig
+			// A second signal abandons the drain; the WAL makes this safe —
+			// recovery replays it, exactly like a kill -9.
+			fmt.Fprintln(os.Stderr, "puflab serve: forced exit; state recovers from the WAL")
+			os.Exit(1)
+		}()
 		srv.Close()
 		<-done
 	case err := <-done:
@@ -152,8 +197,20 @@ func runServe(args []string) {
 			os.Exit(1)
 		}
 	}
+	if repair != nil {
+		repair.Close() // finish any in-flight re-enrollment before flushing
+	}
 	approved, denied := srv.Stats()
 	fmt.Printf("decision log: %d approved, %d denied\n", approved, denied)
+	// Flush explicitly so shutdown compacts the WAL into a snapshot; the
+	// deferred Close is then a no-op.
+	if err := reg.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "puflab serve: flushing registry: %v\n", err)
+		os.Exit(1)
+	}
+	if *state != "" {
+		fmt.Printf("registry flushed to %s\n", *state)
+	}
 }
 
 func runAuth(args []string) {

@@ -57,6 +57,14 @@ func (cfg EnrollConfig) validate() error {
 	case cfg.Ridge < 0:
 		return fmt.Errorf("core: negative Ridge")
 	}
+	// The V/T model is only calibrated inside the paper's envelope;
+	// enrolling against an extrapolated corner would bake meaningless
+	// thresholds into the chip's database entry.
+	for _, cond := range cfg.Conditions {
+		if err := cond.Validate(); err != nil {
+			return fmt.Errorf("core: enrollment condition %v: %w", cond, err)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,100 @@
+package health
+
+import "sync"
+
+// Monitor is a concurrency-safe fleet front over per-chip trackers: callers
+// feed it (chip, outcome) pairs from any goroutine and subscribe to the
+// transition events that result.  The registry embeds trackers directly in
+// its entries (it already owns a per-entry lock and needs to journal state
+// changes atomically with them); Monitor is for verifiers that run without
+// a registry — tests, examples, and standalone servers.
+type Monitor struct {
+	mu       sync.Mutex
+	cfg      Config
+	trackers map[string]*Tracker
+	onEvent  func(Event)
+}
+
+// NewMonitor returns an empty monitor under cfg (zero value → defaults).
+func NewMonitor(cfg Config) *Monitor {
+	return &Monitor{cfg: cfg.normalized(), trackers: make(map[string]*Tracker)}
+}
+
+// OnEvent registers fn to be called with every health transition.  The
+// callback runs with the monitor lock released, so it may call back into
+// the monitor; events for a single chip are still delivered in order only
+// if that chip's outcomes are recorded from a single goroutine.
+func (m *Monitor) OnEvent(fn func(Event)) {
+	m.mu.Lock()
+	m.onEvent = fn
+	m.mu.Unlock()
+}
+
+// tracker returns (creating if needed) the tracker for id; callers hold mu.
+func (m *Monitor) tracker(id string) *Tracker {
+	t, ok := m.trackers[id]
+	if !ok {
+		t = NewTracker(m.cfg)
+		m.trackers[id] = t
+	}
+	return t
+}
+
+// Record folds one session outcome into chip id's detectors.
+func (m *Monitor) Record(id string, o Outcome) (Event, bool) {
+	m.mu.Lock()
+	ev, ok := m.tracker(id).Record(o)
+	fn := m.onEvent
+	m.mu.Unlock()
+	return m.deliver(ev, ok, id, fn)
+}
+
+// State returns chip id's classification (Healthy for unknown chips).
+func (m *Monitor) State(id string) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.trackers[id]; ok {
+		return t.State()
+	}
+	return Healthy
+}
+
+// Force moves chip id to state s unconditionally.
+func (m *Monitor) Force(id string, s State) (Event, bool) {
+	m.mu.Lock()
+	ev, ok := m.tracker(id).Force(s)
+	fn := m.onEvent
+	m.mu.Unlock()
+	return m.deliver(ev, ok, id, fn)
+}
+
+// Reset returns chip id's tracker to pristine healthy (re-enrollment hook).
+func (m *Monitor) Reset(id string) (Event, bool) {
+	m.mu.Lock()
+	ev, ok := m.tracker(id).Reset()
+	fn := m.onEvent
+	m.mu.Unlock()
+	return m.deliver(ev, ok, id, fn)
+}
+
+// Snapshot returns every tracked chip's persistent state.
+func (m *Monitor) Snapshot() map[string]TrackerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]TrackerState, len(m.trackers))
+	for id, t := range m.trackers {
+		out[id] = t.Snapshot()
+	}
+	return out
+}
+
+func (m *Monitor) deliver(ev Event, ok bool, id string, fn func(Event)) (Event, bool) {
+	if !ok {
+		return Event{}, false
+	}
+	ev.ChipID = id
+	if fn != nil {
+		fn(ev)
+	}
+	return ev, true
+}

@@ -133,9 +133,16 @@ func (c *Client) init() {
 // attempt budget, or ctx ends it.  Transient failures — I/O errors,
 // timeouts, and server errors marked retryable — are retried with jittered
 // exponential backoff; terminal server errors (unknown_chip, locked_out,
-// selection_failed) and context cancellation return immediately.
+// quarantined, selection_failed) and context cancellation return
+// immediately.  An operating condition outside the modeled V/T envelope is
+// rejected up front, before any challenge is requested: device reads would
+// panic mid-session otherwise, burning the server-side challenges the
+// session had already drawn.
 func (c *Client) Authenticate(ctx context.Context) (Result, error) {
 	c.init()
+	if err := c.Cond.Validate(); err != nil {
+		return Result{}, fmt.Errorf("netauth: operating condition: %w", err)
+	}
 	var lastErr error
 	for attempt := 1; attempt <= c.Policy.MaxAttempts; attempt++ {
 		if attempt > 1 {

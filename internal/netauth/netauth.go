@@ -66,6 +66,7 @@ import (
 
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/core"
+	"xorpuf/internal/health"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/rng"
 )
@@ -94,6 +95,12 @@ const (
 	// CodeSelectionFailed: the server could not issue fresh challenges —
 	// typically the chip's lifetime CRP budget is exhausted.  Terminal.
 	CodeSelectionFailed = "selection_failed"
+	// CodeQuarantined: the chip's drift detectors classified it quarantined
+	// — its responses have drifted out of the enrolled model.  Terminal
+	// until re-enrollment; the denial burns no challenges, and the
+	// acceptance threshold is never loosened instead (a softened threshold
+	// is the side channel reliability-based modeling attacks feed on).
+	CodeQuarantined = "quarantined"
 )
 
 // message is the single wire envelope; unused fields stay empty.  Approved
@@ -199,6 +206,9 @@ type Server struct {
 	inUse   int
 	serving sync.WaitGroup
 
+	// healthHandler observes drift-detector transitions (SetHealthHandler).
+	healthHandler func(health.Event)
+
 	// decisions counts completed authentications, for tests/monitoring.
 	decisions struct {
 		approved, denied int
@@ -301,6 +311,16 @@ func (s *Server) SetChallengeBudget(n int) {
 	s.budget = n
 }
 
+// SetHealthHandler registers fn to observe health-state transitions fired
+// by authentication traffic (a chip degrading or quarantining).  fn runs on
+// the session goroutine after the verdict is sent; keep it fast or hand off
+// — a fleet.ReEnroller's Handle is the intended consumer.
+func (s *Server) SetHealthHandler(fn func(health.Event)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.healthHandler = fn
+}
+
 // Register adds an enrolled chip model under an identifier, applying the
 // server's per-chip challenge budget.  When the backing registry is
 // persistent, the registration is journaled before Register returns.
@@ -335,8 +355,12 @@ type ChipStatus struct {
 	Remaining int
 	// ConsecutiveDenials counts denied verdicts since the last approval.
 	ConsecutiveDenials int
-	// Locked reports whether the chip is quarantined.
+	// Locked reports whether the chip is locked out for consecutive
+	// denials (abuse control).
 	Locked bool
+	// Health is the chip's drift classification; Quarantined chips are
+	// refused with CodeQuarantined until re-enrolled.
+	Health health.State
 }
 
 // ChipStatus reports the abuse-control state of a registered chip.
@@ -352,6 +376,7 @@ func (s *Server) ChipStatus(chipID string) ChipStatus {
 		Remaining:          st.Remaining,
 		ConsecutiveDenials: st.Denials,
 		Locked:             st.Locked,
+		Health:             st.Health,
 	}
 }
 
@@ -515,6 +540,15 @@ func (s *Server) handle(conn net.Conn) {
 		fail(CodeThrottled, true, "chip %q attempting too fast", hello.ChipID)
 		return
 	}
+	// Drift quarantine: an explicit structured denial BEFORE any challenge
+	// is drawn, so a drifted chip neither burns budget nor feeds CRPs to
+	// whoever holds it.  The zero-HD acceptance criterion is never loosened
+	// for a drifting chip — re-enrollment is the only way back.
+	if entry.HealthState() == health.Quarantined {
+		fail(CodeQuarantined, false,
+			"chip %q is quarantined for drift; re-enrollment required", hello.ChipID)
+		return
+	}
 
 	// Select fresh, never-reused challenges and predict responses (paper
 	// Fig 7 left box, including the "Record challenge" step — Issue journals
@@ -561,14 +595,21 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	approved := mismatches == 0 // the paper's zero-HD criterion
 	entry.Verdict(approved, lockoutK)
+	ev, transitioned := entry.RecordAuth(health.Outcome{
+		Approved: approved, Mismatches: mismatches, Challenges: len(predicted),
+	})
 	s.mu.Lock()
 	if approved {
 		s.decisions.approved++
 	} else {
 		s.decisions.denied++
 	}
+	onHealth := s.healthHandler
 	s.mu.Unlock()
 	_ = s.writeMsg(conn, message{Type: "verdict", Approved: approved, Mismatches: mismatches})
+	if transitioned && onHealth != nil {
+		onHealth(ev)
+	}
 }
 
 // errLineTooLong reports a frame over the 1 MiB cap.

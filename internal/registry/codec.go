@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"xorpuf/internal/core"
+	"xorpuf/internal/health"
 )
 
 // ErrCorrupt is returned when decoding bytes that are not a well-formed
@@ -67,6 +68,16 @@ func appendSelectorState(b []byte, st core.SelectorState) []byte {
 	for _, w := range st.Used {
 		b = appendU64(b, w)
 	}
+	return b
+}
+
+// appendTrackerState encodes one chip's drift-detector state.
+func appendTrackerState(b []byte, st health.TrackerState) []byte {
+	b = append(b, byte(st.State))
+	b = appendF64(b, st.FailEWMA)
+	b = appendF64(b, st.CUSUM)
+	b = appendU64(b, st.Sessions)
+	b = appendU64(b, st.Failures)
 	return b
 }
 
@@ -175,6 +186,21 @@ func (r *reader) readModel() *core.ChipModel {
 		return nil
 	}
 	return m
+}
+
+// readTrackerState decodes one chip's drift-detector state.
+func (r *reader) readTrackerState() health.TrackerState {
+	s := health.State(r.u8())
+	if r.err == nil && !s.Valid() {
+		r.fail("invalid health state %d", s)
+	}
+	return health.TrackerState{
+		State:    s,
+		FailEWMA: r.f64(),
+		CUSUM:    r.f64(),
+		Sessions: r.u64(),
+		Failures: r.u64(),
+	}
 }
 
 // readSelectorState decodes one selector state.

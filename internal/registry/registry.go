@@ -14,6 +14,12 @@
 // replays the journal over the latest snapshot, so the guarantee holds
 // through kill -9.
 //
+// Lifetime reliability: each entry owns a health.Tracker fed by RecordAuth
+// after every authentication verdict.  Tracker state is journaled with each
+// outcome (recHealth) and captured in snapshots, so a chip quarantined for
+// drift stays quarantined across kill -9; Replace atomically swaps in a
+// re-enrolled model while burning the old challenge history (recReenroll).
+//
 // Concurrency: chip IDs are fnv-1a-sharded over N independent RWMutex-guarded
 // maps, so lookups from thousands of concurrent authentication sessions
 // never contend on one global lock (the sharded-vs-single-mutex benchmark
@@ -32,6 +38,7 @@ import (
 
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/core"
+	"xorpuf/internal/health"
 	"xorpuf/internal/rng"
 )
 
@@ -58,6 +65,8 @@ type Options struct {
 	// still single write syscalls (data survives process death), fsync
 	// additionally survives OS/power failure at a large throughput cost.
 	Fsync bool
+	// Health tunes the per-chip drift detectors (zero value = defaults).
+	Health health.Config
 }
 
 func (o Options) normalized() Options {
@@ -162,7 +171,8 @@ func (r *Registry) Register(id string, model *core.ChipModel, budget int) error 
 	defer r.opmu.RUnlock()
 	sel := r.newSelector(id, model)
 	sel.SetBudget(budget)
-	e := &Entry{id: id, reg: r, model: model, selector: sel}
+	e := &Entry{id: id, reg: r, model: model, selector: sel,
+		tracker: health.NewTracker(r.opts.Health)}
 	sh := r.shard(id)
 	sh.mu.Lock()
 	if _, dup := sh.m[id]; dup {
@@ -253,8 +263,13 @@ type Status struct {
 	Remaining int
 	// Denials counts denied verdicts since the last approval.
 	Denials int
-	// Locked reports whether the chip is quarantined.
+	// Locked reports whether the chip is locked out for abuse (consecutive
+	// denials); distinct from health quarantine, which tracks drift.
 	Locked bool
+	// Health is the chip's lifetime-reliability classification.
+	Health health.State
+	// HealthStats is the drift-detector state behind the classification.
+	HealthStats health.TrackerState
 }
 
 // Entry is one live registered chip.  All methods are safe for concurrent
@@ -267,6 +282,7 @@ type Entry struct {
 	mu          sync.Mutex
 	model       *core.ChipModel
 	selector    *core.Selector
+	tracker     *health.Tracker
 	lastAttempt time.Time
 	denials     int
 	locked      bool
@@ -275,20 +291,34 @@ type Entry struct {
 // ID returns the chip identifier.
 func (e *Entry) ID() string { return e.id }
 
-// Model returns the enrolled chip model.  The model is immutable after
-// registration.
-func (e *Entry) Model() *core.ChipModel { return e.model }
+// Model returns the chip's current enrolled model.  Individual models are
+// immutable, but Replace swaps which model an entry holds, so the pointer
+// read takes the entry lock.
+func (e *Entry) Model() *core.ChipModel {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.model
+}
 
 // Status reports the chip's current accounting.
 func (e *Entry) Status() Status {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Status{
-		Issued:    e.selector.Issued(),
-		Remaining: e.selector.Remaining(),
-		Denials:   e.denials,
-		Locked:    e.locked,
+		Issued:      e.selector.Issued(),
+		Remaining:   e.selector.Remaining(),
+		Denials:     e.denials,
+		Locked:      e.locked,
+		Health:      e.tracker.State(),
+		HealthStats: e.tracker.Snapshot(),
 	}
+}
+
+// HealthState returns the chip's lifetime-reliability classification.
+func (e *Entry) HealthState() health.State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tracker.State()
 }
 
 // Admit performs per-chip admission control for one authentication attempt:
@@ -376,10 +406,121 @@ func (e *Entry) Unlock() bool {
 	return true
 }
 
+// RecordAuth folds one authentication session's outcome into the chip's
+// drift detectors and journals the updated detector state, so the health
+// classification survives kill -9.  The transition event, if any, carries
+// the chip ID.  Like Verdict, a journal failure degrades durability only —
+// the in-memory classification still enforces.
+func (e *Entry) RecordAuth(o health.Outcome) (health.Event, bool) {
+	if e.reg.closed.Load() {
+		return health.Event{}, false
+	}
+	e.reg.opmu.RLock()
+	defer e.reg.opmu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ev, ok := e.tracker.Record(o)
+	_ = e.reg.appendRecord(recHealth, healthPayload(e.id, e.tracker.Snapshot()))
+	if ok {
+		ev.ChipID = e.id
+	}
+	return ev, ok
+}
+
+// ForceHealth moves the chip to health state s unconditionally (an operator
+// decision), journaled.  It reports the transition if the state changed.
+func (e *Entry) ForceHealth(s health.State) (health.Event, bool) {
+	if e.reg.closed.Load() {
+		return health.Event{}, false
+	}
+	e.reg.opmu.RLock()
+	defer e.reg.opmu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ev, ok := e.tracker.Force(s)
+	if ok {
+		ev.ChipID = e.id
+		_ = e.reg.appendRecord(recHealth, healthPayload(e.id, e.tracker.Snapshot()))
+	}
+	return ev, ok
+}
+
+// Replace atomically swaps a chip's enrollment for a freshly re-enrolled
+// model: the new model and budget go live, the drift detectors and abuse
+// counters reset, and — security-critical — every challenge the retired
+// model ever issued stays burned in the new selector, so re-enrollment can
+// never resurrect a challenge an eavesdropper has already seen.  The swap
+// is journaled (recReenroll) before it is acknowledged; on journal failure
+// the old enrollment is restored and the error returned.
+func (r *Registry) Replace(id string, model *core.ChipModel, budget int) error {
+	switch {
+	case model == nil || model.Width() == 0:
+		return errors.New("registry: nil or empty model")
+	case model.Width() > maxWidth || model.Stages() < 1 || model.Stages() > maxStages:
+		return fmt.Errorf("registry: unsupported model geometry %d×%d", model.Width(), model.Stages())
+	}
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	r.opmu.RLock()
+	defer r.opmu.RUnlock()
+	e := r.Lookup(id)
+	if e == nil {
+		return fmt.Errorf("registry: replace: chip %q not registered", id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sel := r.newSelector(id, model)
+	sel.SetBudget(budget)
+	sel.MarkUsed(e.selector.ExportState().Used...)
+
+	prevModel, prevSel := e.model, e.selector
+	prevDenials, prevLocked := e.denials, e.locked
+	prevTracker := e.tracker.Snapshot()
+	e.model, e.selector = model, sel
+	e.denials, e.locked = 0, false
+	e.tracker.Reset()
+	if err := r.appendRecord(recReenroll, registerPayload(id, budget, model)); err != nil {
+		// Not durable — a crash now would recover the old enrollment, so
+		// don't let the new one serve.
+		e.model, e.selector = prevModel, prevSel
+		e.denials, e.locked = prevDenials, prevLocked
+		e.tracker.Restore(prevTracker)
+		return err
+	}
+	return nil
+}
+
+// Range calls fn for every registered chip until fn returns false.  The
+// entries of each shard are collected under its read lock but fn runs with
+// no registry lock held, so it may freely call entry methods.  Iteration
+// order is unspecified; chips registered or dropped concurrently may or may
+// not be visited.
+func (r *Registry) Range(fn func(*Entry) bool) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		entries := make([]*Entry, 0, len(sh.m))
+		for _, e := range sh.m {
+			entries = append(entries, e)
+		}
+		sh.mu.RUnlock()
+		for _, e := range entries {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
 func registerPayload(id string, budget int, model *core.ChipModel) []byte {
 	b := appendString(nil, id)
 	b = appendU32(b, uint32(budget))
 	return appendModel(b, model)
+}
+
+func healthPayload(id string, st health.TrackerState) []byte {
+	return appendTrackerState(appendString(nil, id), st)
 }
 
 func abusePayload(id string, denials int, locked bool) []byte {

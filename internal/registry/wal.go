@@ -14,12 +14,18 @@
 //
 // Snapshot file ("registry.snap"):
 //
-//	magic   [4]byte  "XPS1"
+//	magic   [4]byte  "XPS2"
 //	body:
 //	  seq     uint64   every WAL record with seq ≤ this is reflected here
 //	  count   uint32   number of chips
-//	  per chip: id, budgeted selector state, model, denials, locked
+//	  per chip: id, budgeted selector state, model, denials, locked,
+//	            health tracker state (XPS2 only)
 //	crc     uint32   IEEE CRC32 over body
+//
+// Snapshots written by pre-health builds ("XPS1", no tracker state) still
+// load: their chips recover as healthy with pristine detectors, and any
+// recHealth records in the WAL tail re-apply whatever classification the
+// old process had journaled after its last compaction.
 //
 // Recovery loads the snapshot (if any), then replays WAL records with
 // seq > snapshot seq.  Compaction writes the snapshot to a temp file,
@@ -38,11 +44,14 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"xorpuf/internal/health"
 )
 
 var (
-	walMagic  = [4]byte{'X', 'P', 'W', '1'}
-	snapMagic = [4]byte{'X', 'P', 'S', '1'}
+	walMagic    = [4]byte{'X', 'P', 'W', '1'}
+	snapMagic   = [4]byte{'X', 'P', 'S', '2'}
+	snapMagicV1 = [4]byte{'X', 'P', 'S', '1'}
 )
 
 const (
@@ -53,6 +62,8 @@ const (
 	recIssued     byte = 2
 	recAbuse      byte = 3
 	recDeregister byte = 4
+	recHealth     byte = 5
+	recReenroll   byte = 6
 
 	// recHeaderLen is seq(8) + type(1) + len(4); recTrailerLen the crc.
 	recHeaderLen  = 13
@@ -151,6 +162,7 @@ func (r *Registry) compactLocked() error {
 			} else {
 				body = append(body, 0)
 			}
+			body = appendTrackerState(body, e.tracker.Snapshot())
 		}
 	}
 
@@ -227,9 +239,14 @@ func (r *Registry) loadSnapshot() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if len(data) < 4+8+4+4 || [4]byte(data[:4]) != snapMagic {
+	if len(data) < 4+8+4+4 {
 		return 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
+	magic := [4]byte(data[:4])
+	if magic != snapMagic && magic != snapMagicV1 {
+		return 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	hasHealth := magic == snapMagic
 	body, trailer := data[4:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
 		return 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
@@ -243,6 +260,10 @@ func (r *Registry) loadSnapshot() (uint64, error) {
 		model := rd.readModel()
 		denials := int(rd.u32())
 		locked := rd.u8() == 1
+		tracker := health.NewTracker(r.opts.Health)
+		if hasHealth {
+			tracker.Restore(rd.readTrackerState())
+		}
 		if rd.err != nil {
 			break
 		}
@@ -250,7 +271,7 @@ func (r *Registry) loadSnapshot() (uint64, error) {
 		sel.ImportState(st)
 		r.install(&Entry{
 			id: id, reg: r, model: model, selector: sel,
-			denials: denials, locked: locked,
+			denials: denials, locked: locked, tracker: tracker,
 		})
 	}
 	if rd.err != nil {
@@ -355,7 +376,8 @@ func (r *Registry) applyRecord(typ byte, payload []byte) error {
 		}
 		sel := r.newSelector(id, model)
 		sel.SetBudget(budget)
-		r.install(&Entry{id: id, reg: r, model: model, selector: sel})
+		r.install(&Entry{id: id, reg: r, model: model, selector: sel,
+			tracker: health.NewTracker(r.opts.Health)})
 	case recIssued:
 		id := rd.str()
 		n := int(rd.u32())
@@ -393,6 +415,40 @@ func (r *Registry) applyRecord(typ byte, payload []byte) error {
 		}
 		sh := r.shard(id)
 		delete(sh.m, id)
+	case recHealth:
+		id := rd.str()
+		st := rd.readTrackerState()
+		if rd.err != nil {
+			return fmt.Errorf("health record: %w", rd.err)
+		}
+		if e := r.Lookup(id); e != nil {
+			e.tracker.Restore(st)
+		}
+	case recReenroll:
+		id := rd.str()
+		budget := int(rd.u32())
+		model := rd.readModel()
+		if rd.err != nil {
+			return fmt.Errorf("reenroll record: %w", rd.err)
+		}
+		e := r.Lookup(id)
+		if e == nil {
+			// The registration this replaces was dropped (e.g. deregistered
+			// before the snapshot cut); treat as a fresh registration.
+			sel := r.newSelector(id, model)
+			sel.SetBudget(budget)
+			r.install(&Entry{id: id, reg: r, model: model, selector: sel,
+				tracker: health.NewTracker(r.opts.Health)})
+			return nil
+		}
+		// Mirror Replace: swap the model, keep every previously issued
+		// challenge burned, reset abuse counters and drift detectors.
+		sel := r.newSelector(id, model)
+		sel.SetBudget(budget)
+		sel.MarkUsed(e.selector.ExportState().Used...)
+		e.model, e.selector = model, sel
+		e.denials, e.locked = 0, false
+		e.tracker.Reset()
 	default:
 		return fmt.Errorf("%w: unknown record type %d", ErrCorrupt, typ)
 	}

@@ -67,6 +67,9 @@ func (c *Chip) ReadIndividual(i int, ch challenge.Challenge, cond Condition) (ui
 	if c.blown {
 		return 0, ErrFusesBlown
 	}
+	if err := cond.Validate(); err != nil {
+		return 0, err
+	}
 	return c.pufs[i].Eval(c.noise, ch, cond), nil
 }
 
@@ -76,12 +79,19 @@ func (c *Chip) SoftResponse(i int, ch challenge.Challenge, cond Condition) (floa
 	if c.blown {
 		return 0, ErrFusesBlown
 	}
+	if err := cond.Validate(); err != nil {
+		return 0, err
+	}
 	return c.pufs[i].MeasureSoft(c.noise, ch, cond, c.params.CounterDepth), nil
 }
 
 // ReadXOR performs one noisy evaluation of every PUF and returns the XOR of
-// the n responses — the only output available during authentication.
+// the n responses — the only output available during authentication.  Like a
+// wrong-length challenge, a condition outside the modeled V/T envelope is
+// API misuse and panics; validate operator-supplied conditions with
+// Condition.Validate first.
 func (c *Chip) ReadXOR(ch challenge.Challenge, cond Condition) uint8 {
+	cond.mustValidate()
 	var x uint8
 	for _, p := range c.pufs {
 		x ^= p.Eval(c.noise, ch, cond)
@@ -96,6 +106,7 @@ func (c *Chip) ReadXORSubset(n int, ch challenge.Challenge, cond Condition) uint
 	if n <= 0 || n > len(c.pufs) {
 		panic(fmt.Sprintf("silicon: XOR subset width %d out of range [1,%d]", n, len(c.pufs)))
 	}
+	cond.mustValidate()
 	var x uint8
 	for _, p := range c.pufs[:n] {
 		x ^= p.Eval(c.noise, ch, cond)

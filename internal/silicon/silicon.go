@@ -47,8 +47,43 @@ type Condition struct {
 	TempC float64 // temperature in °C
 }
 
+// The modeled operating envelope.  The per-path V/T sensitivities are a
+// first-order (linear) expansion calibrated against the paper's nine test
+// corners — 0.8/0.9/1.0 V crossed with 0/25/60 °C — so the model has no
+// physical meaning outside that range, and every entry point that accepts a
+// Condition rejects excursions instead of silently extrapolating.
+const (
+	MinVDD   = 0.8
+	MaxVDD   = 1.0
+	MinTempC = 0.0
+	MaxTempC = 60.0
+)
+
 // Nominal is the enrollment condition used throughout the paper.
 var Nominal = Condition{VDD: 0.9, TempC: 25}
+
+// Validate rejects conditions outside the modeled 0.8–1.0 V / 0–60 °C
+// envelope (and non-finite values), the range the linear V/T sensitivity
+// model is calibrated over.
+func (c Condition) Validate() error {
+	switch {
+	case math.IsNaN(c.VDD) || math.IsNaN(c.TempC) || math.IsInf(c.VDD, 0) || math.IsInf(c.TempC, 0):
+		return fmt.Errorf("silicon: non-finite condition %gV, %g°C", c.VDD, c.TempC)
+	case c.VDD < MinVDD || c.VDD > MaxVDD:
+		return fmt.Errorf("silicon: VDD %.3g V outside modeled envelope [%.3g, %.3g] V", c.VDD, MinVDD, MaxVDD)
+	case c.TempC < MinTempC || c.TempC > MaxTempC:
+		return fmt.Errorf("silicon: temperature %g °C outside modeled envelope [%g, %g] °C", c.TempC, MinTempC, MaxTempC)
+	}
+	return nil
+}
+
+// mustValidate panics on an out-of-envelope condition; the measurement entry
+// points treat excursions as API misuse, like a wrong-length challenge.
+func (c Condition) mustValidate() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
+	}
+}
 
 // String renders the condition the way the paper labels plots ("0.9V, 25°C").
 func (c Condition) String() string {
