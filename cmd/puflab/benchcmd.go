@@ -1,0 +1,195 @@
+// bench: measure the authentication hot path with the standard benchmark
+// harness and report instrumented-vs-bare overhead, so the observability
+// plane's cost is a number in CI instead of a guess.  -json emits the
+// machine-readable report checked into the repo as BENCH_PR4.json.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/netauth"
+	"xorpuf/internal/registry"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/telemetry"
+)
+
+// benchResult is one benchmark's outcome in the JSON report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the BENCH_PR4.json schema.
+type benchReport struct {
+	GoVersion       string        `json:"go_version"`
+	GOOS            string        `json:"goos"`
+	GOARCH          string        `json:"goarch"`
+	CPUs            int           `json:"cpus"`
+	Benchmarks      []benchResult `json:"benchmarks"`
+	OverheadPercent float64       `json:"auth_session_overhead_percent"`
+}
+
+func runBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the machine-readable JSON report instead of a table")
+	out := fs.String("o", "", "also write the JSON report to this path")
+	n := fs.Int("n", 16, "challenges per benchmarked authentication session")
+	seed := fs.Uint64("seed", 1, "model seed")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	report := benchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	add := func(name string, r testing.BenchmarkResult) benchResult {
+		br := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		report.Benchmarks = append(report.Benchmarks, br)
+		return br
+	}
+
+	// Micro: the two instruments on every hot path.
+	ctr := telemetry.NewRegistry().Counter("bench_counter")
+	add("counter_inc", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctr.Inc()
+		}
+	}))
+	hist := telemetry.NewRegistry().Histogram("bench_hist", telemetry.LatencyBuckets)
+	add("histogram_observe", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hist.Observe(float64(i&1023) * 1e-6)
+		}
+	}))
+
+	// Macro: full client↔server sessions over loopback TCP, instrumented
+	// (Default registry + tracer) vs bare (telemetry disabled).
+	e2e := add("auth_session_e2e", benchAuthSession(*n, *seed, true))
+	bare := add("auth_session_e2e_bare", benchAuthSession(*n, *seed, false))
+	if bare.NsPerOp > 0 {
+		report.OverheadPercent = (e2e.NsPerOp - bare.NsPerOp) / bare.NsPerOp * 100
+	}
+
+	if *asJSON || *out != "" {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+			os.Exit(1)
+		}
+		b = append(b, '\n')
+		if *out != "" {
+			if err := os.WriteFile(*out, b, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+		}
+		if *asJSON {
+			os.Stdout.Write(b)
+		}
+		return
+	}
+	fmt.Printf("%-24s %12s %14s %10s %10s\n", "benchmark", "iterations", "ns/op", "B/op", "allocs/op")
+	for _, r := range report.Benchmarks {
+		fmt.Printf("%-24s %12d %14.1f %10d %10d\n", r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("\nauth session overhead (instrumented vs bare): %+.2f%%\n", report.OverheadPercent)
+}
+
+// benchModel fabricates a synthetic ChipModel whose predictions need no
+// silicon: random θ with thresholds that classify most random challenges
+// stable.  Cheap to build, deterministic to answer.
+func benchModel(seed uint64, width, stages int) *core.ChipModel {
+	src := rng.New(seed)
+	m := &core.ChipModel{Beta0: 1, Beta1: 1}
+	for p := 0; p < width; p++ {
+		theta := make([]float64, stages+1)
+		for i := range theta {
+			theta[i] = src.Float64()*0.5 - 0.25
+		}
+		theta[stages] = 0.5
+		m.PUFs = append(m.PUFs, &core.PUFModel{Theta: theta, Thr0: 0.45, Thr1: 0.55})
+	}
+	return m
+}
+
+// modelDevice answers challenges straight from the enrolled model — a
+// perfectly genuine, perfectly stable device, so every benchmarked session
+// takes the zero-HD approve path.
+type modelDevice struct{ m *core.ChipModel }
+
+func (d modelDevice) ReadXOR(c challenge.Challenge, _ silicon.Condition) uint8 {
+	bit, _ := d.m.PredictXOR(c)
+	return bit
+}
+
+// benchAuthSession measures one full authentication session per iteration
+// against a loopback server, with telemetry either wired or disabled.
+func benchAuthSession(n int, seed uint64, instrumented bool) testing.BenchmarkResult {
+	model := benchModel(seed, 4, 64)
+	reg, err := registry.Open("", registry.Options{Seed: seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer reg.Close()
+	const chipID = "bench-chip"
+	if err := reg.Register(chipID, model, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+		os.Exit(1)
+	}
+	srv := netauth.NewServerWithRegistry(n, seed, reg)
+	if !instrumented {
+		srv.SetTelemetry(nil)
+		srv.SetTracer(nil)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+		os.Exit(1)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	client := &netauth.Client{
+		Addr:   ln.Addr().String(),
+		ChipID: chipID,
+		Device: modelDevice{m: model},
+		Cond:   silicon.Nominal,
+		Policy: netauth.RetryPolicy{MaxAttempts: 1},
+	}
+	ctx := context.Background()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := client.Authenticate(ctx)
+			if err != nil || !res.Approved {
+				b.Fatalf("session %d: approved=%v err=%v", i, res.Approved, err)
+			}
+		}
+	})
+}

@@ -21,8 +21,8 @@
 //	campaign  dump a measurement dataset to CSV (-o, -corners)
 //	serve     run a TCP verification server over enrolled simulated chips
 //	          (-addr, -chips, -xor, -n, -lockout, -throttle, -maxconns,
-//	          -budget, -drain, -state, -workers, -auto-reenroll, and
-//	          -fault-* chaos knobs)
+//	          -budget, -drain, -state, -workers, -auto-reenroll, -admin
+//	          for the observability plane, and -fault-* chaos knobs)
 //	fleet     benchmark the persistent chip registry at manufacturing scale:
 //	          parallel enrollment throughput, concurrent lookups/s, and
 //	          crash-recovery time (-chips, -workers, -xor, -dir, -budget,
@@ -32,6 +32,10 @@
 //	          -max-delay, -vdd, -temp, and -fault-* chaos knobs)
 //	health    inspect and repair drift-health state in a persistent registry
 //	          (report / quarantine / reenroll subcommands; -state, -chip)
+//	metrics   scrape a serve instance's admin plane and pretty-print the
+//	          snapshot (-addr, -raw, -json)
+//	bench     measure the authentication hot path and the observability
+//	          plane's overhead (-json, -o, -n, -seed)
 //	all       every experiment above (fig4 at fast scale)
 //
 // Common flags:
@@ -76,6 +80,12 @@ func main() {
 		return
 	case "health":
 		runHealth(os.Args[2:])
+		return
+	case "metrics":
+		runMetrics(os.Args[2:])
+		return
+	case "bench":
+		runBench(os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -235,5 +245,6 @@ usage: puflab <experiment> [-full] [-seed N] [-csv]
 experiments: fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 metrics protocols avalanche campaign all
 network:     serve auth   (run "puflab serve -h" / "puflab auth -h" for the resilience and fault-injection knobs)
 fleet:       fleet        (persistent registry benchmark: enrollment throughput, lookups/s, recovery time)
-lifecycle:   health       (drift-detector report, force-quarantine, re-enrollment; "puflab health" for usage)`)
+lifecycle:   health       (drift-detector report, force-quarantine, re-enrollment; "puflab health" for usage)
+observe:     metrics bench ("puflab metrics" scrapes a serve -admin plane; "puflab bench" measures hot-path overhead)`)
 }

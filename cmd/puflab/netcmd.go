@@ -11,11 +11,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -27,6 +30,7 @@ import (
 	"xorpuf/internal/registry/fleet"
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
+	"xorpuf/internal/telemetry"
 )
 
 // faultFlags registers the shared fault-injection knobs and returns a
@@ -79,6 +83,7 @@ func runServe(args []string) {
 	throttle := fs.Duration("throttle", 0, "minimum interval between attempts per chip (0 = off)")
 	budget := fs.Int("budget", 0, "lifetime challenge budget per chip (0 = unlimited)")
 	state := fs.String("state", "", "registry state directory (empty = in-memory; set to survive restarts)")
+	admin := fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /traces, /debug/pprof (empty = off)")
 	workers := fs.Int("workers", 0, "enrollment worker-pool size (0 = GOMAXPROCS)")
 	autoReenroll := fs.Bool("auto-reenroll", false, "automatically re-enroll chips the drift detectors quarantine")
 	fault := faultFlags(fs)
@@ -161,6 +166,33 @@ func runServe(args []string) {
 		}
 	})
 
+	// Observability plane: metrics, health, session traces, and pprof on a
+	// separate listener so operational scraping never competes with (or
+	// exposes) the authentication port.
+	var adminLn net.Listener
+	if *admin != "" {
+		adminLn, err = net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: admin listener: %v\n", err)
+			os.Exit(1)
+		}
+		mux := telemetry.AdminMux(telemetry.Default, srv.Tracer(), func() any {
+			approved, denied := srv.Stats()
+			return map[string]any{
+				"status":   "ok",
+				"chips":    reg.Len(),
+				"approved": approved,
+				"denied":   denied,
+			}
+		})
+		go func() {
+			if err := http.Serve(adminLn, mux); err != nil && !isClosedErr(err) {
+				fmt.Fprintf(os.Stderr, "puflab serve: admin server: %v\n", err)
+			}
+		}()
+		fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /debug/pprof)\n", adminLn.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
@@ -200,8 +232,19 @@ func runServe(args []string) {
 	if repair != nil {
 		repair.Close() // finish any in-flight re-enrollment before flushing
 	}
+	// Shutdown order matters: stop the admin plane first so no scrape races
+	// the final snapshot, then persist that snapshot next to the WAL, then
+	// flush the registry.
+	if adminLn != nil {
+		_ = adminLn.Close()
+	}
 	approved, denied := srv.Stats()
 	fmt.Printf("decision log: %d approved, %d denied\n", approved, denied)
+	if *state != "" {
+		if err := writeFinalMetrics(*state); err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: final metrics snapshot: %v\n", err)
+		}
+	}
 	// Flush explicitly so shutdown compacts the WAL into a snapshot; the
 	// deferred Close is then a no-op.
 	if err := reg.Close(); err != nil {
@@ -211,6 +254,27 @@ func runServe(args []string) {
 	if *state != "" {
 		fmt.Printf("registry flushed to %s\n", *state)
 	}
+}
+
+// writeFinalMetrics persists the closing metrics snapshot beside the WAL, so
+// a post-mortem of a stopped server still has its last counters.
+func writeFinalMetrics(stateDir string) error {
+	b, err := telemetry.Default.Snapshot().MarshalJSONIndent()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(stateDir, "metrics_final.json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("final metrics snapshot written to %s\n", path)
+	return nil
+}
+
+// isClosedErr reports whether err is the routine "use of closed network
+// connection" an http.Serve returns when its listener is shut down.
+func isClosedErr(err error) bool {
+	return errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed)
 }
 
 func runAuth(args []string) {

@@ -37,7 +37,29 @@ package health
 import (
 	"errors"
 	"fmt"
+
+	"xorpuf/internal/telemetry"
 )
+
+// Transition counters by destination state, captured once from the Default
+// registry.  Transitions are rare (state changes, not sessions), so plain
+// counters are all the plane needs to watch fleet-wide drift pressure.
+var (
+	transitionsHealthy     = telemetry.Default.Counter("health_transitions_healthy_total")
+	transitionsDegraded    = telemetry.Default.Counter("health_transitions_degraded_total")
+	transitionsQuarantined = telemetry.Default.Counter("health_transitions_quarantined_total")
+)
+
+func countTransition(to State) {
+	switch to {
+	case Healthy:
+		transitionsHealthy.Inc()
+	case Degraded:
+		transitionsDegraded.Inc()
+	case Quarantined:
+		transitionsQuarantined.Inc()
+	}
+}
 
 // State is a chip's lifetime-reliability classification.
 type State uint8
@@ -317,11 +339,13 @@ func (t *Tracker) Reset() (Event, bool) {
 	if from == Healthy {
 		return Event{}, false
 	}
+	countTransition(Healthy)
 	return Event{From: from, To: Healthy, Cause: CauseReEnrolled, Stats: t.st}, true
 }
 
 func (t *Tracker) transition(to State, cause Cause) Event {
 	from := t.st.State
 	t.st.State = to
+	countTransition(to)
 	return Event{From: from, To: to, Cause: cause, Stats: t.st}
 }

@@ -1,0 +1,203 @@
+package netauth
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/registry"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/telemetry"
+)
+
+// benchChipModel is a synthetic model: random θ, thresholds that keep most
+// random challenges stable.  No silicon, no enrollment — benchmark setup in
+// microseconds.
+func benchChipModel(seed uint64, width, stages int) *core.ChipModel {
+	src := rng.New(seed)
+	m := &core.ChipModel{Beta0: 1, Beta1: 1}
+	for p := 0; p < width; p++ {
+		theta := make([]float64, stages+1)
+		for i := range theta {
+			theta[i] = src.Float64()*0.5 - 0.25
+		}
+		theta[stages] = 0.5
+		m.PUFs = append(m.PUFs, &core.PUFModel{Theta: theta, Thr0: 0.45, Thr1: 0.55})
+	}
+	return m
+}
+
+// modelAnswerDevice answers from the model itself — a perfectly stable
+// genuine device, so every session takes the zero-HD approve path.
+type modelAnswerDevice struct{ m *core.ChipModel }
+
+func (d modelAnswerDevice) ReadXOR(c challenge.Challenge, _ silicon.Condition) uint8 {
+	bit, _ := d.m.PredictXOR(c)
+	return bit
+}
+
+// startBenchServer brings up a loopback server over one synthetic chip and
+// returns a ready client.  instrumented toggles the telemetry plane.
+func startBenchServer(tb testing.TB, n int, instrumented bool) *Client {
+	tb.Helper()
+	model := benchChipModel(7, 4, 64)
+	reg, err := registry.Open("", registry.Options{Seed: 7})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { reg.Close() })
+	const chipID = "bench-chip"
+	if err := reg.Register(chipID, model, 0); err != nil {
+		tb.Fatal(err)
+	}
+	srv := NewServerWithRegistry(n, 7, reg)
+	if !instrumented {
+		srv.SetTelemetry(nil)
+		srv.SetTracer(nil)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	tb.Cleanup(func() { srv.Close() })
+	return &Client{
+		Addr:   ln.Addr().String(),
+		ChipID: chipID,
+		Device: modelAnswerDevice{m: model},
+		Cond:   silicon.Nominal,
+		Policy: RetryPolicy{MaxAttempts: 1},
+	}
+}
+
+// BenchmarkAuthSessionE2E measures one full authentication session —
+// dial, hello, select, challenge round trip, verdict — per iteration, with
+// the telemetry plane fully wired (the production configuration).
+func BenchmarkAuthSessionE2E(b *testing.B) {
+	client := startBenchServer(b, 16, true)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.Authenticate(ctx)
+		if err != nil || !res.Approved {
+			b.Fatalf("session %d: approved=%v err=%v", i, res.Approved, err)
+		}
+	}
+}
+
+// BenchmarkAuthSessionE2EBare is the control arm: the identical session with
+// server telemetry and tracing disabled.  Comparing ns/op against
+// BenchmarkAuthSessionE2E bounds the observability plane's overhead (the
+// budget is < 5 %).
+func BenchmarkAuthSessionE2EBare(b *testing.B) {
+	client := startBenchServer(b, 16, false)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := client.Authenticate(ctx)
+		if err != nil || !res.Approved {
+			b.Fatalf("session %d: approved=%v err=%v", i, res.Approved, err)
+		}
+	}
+}
+
+// TestServerMetricsRecorded injects a private telemetry registry and checks
+// the server's per-session instruments actually move: counters for started /
+// completed / approved sessions, the RTT and session histograms, and a
+// recorded trace with the expected step names and verdict.
+func TestServerMetricsRecorded(t *testing.T) {
+	model := benchChipModel(7, 4, 64)
+	reg, err := registry.Open("", registry.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if err := reg.Register("chip-0", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWithRegistry(8, 7, reg)
+	tel := telemetry.NewRegistry()
+	srv.SetTelemetry(tel)
+	tracer := telemetry.NewTracer(4)
+	srv.SetTracer(tracer)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	client := &Client{
+		Addr:   ln.Addr().String(),
+		ChipID: "chip-0",
+		Device: modelAnswerDevice{m: model},
+		Cond:   silicon.Nominal,
+		Policy: RetryPolicy{MaxAttempts: 1},
+	}
+	res, err := client.Authenticate(context.Background())
+	if err != nil || !res.Approved {
+		t.Fatalf("approved=%v err=%v", res.Approved, err)
+	}
+	// A second session from an unknown chip exercises a denial counter.
+	bad := &Client{
+		Addr:   ln.Addr().String(),
+		ChipID: "nope",
+		Device: modelAnswerDevice{m: model},
+		Cond:   silicon.Nominal,
+		Policy: RetryPolicy{MaxAttempts: 1},
+	}
+	if _, err := bad.Authenticate(context.Background()); err == nil {
+		t.Fatal("unknown chip must fail")
+	}
+
+	snap := tel.Snapshot()
+	for name, want := range map[string]uint64{
+		"netauth_sessions_started_total":   2,
+		"netauth_sessions_completed_total": 1,
+		"netauth_approved_total":           1,
+		"netauth_denied_total":             0,
+		"netauth_deny_unknown_chip_total":  1,
+	} {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if snap.Gauges["netauth_active_sessions"] != 0 {
+		t.Errorf("active sessions gauge = %d after all sessions ended", snap.Gauges["netauth_active_sessions"])
+	}
+	for _, name := range []string{"netauth_session_seconds", "netauth_device_rtt_seconds", "netauth_select_seconds"} {
+		if snap.Histograms[name].Count == 0 {
+			t.Errorf("histogram %s never observed", name)
+		}
+	}
+	if snap.Histograms["netauth_frame_bytes"].Count < 4 {
+		t.Errorf("frame bytes observed %d times, want ≥ 4", snap.Histograms["netauth_frame_bytes"].Count)
+	}
+
+	traces := tracer.Recent(0)
+	if len(traces) != 2 {
+		t.Fatalf("tracer retained %d traces, want 2", len(traces))
+	}
+	// Newest first: the unknown-chip error, then the approval.
+	if traces[0].Verdict != "error" || traces[0].DenialCode != CodeUnknownChip {
+		t.Errorf("trace[0] = %+v, want unknown_chip error", traces[0])
+	}
+	ok := traces[1]
+	if ok.Verdict != "approved" || ok.ChipID != "chip-0" || ok.Session == "" || ok.TotalSeconds <= 0 {
+		t.Errorf("trace[1] = %+v, want approved session for chip-0", ok)
+	}
+	steps := make(map[string]bool, len(ok.Steps))
+	for _, s := range ok.Steps {
+		steps[s.Name] = true
+	}
+	for _, name := range []string{"hello", "select", "device_rtt", "verdict"} {
+		if !steps[name] {
+			t.Errorf("approved trace missing step %q (has %+v)", name, ok.Steps)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"xorpuf/internal/core"
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
+	"xorpuf/internal/telemetry"
 )
 
 // Result is the outcome of a client-side authentication run.
@@ -109,6 +110,9 @@ type Client struct {
 	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
 	// Jitter seeds backoff jitter; nil lazily seeds from the wall clock.
 	Jitter *rng.Source
+	// Tracer, when non-nil, records one SessionTrace per Authenticate
+	// call (verdict, denial code, retry count, total latency).
+	Tracer *telemetry.Tracer
 
 	once sync.Once
 }
@@ -140,6 +144,44 @@ func (c *Client) init() {
 // session had already drawn.
 func (c *Client) Authenticate(ctx context.Context) (Result, error) {
 	c.init()
+	start := time.Now()
+	res, err := c.authenticate(ctx)
+	clientSessions.Inc()
+	clientAttempts.Add(uint64(res.Attempts))
+	if res.Attempts > 1 {
+		clientRetries.Add(uint64(res.Attempts - 1))
+	}
+	if err != nil {
+		clientFailures.Inc()
+	}
+	clientSessionSeconds.ObserveSince(start)
+	if c.Tracer != nil {
+		tr := telemetry.SessionTrace{
+			ChipID:       c.ChipID,
+			Start:        start,
+			Mismatches:   res.Mismatches,
+			Retries:      res.Attempts - 1,
+			TotalSeconds: time.Since(start).Seconds(),
+		}
+		switch {
+		case err == nil && res.Approved:
+			tr.Verdict = "approved"
+		case err == nil:
+			tr.Verdict = "denied"
+		default:
+			tr.Verdict = "error"
+			var pe *ProtocolError
+			if errors.As(err, &pe) {
+				tr.DenialCode = pe.Code
+			}
+		}
+		c.Tracer.Record(tr)
+	}
+	return res, err
+}
+
+// authenticate is the uninstrumented retry loop behind Authenticate.
+func (c *Client) authenticate(ctx context.Context) (Result, error) {
 	if err := c.Cond.Validate(); err != nil {
 		return Result{}, fmt.Errorf("netauth: operating condition: %w", err)
 	}
@@ -190,7 +232,8 @@ func (c *Client) attempt(ctx context.Context) (Result, error) {
 	}
 	readMsg := func(want string) (*message, error) {
 		_ = conn.SetReadDeadline(time.Now().Add(c.Timeout))
-		return readMessage(r, want)
+		m, _, err := readMessage(r, want)
+		return m, err
 	}
 
 	if err := writeMsg(message{Type: "hello", ChipID: c.ChipID}); err != nil {

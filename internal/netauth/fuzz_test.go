@@ -1,0 +1,58 @@
+package netauth
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeFrame drives the wire-frame decoder with adversarial bytes.
+// Whatever arrives off the network, decodeFrame must return a message or an
+// error — never panic — and anything it accepts must re-encode.
+func FuzzDecodeFrame(f *testing.F) {
+	if b, err := encodeFrame(message{Type: "hello", ChipID: "chip-0"}); err == nil {
+		f.Add(b)
+	}
+	if b, err := encodeFrame(message{Type: "challenges", Session: "abc",
+		Challenges: []string{"0101", "1100"}}); err == nil {
+		f.Add(b)
+	}
+	if b, err := encodeFrame(message{Type: "verdict", Approved: true}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte(`{"type":"hello","chip_id":"x","crc":12345}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		if _, err := encodeFrame(*m); err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzReadMessage layers the line reader on top of the frame decoder: split
+// or multi-line adversarial streams must produce errors, not panics or
+// unbounded reads.
+func FuzzReadMessage(f *testing.F) {
+	f.Add([]byte("{\"type\":\"hello\"}\n"))
+	f.Add([]byte("garbage\n{\"type\":\"hello\"}\n"))
+	f.Add([]byte(strings.Repeat("a", 4096)))
+	f.Add([]byte("\n\n\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ {
+			if _, _, err := readMessage(r, "hello"); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,160 @@
+// Telemetry wiring for the authentication hot path.  Every instrument is
+// looked up once, here, and incremented through nil-guarded helpers, so a
+// server with telemetry disabled (SetTelemetry(nil)) pays one predictable
+// branch per event and the instrumented path allocates nothing per session.
+//
+// Server metric catalog:
+//
+//	netauth_sessions_started_total    sessions accepted into handle()
+//	netauth_sessions_completed_total  sessions that reached a verdict
+//	netauth_approved_total            zero-HD approvals
+//	netauth_denied_total              mismatch denials
+//	netauth_lockouts_total            lockout transitions (K-th denial)
+//	netauth_deny_<code>_total         structured wire errors, per Code*
+//	netauth_active_sessions           gauge of in-flight sessions
+//	netauth_frame_bytes               frame sizes, both directions
+//	netauth_device_rtt_seconds        challenges-out → responses-in
+//	netauth_select_seconds            challenge selection latency
+//	netauth_session_seconds           whole-session latency
+//
+// Client metric catalog (package-level, always on — a handful of atomic
+// adds per session, invisible next to a TCP round trip):
+//
+//	netauth_client_attempts_total     protocol attempts, incl. first tries
+//	netauth_client_retries_total      attempts beyond each session's first
+//	netauth_client_sessions_total     Authenticate calls that returned
+//	netauth_client_failures_total     Authenticate calls that returned error
+//	netauth_client_session_seconds    whole-call latency, incl. backoff
+package netauth
+
+import (
+	"time"
+
+	"xorpuf/internal/telemetry"
+)
+
+// serverMetrics holds the server's captured instruments.  A nil
+// *serverMetrics is the disabled state; every method guards for it.
+type serverMetrics struct {
+	sessionsStarted   *telemetry.Counter
+	sessionsCompleted *telemetry.Counter
+	approved          *telemetry.Counter
+	denied            *telemetry.Counter
+	lockouts          *telemetry.Counter
+	denials           map[string]*telemetry.Counter
+	denialOther       *telemetry.Counter
+	activeSessions    *telemetry.Gauge
+	frameBytes        *telemetry.Histogram
+	deviceRTT         *telemetry.Histogram
+	selectSeconds     *telemetry.Histogram
+	sessionSeconds    *telemetry.Histogram
+}
+
+// knownCodes pre-registers a denial counter per structured error code, so
+// the hot path never concatenates strings or touches the registry map.
+var knownCodes = []string{
+	CodeBadMessage, CodeUnknownChip, CodeThrottled, CodeLockedOut,
+	CodeBusy, CodeSelectionFailed, CodeQuarantined,
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serverMetrics{
+		sessionsStarted:   reg.Counter("netauth_sessions_started_total"),
+		sessionsCompleted: reg.Counter("netauth_sessions_completed_total"),
+		approved:          reg.Counter("netauth_approved_total"),
+		denied:            reg.Counter("netauth_denied_total"),
+		lockouts:          reg.Counter("netauth_lockouts_total"),
+		denials:           make(map[string]*telemetry.Counter, len(knownCodes)),
+		denialOther:       reg.Counter("netauth_deny_other_total"),
+		activeSessions:    reg.Gauge("netauth_active_sessions"),
+		frameBytes:        reg.Histogram("netauth_frame_bytes", telemetry.SizeBuckets),
+		deviceRTT:         reg.Histogram("netauth_device_rtt_seconds", telemetry.LatencyBuckets),
+		selectSeconds:     reg.Histogram("netauth_select_seconds", telemetry.LatencyBuckets),
+		sessionSeconds:    reg.Histogram("netauth_session_seconds", telemetry.LatencyBuckets),
+	}
+	for _, code := range knownCodes {
+		m.denials[code] = reg.Counter("netauth_deny_" + code + "_total")
+	}
+	return m
+}
+
+func (m *serverMetrics) sessionStart() {
+	if m == nil {
+		return
+	}
+	m.sessionsStarted.Inc()
+	m.activeSessions.Inc()
+}
+
+func (m *serverMetrics) sessionEnd(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.activeSessions.Dec()
+	m.sessionSeconds.ObserveSince(start)
+}
+
+func (m *serverMetrics) verdict(approvedVerdict bool) {
+	if m == nil {
+		return
+	}
+	m.sessionsCompleted.Inc()
+	if approvedVerdict {
+		m.approved.Inc()
+	} else {
+		m.denied.Inc()
+	}
+}
+
+func (m *serverMetrics) deny(code string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.denials[code]; ok {
+		c.Inc()
+	} else {
+		m.denialOther.Inc()
+	}
+}
+
+func (m *serverMetrics) lockout() {
+	if m == nil {
+		return
+	}
+	m.lockouts.Inc()
+}
+
+func (m *serverMetrics) frame(n int) {
+	if m == nil {
+		return
+	}
+	m.frameBytes.Observe(float64(n))
+}
+
+func (m *serverMetrics) observeSelect(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.selectSeconds.ObserveSince(start)
+}
+
+func (m *serverMetrics) observeRTT(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.deviceRTT.ObserveSince(start)
+}
+
+// Client-side instruments, captured once from the Default registry.  The
+// cost per session is a few predictable atomic adds in both "instrumented"
+// and "bare" server benchmarks, so it never skews an overhead comparison.
+var (
+	clientAttempts       = telemetry.Default.Counter("netauth_client_attempts_total")
+	clientRetries        = telemetry.Default.Counter("netauth_client_retries_total")
+	clientSessions       = telemetry.Default.Counter("netauth_client_sessions_total")
+	clientFailures       = telemetry.Default.Counter("netauth_client_failures_total")
+	clientSessionSeconds = telemetry.Default.Histogram("netauth_client_session_seconds", telemetry.LatencyBuckets)
+)

@@ -69,6 +69,7 @@ import (
 	"xorpuf/internal/health"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/rng"
+	"xorpuf/internal/telemetry"
 )
 
 // maxLineBytes caps one wire frame.  ReadBytes without a cap would let a
@@ -209,6 +210,13 @@ type Server struct {
 	// healthHandler observes drift-detector transitions (SetHealthHandler).
 	healthHandler func(health.Event)
 
+	// tel is the captured instrument set (nil = telemetry disabled); tracer
+	// retains recent session traces.  Both are read without s.mu on the hot
+	// path, so they may only be swapped before Serve (SetTelemetry and
+	// SetTracer document this).
+	tel    *serverMetrics
+	tracer *telemetry.Tracer
+
 	// decisions counts completed authentications, for tests/monitoring.
 	decisions struct {
 		approved, denied int
@@ -251,8 +259,29 @@ func NewServerWithRegistry(numChallenges int, seed uint64, reg *registry.Registr
 		reg:           reg,
 		active:        make(map[net.Conn]struct{}),
 		selSrc:        rng.New(seed),
+		tel:           newServerMetrics(telemetry.Default),
+		tracer:        telemetry.NewTracer(defaultTraceCapacity),
 	}
 }
+
+// defaultTraceCapacity is how many recent session traces a server retains.
+const defaultTraceCapacity = 256
+
+// SetTelemetry rebinds the server's instruments to reg; nil disables
+// server-side metrics entirely (the bare arm of the overhead benchmark).
+// Call before Serve — the instrument set is read without a lock on the
+// session hot path.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	s.tel = newServerMetrics(reg)
+}
+
+// SetTracer replaces the session trace recorder; nil disables tracing.
+// Call before Serve.
+func (s *Server) SetTracer(t *telemetry.Tracer) { s.tracer = t }
+
+// Tracer returns the session trace recorder (nil when disabled) — the
+// admin /traces endpoint reads it.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // Registry exposes the backing model database (for operator tooling).
 func (s *Server) Registry() *registry.Registry { return s.reg }
@@ -424,6 +453,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		s.serving.Add(1)
 		if busy {
+			s.tel.deny(CodeBusy)
 			go func() {
 				defer s.serving.Done()
 				defer conn.Close()
@@ -487,6 +517,7 @@ func (s *Server) writeMsg(conn net.Conn, m message) error {
 	if err != nil {
 		return err
 	}
+	s.tel.frame(len(b))
 	_ = conn.SetWriteDeadline(time.Now().Add(d))
 	_, err = conn.Write(b)
 	return err
@@ -498,13 +529,27 @@ func (s *Server) readMsg(conn net.Conn, r *bufio.Reader, wantType string) (*mess
 	d := s.msgTimeout
 	s.mu.Unlock()
 	_ = conn.SetReadDeadline(time.Now().Add(d))
-	return readMessage(r, wantType)
+	m, n, err := readMessage(r, wantType)
+	if n > 0 {
+		s.tel.frame(n)
+	}
+	return m, err
 }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	start := time.Now()
+	s.tel.sessionStart()
+	trace := telemetry.SessionTrace{Start: start, Verdict: "error"}
+	defer func() {
+		trace.TotalSeconds = time.Since(start).Seconds()
+		s.tel.sessionEnd(start)
+		s.tracer.Record(trace)
+	}()
 	r := bufio.NewReader(conn)
 	fail := func(code string, retryable bool, format string, args ...interface{}) {
+		s.tel.deny(code)
+		trace.Verdict, trace.DenialCode = "error", code
 		_ = s.writeMsg(conn, message{
 			Type: "error", Code: code, Retryable: retryable,
 			Message: fmt.Sprintf(format, args...),
@@ -516,6 +561,8 @@ func (s *Server) handle(conn net.Conn) {
 		fail(CodeBadMessage, true, "bad hello: %v", err)
 		return
 	}
+	trace.ChipID = hello.ChipID
+	trace.Step("hello", time.Since(start))
 
 	// Admission control: existence, lockout, throttle.  The per-chip state
 	// lives in the registry entry, so sessions for different chips contend
@@ -557,7 +604,11 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Lock()
 	session := fmt.Sprintf("%016x", s.selSrc.Uint64())
 	s.mu.Unlock()
+	trace.Session = session
+	selectStart := time.Now()
 	cs, predicted, err := entry.Issue(s.numChallenges, 0)
+	s.tel.observeSelect(selectStart)
+	trace.Step("select", time.Since(selectStart))
 	if err != nil {
 		fail(CodeSelectionFailed, false, "challenge selection failed: %v", err)
 		return
@@ -566,11 +617,14 @@ func (s *Server) handle(conn net.Conn) {
 	for i, c := range cs {
 		out.Challenges[i] = c.String()
 	}
+	rttStart := time.Now()
 	if err := s.writeMsg(conn, out); err != nil {
 		return
 	}
 
 	resp, err := s.readMsg(conn, r, "responses")
+	s.tel.observeRTT(rttStart)
+	trace.Step("device_rtt", time.Since(rttStart))
 	if err != nil {
 		fail(CodeBadMessage, true, "bad responses: %v", err)
 		return
@@ -594,10 +648,20 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}
 	approved := mismatches == 0 // the paper's zero-HD criterion
-	entry.Verdict(approved, lockoutK)
+	nowLocked := entry.Verdict(approved, lockoutK)
+	if !approved && nowLocked {
+		s.tel.lockout()
+	}
 	ev, transitioned := entry.RecordAuth(health.Outcome{
 		Approved: approved, Mismatches: mismatches, Challenges: len(predicted),
 	})
+	s.tel.verdict(approved)
+	trace.Mismatches = mismatches
+	if approved {
+		trace.Verdict = "approved"
+	} else {
+		trace.Verdict = "denied"
+	}
 	s.mu.Lock()
 	if approved {
 		s.decisions.approved++
@@ -606,7 +670,9 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	onHealth := s.healthHandler
 	s.mu.Unlock()
+	verdictStart := time.Now()
 	_ = s.writeMsg(conn, message{Type: "verdict", Approved: approved, Mismatches: mismatches})
+	trace.Step("verdict", time.Since(verdictStart))
 	if transitioned && onHealth != nil {
 		onHealth(ev)
 	}
@@ -634,15 +700,17 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	}
 }
 
-// readMessage decodes one integrity-checked line and checks its type.
-func readMessage(r *bufio.Reader, wantType string) (*message, error) {
+// readMessage decodes one integrity-checked line and checks its type.  It
+// also reports the raw frame length (0 when the read itself failed) so
+// callers can feed frame-size telemetry.
+func readMessage(r *bufio.Reader, wantType string) (*message, int, error) {
 	line, err := readLine(r)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	m, err := decodeFrame(line)
 	if err != nil {
-		return nil, err
+		return nil, len(line), err
 	}
 	if m.Type == "error" {
 		code := m.Code
@@ -652,12 +720,12 @@ func readMessage(r *bufio.Reader, wantType string) (*message, error) {
 			code = CodeBadMessage
 			m.Retryable = true
 		}
-		return nil, &ProtocolError{Code: code, Message: m.Message, Retryable: m.Retryable}
+		return nil, len(line), &ProtocolError{Code: code, Message: m.Message, Retryable: m.Retryable}
 	}
 	if m.Type != wantType {
-		return nil, fmt.Errorf("unexpected message type %q, want %q", m.Type, wantType)
+		return nil, len(line), fmt.Errorf("unexpected message type %q, want %q", m.Type, wantType)
 	}
-	return m, nil
+	return m, len(line), nil
 }
 
 // parseChallenge decodes a "0101..." bit string.

@@ -127,7 +127,7 @@ func TestFreshChallengesPerSession(t *testing.T) {
 		if err := enc.Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
 			t.Fatal(err)
 		}
-		m, err := readMessage(r, "challenges")
+		m, _, err := readMessage(r, "challenges")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func TestFreshChallengesPerSession(t *testing.T) {
 		if err := enc.Encode(resp); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := readMessage(r, "verdict"); err != nil {
+		if _, _, err := readMessage(r, "verdict"); err != nil {
 			t.Fatal(err)
 		}
 		return out
@@ -197,7 +197,7 @@ func TestSessionMismatchRejected(t *testing.T) {
 	if err := enc.Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
 		t.Fatal(err)
 	}
-	m, err := readMessage(r, "challenges")
+	m, _, err := readMessage(r, "challenges")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestSessionMismatchRejected(t *testing.T) {
 	if err := enc.Encode(resp); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := readMessage(r, "verdict"); err == nil ||
+	if _, _, err := readMessage(r, "verdict"); err == nil ||
 		!strings.Contains(err.Error(), "session mismatch") {
 		t.Errorf("err = %v, want session mismatch", err)
 	}
@@ -223,7 +223,7 @@ func TestWrongResponseCountRejected(t *testing.T) {
 	if err := enc.Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
 		t.Fatal(err)
 	}
-	m, err := readMessage(r, "challenges")
+	m, _, err := readMessage(r, "challenges")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestWrongResponseCountRejected(t *testing.T) {
 	if err := enc.Encode(resp); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := readMessage(r, "verdict"); err == nil ||
+	if _, _, err := readMessage(r, "verdict"); err == nil ||
 		!strings.Contains(err.Error(), "expected") {
 		t.Errorf("err = %v, want response-count error", err)
 	}

@@ -90,7 +90,7 @@ func rawSession(t *testing.T, addr string) (net.Conn, *json.Encoder, *bufio.Read
 	if err := enc.Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
 		t.Fatal(err)
 	}
-	ch, err := readMessage(r, "challenges")
+	ch, _, err := readMessage(r, "challenges")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func rawSession(t *testing.T, addr string) (net.Conn, *json.Encoder, *bufio.Read
 // the given code and retryability.
 func expectProtocolError(t *testing.T, r *bufio.Reader, code string, retryable bool) *ProtocolError {
 	t.Helper()
-	_, err := readMessage(r, "verdict")
+	_, _, err := readMessage(r, "verdict")
 	var pe *ProtocolError
 	if !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want ProtocolError", err)
@@ -323,7 +323,7 @@ func TestMaxConnsRefusesWithBusy(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Wait until the hog's session reaches the server handler.
-	if _, err := readMessage(bufio.NewReader(hog), "challenges"); err != nil {
+	if _, _, err := readMessage(bufio.NewReader(hog), "challenges"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -385,7 +385,7 @@ func TestCloseForceClosesStragglers(t *testing.T) {
 	if err := json.NewEncoder(conn).Encode(message{Type: "hello", ChipID: "chip-A"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := readMessage(bufio.NewReader(conn), "challenges"); err != nil {
+	if _, _, err := readMessage(bufio.NewReader(conn), "challenges"); err != nil {
 		t.Fatal(err)
 	}
 	start := time.Now()

@@ -170,6 +170,13 @@ func (r *reader) readModel() *core.ChipModel {
 		r.fail("implausible model geometry %d×%d", width, stages)
 		return nil
 	}
+	// The remaining payload must hold β pair + per-PUF thresholds and θ;
+	// checking up front keeps a corrupt geometry from allocating megabytes
+	// just to fail on truncation.
+	if need := 16 + width*(2+stages+1)*8; need > len(r.b) {
+		r.fail("model geometry %d×%d needs %d bytes, have %d", width, stages, need, len(r.b))
+		return nil
+	}
 	m := &core.ChipModel{PUFs: make([]*core.PUFModel, width)}
 	m.Beta0 = r.f64()
 	m.Beta1 = r.f64()
@@ -209,6 +216,11 @@ func (r *reader) readSelectorState() core.SelectorState {
 	count := int(r.u32())
 	if r.err == nil && count > maxUsedWords {
 		r.fail("implausible used-word count %d", count)
+	}
+	// Same defensive posture as readModel: the words must actually be in
+	// the payload before a count-sized slice is allocated.
+	if r.err == nil && count*8 > len(r.b) {
+		r.fail("used-word count %d needs %d bytes, have %d", count, count*8, len(r.b))
 	}
 	if r.err != nil {
 		return core.SelectorState{}

@@ -23,6 +23,21 @@ import (
 	"xorpuf/internal/registry"
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
+	"xorpuf/internal/telemetry"
+)
+
+// Pipeline instruments, captured once from the Default registry.  Enrollment
+// is seconds-per-chip work, so per-chip histogram observes are free by
+// comparison.
+var (
+	enrolledTotal  = telemetry.Default.Counter("fleet_enrolled_total")
+	skippedTotal   = telemetry.Default.Counter("fleet_skipped_total")
+	failedTotal    = telemetry.Default.Counter("fleet_failed_total")
+	enrollSeconds  = telemetry.Default.Histogram("fleet_enroll_seconds", telemetry.LatencyBuckets)
+	activeWorkers  = telemetry.Default.Gauge("fleet_active_workers")
+	reenrollTotal  = telemetry.Default.Counter("fleet_reenroll_total")
+	reenrollFailed = telemetry.Default.Counter("fleet_reenroll_failed_total")
+	reenrollSecs   = telemetry.Default.Histogram("fleet_reenroll_seconds", telemetry.LatencyBuckets)
 )
 
 // Config parameterizes one fleet enrollment run.
@@ -130,14 +145,24 @@ func Run(cfg Config, reg *registry.Registry) (Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			activeWorkers.Inc()
+			defer activeWorkers.Dec()
 			for i := range jobs {
 				id := fmt.Sprintf("%s%d", cfg.IDPrefix, i)
 				if cfg.SkipExisting && reg.Lookup(id) != nil {
 					skipped.Add(1)
-				} else if err := enrollOne(cfg, reg, i, id); err != nil {
-					fail(i, err)
+					skippedTotal.Inc()
 				} else {
-					enrolled.Add(1)
+					chipStart := time.Now()
+					err := enrollOne(cfg, reg, i, id)
+					enrollSeconds.ObserveSince(chipStart)
+					if err != nil {
+						fail(i, err)
+						failedTotal.Inc()
+					} else {
+						enrolled.Add(1)
+						enrolledTotal.Inc()
+					}
 				}
 				if cfg.Progress != nil {
 					cfg.Progress(int(done.Add(1)), cfg.Chips)

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"xorpuf/internal/core"
 	"xorpuf/internal/health"
@@ -158,7 +159,15 @@ func (re *ReEnroller) ReEnroll(id string) error {
 }
 
 // reenroll measures, refits, and swaps one chip.
-func (re *ReEnroller) reenroll(id string) error {
+func (re *ReEnroller) reenroll(id string) (err error) {
+	defer reenrollSecs.ObserveSince(time.Now())
+	defer func() {
+		if err != nil {
+			reenrollFailed.Inc()
+		} else {
+			reenrollTotal.Inc()
+		}
+	}()
 	if re.reg.Lookup(id) == nil {
 		return fmt.Errorf("fleet: re-enroll: chip %q not registered", id)
 	}

@@ -1,0 +1,95 @@
+package registry
+
+import (
+	"bytes"
+	"testing"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/health"
+	"xorpuf/internal/rng"
+)
+
+// fuzzModel builds a tiny but well-formed chip model for seed payloads.
+func fuzzModel() *core.ChipModel {
+	return &core.ChipModel{
+		Beta0: 1, Beta1: 1,
+		PUFs: []*core.PUFModel{
+			{Theta: []float64{0.1, -0.2, 0.3}, Thr0: 0.4, Thr1: 0.6},
+			{Theta: []float64{-0.3, 0.2, -0.1}, Thr0: 0.4, Thr1: 0.6},
+		},
+	}
+}
+
+// FuzzWALRecord drives the journal replay decoder with adversarial record
+// payloads of every type.  The invariant is the recovery contract: a corrupt
+// record must surface as an error (or be a harmless no-op for unknown IDs),
+// never as a panic or a giant allocation.
+func FuzzWALRecord(f *testing.F) {
+	model := fuzzModel()
+	f.Add(recRegister, registerPayload("chip-0", 64, model))
+	f.Add(recIssued, appendU64(appendU32(appendString(nil, "chip-0"), 2), 7))
+	f.Add(recAbuse, abusePayload("chip-0", 3, true))
+	f.Add(recDeregister, appendString(nil, "chip-0"))
+	f.Add(recHealth, healthPayload("chip-0", health.TrackerState{State: health.Degraded, FailEWMA: 0.5}))
+	f.Add(recReenroll, registerPayload("chip-0", 64, model))
+	f.Add(byte(0), []byte{})
+	f.Add(byte(255), bytes.Repeat([]byte{0xff}, 64))
+	// A register record claiming an enormous geometry on a short payload.
+	f.Add(recRegister, append(appendString(nil, "x"), 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, typ byte, payload []byte) {
+		reg, err := Open("", Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reg.Close()
+		// Pre-register one chip so ID-matching record types exercise their
+		// mutate-an-entry paths, not just the unknown-ID early returns.
+		if err := reg.Register("chip-0", fuzzModel(), 64); err != nil {
+			t.Fatal(err)
+		}
+		_ = reg.applyRecord(typ, payload) // must not panic
+	})
+}
+
+// FuzzSelectorState drives the selector-state decoder, then checks that any
+// state it accepts round-trips through a live Selector: import → export must
+// preserve the used-challenge set (deduplicated and sorted) and the budget,
+// because that set IS the never-reuse guarantee.
+func FuzzSelectorState(f *testing.F) {
+	f.Add(appendSelectorState(nil, core.SelectorState{Budget: 10, Used: []uint64{1, 2, 99}}))
+	f.Add(appendSelectorState(nil, core.SelectorState{}))
+	// Claimed count far beyond the payload.
+	f.Add([]byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := &reader{b: data}
+		st := rd.readSelectorState()
+		if rd.err != nil {
+			return
+		}
+		sel := core.NewSelector(fuzzModel(), rng.New(1))
+		sel.ImportState(st)
+		out := sel.ExportState()
+		want := make(map[uint64]struct{}, len(st.Used))
+		for _, w := range st.Used {
+			want[w] = struct{}{}
+		}
+		if len(out.Used) != len(want) {
+			t.Fatalf("round-trip lost words: imported %d distinct, exported %d", len(want), len(out.Used))
+		}
+		for _, w := range out.Used {
+			if _, ok := want[w]; !ok {
+				t.Fatalf("exported word %d was never imported", w)
+			}
+		}
+		wantBudget := st.Budget
+		if wantBudget < 0 {
+			wantBudget = 0
+		}
+		if out.Budget != wantBudget {
+			t.Fatalf("budget %d round-tripped to %d", st.Budget, out.Budget)
+		}
+	})
+}

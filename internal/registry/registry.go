@@ -188,13 +188,21 @@ func (r *Registry) Register(id string, model *core.ChipModel, budget int) error 
 		sh.mu.Unlock()
 		return err
 	}
+	chipsGauge.Inc()
 	return nil
 }
 
 // Lookup returns the live entry for id, or nil.
 func (r *Registry) Lookup(id string) *Entry {
 	sh := r.shard(id)
-	sh.mu.RLock()
+	// TryRLock first: a failure means a writer (or writer-waiting reader
+	// queue) held the shard, which is exactly the contention the
+	// registry_shard_contention_total counter is sizing.  The fallback
+	// blocks as before, so behavior is unchanged.
+	if !sh.mu.TryRLock() {
+		shardContention.Inc()
+		sh.mu.RLock()
+	}
 	e := sh.m[id]
 	sh.mu.RUnlock()
 	return e
@@ -217,6 +225,7 @@ func (r *Registry) Deregister(id string) bool {
 	sh.mu.Unlock()
 	if ok {
 		_ = r.appendRecord(recDeregister, appendString(nil, id))
+		chipsGauge.Dec()
 	}
 	return ok
 }
@@ -541,4 +550,5 @@ func (r *Registry) install(e *Entry) {
 	sh.mu.Lock()
 	sh.m[e.id] = e
 	sh.mu.Unlock()
+	chipsGauge.Inc()
 }

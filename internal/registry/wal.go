@@ -44,8 +44,24 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"time"
 
 	"xorpuf/internal/health"
+	"xorpuf/internal/telemetry"
+)
+
+// Durability-path instruments, captured once from the Default registry.
+// They are process-wide (all Registry instances feed the same series): the
+// WAL and snapshot latencies being watched are properties of the storage
+// stack underneath the process, not of one registry.
+var (
+	walAppendSeconds  = telemetry.Default.Histogram("registry_wal_append_seconds", telemetry.LatencyBuckets)
+	walFsyncSeconds   = telemetry.Default.Histogram("registry_wal_fsync_seconds", telemetry.LatencyBuckets)
+	walRecordsTotal   = telemetry.Default.Counter("registry_wal_records_total")
+	walBytesTotal     = telemetry.Default.Counter("registry_wal_bytes_total")
+	compactionSeconds = telemetry.Default.Histogram("registry_compaction_seconds", telemetry.LatencyBuckets)
+	shardContention   = telemetry.Default.Counter("registry_shard_contention_total")
+	chipsGauge        = telemetry.Default.Gauge("registry_chips")
 )
 
 var (
@@ -80,11 +96,19 @@ type walFile struct {
 }
 
 func (w *walFile) append(buf []byte, fsync bool) error {
-	if _, err := w.f.Write(buf); err != nil {
+	start := time.Now()
+	_, err := w.f.Write(buf)
+	walAppendSeconds.ObserveSince(start)
+	if err != nil {
 		return fmt.Errorf("registry: wal append: %w", err)
 	}
+	walRecordsTotal.Inc()
+	walBytesTotal.Add(uint64(len(buf)))
 	if fsync {
-		if err := w.f.Sync(); err != nil {
+		syncStart := time.Now()
+		err := w.f.Sync()
+		walFsyncSeconds.ObserveSince(syncStart)
+		if err != nil {
 			return fmt.Errorf("registry: wal fsync: %w", err)
 		}
 	}
@@ -140,6 +164,7 @@ func (r *Registry) compactLocked() error {
 	if r.wal == nil {
 		return nil
 	}
+	defer compactionSeconds.ObserveSince(time.Now())
 	r.pmu.Lock()
 	defer r.pmu.Unlock()
 
@@ -414,7 +439,10 @@ func (r *Registry) applyRecord(typ byte, payload []byte) error {
 			return fmt.Errorf("deregister record: %w", rd.err)
 		}
 		sh := r.shard(id)
-		delete(sh.m, id)
+		if _, ok := sh.m[id]; ok {
+			delete(sh.m, id)
+			chipsGauge.Dec()
+		}
 	case recHealth:
 		id := rd.str()
 		st := rd.readTrackerState()

@@ -6,6 +6,16 @@ import (
 
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/rng"
+	"xorpuf/internal/telemetry"
+)
+
+// Measurement counters, captured once from the Default registry.  Counting
+// happens at Chip-method granularity with batched adds — one atomic add per
+// readout, not per arbiter chain — so enrollment's million-evaluation inner
+// loops see no added contention.
+var (
+	evaluationsTotal = telemetry.Default.Counter("silicon_evaluations_total")
+	softMeasurements = telemetry.Default.Counter("silicon_soft_measurements_total")
 )
 
 // ErrFusesBlown is returned when individual-PUF access is attempted after
@@ -70,6 +80,7 @@ func (c *Chip) ReadIndividual(i int, ch challenge.Challenge, cond Condition) (ui
 	if err := cond.Validate(); err != nil {
 		return 0, err
 	}
+	evaluationsTotal.Inc()
 	return c.pufs[i].Eval(c.noise, ch, cond), nil
 }
 
@@ -82,6 +93,8 @@ func (c *Chip) SoftResponse(i int, ch challenge.Challenge, cond Condition) (floa
 	if err := cond.Validate(); err != nil {
 		return 0, err
 	}
+	softMeasurements.Inc()
+	evaluationsTotal.Add(uint64(c.params.CounterDepth))
 	return c.pufs[i].MeasureSoft(c.noise, ch, cond, c.params.CounterDepth), nil
 }
 
@@ -92,6 +105,7 @@ func (c *Chip) SoftResponse(i int, ch challenge.Challenge, cond Condition) (floa
 // Condition.Validate first.
 func (c *Chip) ReadXOR(ch challenge.Challenge, cond Condition) uint8 {
 	cond.mustValidate()
+	evaluationsTotal.Add(uint64(len(c.pufs)))
 	var x uint8
 	for _, p := range c.pufs {
 		x ^= p.Eval(c.noise, ch, cond)
@@ -107,6 +121,7 @@ func (c *Chip) ReadXORSubset(n int, ch challenge.Challenge, cond Condition) uint
 		panic(fmt.Sprintf("silicon: XOR subset width %d out of range [1,%d]", n, len(c.pufs)))
 	}
 	cond.mustValidate()
+	evaluationsTotal.Add(uint64(n))
 	var x uint8
 	for _, p := range c.pufs[:n] {
 		x ^= p.Eval(c.noise, ch, cond)

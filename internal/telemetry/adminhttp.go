@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// AdminMux builds the operator-facing HTTP surface `puflab serve -admin`
+// exposes:
+//
+//	/metrics        text scrape format (?format=json for the JSON snapshot)
+//	/healthz        JSON liveness payload from the healthz callback
+//	/traces         recent authentication session traces (?n=K caps the count)
+//	/debug/pprof/*  the standard runtime profiler endpoints
+//
+// reg, tracer, and healthz may each be nil; the endpoints degrade to empty
+// snapshots, empty trace lists, and a bare {"status":"ok"}.  The mux is
+// deliberately built by hand (not net/http.DefaultServeMux) so importing
+// net/http/pprof's handlers never leaks profiling onto a mux the caller
+// didn't ask for.
+func AdminMux(reg *Registry, tracer *Tracer, healthz func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			body, err := snap.MarshalJSONIndent()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(body)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = snap.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		var payload any = map[string]string{"status": "ok"}
+		if healthz != nil {
+			payload = healthz()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(payload)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			// Tolerant parse: a bad n means "all retained".
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		traces := tracer.Recent(n)
+		if traces == nil {
+			traces = []SessionTrace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(traces)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

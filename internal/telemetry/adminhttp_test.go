@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAdminMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total").Add(3)
+	tracer := NewTracer(8)
+	tracer.Record(SessionTrace{Session: "s1", Verdict: "approved"})
+	tracer.Record(SessionTrace{Session: "s2", Verdict: "denied"})
+	mux := AdminMux(reg, tracer, func() any {
+		return map[string]any{"status": "ok", "chips": 2}
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "counter requests_total 3") {
+		t.Fatalf("/metrics: status %d body %q", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ct)
+	}
+
+	resp, body = get("/metrics?format=json")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics?format=json did not parse: %v\n%s", err, body)
+	}
+	if snap.Counters["requests_total"] != 3 {
+		t.Fatalf("JSON snapshot counters = %+v", snap.Counters)
+	}
+
+	resp, body = get("/healthz")
+	var hz map[string]any
+	if err := json.Unmarshal([]byte(body), &hz); err != nil || hz["status"] != "ok" || hz["chips"] != float64(2) {
+		t.Fatalf("/healthz = %q err=%v", body, err)
+	}
+
+	resp, body = get("/traces?n=1")
+	var traces []SessionTrace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/traces did not parse: %v", err)
+	}
+	if len(traces) != 1 || traces[0].Session != "s2" {
+		t.Fatalf("/traces?n=1 = %+v, want newest only", traces)
+	}
+
+	resp, _ = get("/debug/pprof/")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+}
+
+// TestAdminMuxNilDependencies: every dependency may be nil and the plane
+// must still serve.
+func TestAdminMuxNilDependencies(t *testing.T) {
+	srv := httptest.NewServer(AdminMux(nil, nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/metrics?format=json", "/healthz", "/traces"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d with nil deps", path, resp.StatusCode)
+		}
+	}
+}

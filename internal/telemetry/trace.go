@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceStep is one timed phase of an authentication session — a message
+// round trip, a challenge-selection pass, a verdict write.
+type TraceStep struct {
+	// Name labels the phase ("hello", "select", "device_rtt", "verdict").
+	Name string `json:"name"`
+	// Seconds is the phase's wall-clock duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// SessionTrace is the record of one authentication session as the server
+// (or client) saw it: identity, per-phase timings, and the outcome.
+type SessionTrace struct {
+	// Session is the server-assigned session ID (empty when the session
+	// failed before one was assigned).
+	Session string `json:"session,omitempty"`
+	// ChipID identifies the chip, as claimed in the hello.
+	ChipID string `json:"chip_id,omitempty"`
+	// Start is when the session began.
+	Start time.Time `json:"start"`
+	// Verdict is the outcome: "approved", "denied", or "error".
+	Verdict string `json:"verdict"`
+	// DenialCode is the wire error code for "error" verdicts (one of the
+	// netauth Code* constants).
+	DenialCode string `json:"denial_code,omitempty"`
+	// Mismatches is the mismatched-bit count of a completed verdict.
+	Mismatches int `json:"mismatches"`
+	// Retries counts protocol retries beyond the first attempt
+	// (client-side traces; servers see each attempt as its own session).
+	Retries int `json:"retries"`
+	// Steps are the per-phase timings in execution order.
+	Steps []TraceStep `json:"steps,omitempty"`
+	// TotalSeconds is the whole session's wall-clock duration.
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// Step appends a timed phase.
+func (t *SessionTrace) Step(name string, d time.Duration) {
+	t.Steps = append(t.Steps, TraceStep{Name: name, Seconds: d.Seconds()})
+}
+
+// Tracer retains the most recent session traces in a fixed-capacity ring.
+// Recording is O(1) with one short critical section; the ring never grows,
+// so a flood of sessions cannot balloon memory.  All methods are safe for
+// concurrent use and nil-safe.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []SessionTrace
+	next int
+	full bool
+}
+
+// NewTracer returns a tracer retaining the last capacity sessions
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SessionTrace, capacity)}
+}
+
+// Record stores one completed session trace, evicting the oldest when the
+// ring is full.
+func (t *Tracer) Record(tr SessionTrace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = tr
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Len returns how many traces are retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Recent returns up to n traces, newest first.  n ≤ 0 returns everything
+// retained.
+func (t *Tracer) Recent(n int) []SessionTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = len(t.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]SessionTrace, 0, n)
+	for i := 1; i <= n; i++ {
+		idx := t.next - i
+		if idx < 0 {
+			idx += len(t.ring)
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
