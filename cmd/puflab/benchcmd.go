@@ -46,10 +46,16 @@ func runBench(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the machine-readable JSON report instead of a table")
 	out := fs.String("o", "", "also write the JSON report to this path")
+	outLong := fs.String("out", "", "alias for -o")
+	baseline := fs.String("baseline", "", "prior JSON report to compare against (fails on regression)")
+	tolerance := fs.Float64("tolerance", 15, "max %% auth_session_e2e ns/op regression vs -baseline before failing")
 	n := fs.Int("n", 16, "challenges per benchmarked authentication session")
 	seed := fs.Uint64("seed", 1, "model seed")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
+	}
+	if *out == "" {
+		*out = *outLong
 	}
 
 	report := benchReport{
@@ -111,13 +117,54 @@ func runBench(args []string) {
 		if *asJSON {
 			os.Stdout.Write(b)
 		}
-		return
+	} else {
+		fmt.Printf("%-24s %12s %14s %10s %10s\n", "benchmark", "iterations", "ns/op", "B/op", "allocs/op")
+		for _, r := range report.Benchmarks {
+			fmt.Printf("%-24s %12d %14.1f %10d %10d\n", r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		fmt.Printf("\nauth session overhead (instrumented vs bare): %+.2f%%\n", report.OverheadPercent)
 	}
-	fmt.Printf("%-24s %12s %14s %10s %10s\n", "benchmark", "iterations", "ns/op", "B/op", "allocs/op")
-	for _, r := range report.Benchmarks {
-		fmt.Printf("%-24s %12d %14.1f %10d %10d\n", r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	if *baseline != "" {
+		if err := compareBaseline(report, *baseline, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("\nauth session overhead (instrumented vs bare): %+.2f%%\n", report.OverheadPercent)
+}
+
+// compareBaseline fails when the instrumented end-to-end session benchmark
+// regressed more than tolerance percent against a prior report.  Loopback
+// benchmarks are noisy, so only the headline macro benchmark gates CI.
+func compareBaseline(report benchReport, path string, tolerance float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("decoding baseline %s: %w", path, err)
+	}
+	const name = "auth_session_e2e"
+	find := func(r benchReport) (benchResult, bool) {
+		for _, b := range r.Benchmarks {
+			if b.Name == name {
+				return b, true
+			}
+		}
+		return benchResult{}, false
+	}
+	cur, ok1 := find(report)
+	prev, ok2 := find(base)
+	if !ok1 || !ok2 || prev.NsPerOp <= 0 {
+		return fmt.Errorf("baseline %s has no usable %s entry", path, name)
+	}
+	change := (cur.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100
+	fmt.Fprintf(os.Stderr, "baseline %s: %s %.1f → %.1f ns/op (%+.2f%%, tolerance %.0f%%)\n",
+		path, name, prev.NsPerOp, cur.NsPerOp, change, tolerance)
+	if change > tolerance {
+		return fmt.Errorf("%s regressed %.2f%% (> %.0f%% tolerance) vs %s", name, change, tolerance, path)
+	}
+	return nil
 }
 
 // benchModel fabricates a synthetic ChipModel whose predictions need no

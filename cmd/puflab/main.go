@@ -35,7 +35,13 @@
 //	metrics   scrape a serve instance's admin plane and pretty-print the
 //	          snapshot (-addr, -raw, -json)
 //	bench     measure the authentication hot path and the observability
-//	          plane's overhead (-json, -o, -n, -seed)
+//	          plane's overhead (-json, -o, -out, -n, -seed, -baseline,
+//	          -tolerance)
+//	top       live terminal dashboard over a serve admin plane: windowed
+//	          rates, quantiles, burn rates, alerts (-addr, -interval,
+//	          -count, -window)
+//	slo       one-shot SLO evaluation against a serve admin plane; exits
+//	          nonzero while any alert is firing (-addr, -json, -events)
 //	all       every experiment above (fig4 at fast scale)
 //
 // Common flags:
@@ -86,6 +92,12 @@ func main() {
 		return
 	case "bench":
 		runBench(os.Args[2:])
+		return
+	case "top":
+		runTop(os.Args[2:])
+		return
+	case "slo":
+		runSLO(os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -246,5 +258,6 @@ experiments: fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 metrics protocols avalan
 network:     serve auth   (run "puflab serve -h" / "puflab auth -h" for the resilience and fault-injection knobs)
 fleet:       fleet        (persistent registry benchmark: enrollment throughput, lookups/s, recovery time)
 lifecycle:   health       (drift-detector report, force-quarantine, re-enrollment; "puflab health" for usage)
-observe:     metrics bench ("puflab metrics" scrapes a serve -admin plane; "puflab bench" measures hot-path overhead)`)
+observe:     metrics bench top slo ("puflab metrics" scrapes a serve -admin plane; "puflab bench" measures
+             hot-path overhead; "puflab top" is a live dashboard; "puflab slo" gates on firing alerts)`)
 }

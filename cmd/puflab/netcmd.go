@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,6 +32,8 @@ import (
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
 	"xorpuf/internal/telemetry"
+	"xorpuf/internal/telemetry/history"
+	"xorpuf/internal/telemetry/slo"
 )
 
 // faultFlags registers the shared fault-injection knobs and returns a
@@ -86,6 +89,8 @@ func runServe(args []string) {
 	admin := fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /traces, /debug/pprof (empty = off)")
 	workers := fs.Int("workers", 0, "enrollment worker-pool size (0 = GOMAXPROCS)")
 	autoReenroll := fs.Bool("auto-reenroll", false, "automatically re-enroll chips the drift detectors quarantine")
+	sample := fs.Duration("sample", 2*time.Second, "telemetry sampling / SLO evaluation interval (0 = SLO plane off)")
+	attackLockout := fs.Bool("attack-lockout", false, "force-lock any chip whose suspected-modeling-attack alert fires")
 	fault := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -166,9 +171,47 @@ func runServe(args []string) {
 		}
 	})
 
-	// Observability plane: metrics, health, session traces, and pprof on a
-	// separate listener so operational scraping never competes with (or
-	// exposes) the authentication port.
+	// SLO plane: a sampler snapshots the process-wide registry (runtime
+	// collector included) on every tick; the burn-rate engine and the
+	// attack-pattern anomaly detector evaluate on the same timeline.
+	sampler := history.NewSampler(telemetry.Default, history.Options{
+		Collectors: []func(){telemetry.RuntimeCollector(telemetry.Default, time.Now)},
+	})
+	engine := slo.NewEngine(sampler, slo.DefaultRules())
+	detector := slo.NewAnomalyDetector(slo.AnomalyConfig{}, sampler.Now)
+	engine.Attach(detector)
+	srv.SetTraceObserver(func(tr telemetry.SessionTrace) {
+		detector.ObserveSession(tr.ChipID, tr.Challenges, tr.Verdict != "approved")
+	})
+	engine.OnEvent(func(ev slo.Event) {
+		fmt.Printf("alert: %s [%s] %s → %s (%s)\n", ev.Name, ev.Severity, ev.FromState, ev.ToState, ev.Reason)
+		if *attackLockout && ev.ToState == "firing" {
+			if chip := slo.ChipIDFromAlert(ev.Name); chip != "" && srv.ForceLockout(chip) {
+				fmt.Printf("alert: %s locked out (suspected modeling attack)\n", chip)
+			}
+		}
+	})
+	var sloStop chan struct{}
+	if *sample > 0 {
+		sloStop = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(*sample)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					sampler.Tick()
+					engine.Evaluate()
+				case <-sloStop:
+					return
+				}
+			}
+		}()
+	}
+
+	// Observability plane: metrics, health, session traces, time series,
+	// SLOs, alerts, and pprof on a separate listener so operational scraping
+	// never competes with (or exposes) the authentication port.
 	var adminLn net.Listener
 	if *admin != "" {
 		adminLn, err = net.Listen("tcp", *admin)
@@ -184,13 +227,17 @@ func runServe(args []string) {
 				"approved": approved,
 				"denied":   denied,
 			}
-		})
+		},
+			telemetry.Endpoint{Path: "/timeseries", Handler: sampler.Handler()},
+			telemetry.Endpoint{Path: "/slo", Handler: engine.SLOHandler()},
+			telemetry.Endpoint{Path: "/alerts", Handler: engine.AlertsHandler()},
+		)
 		go func() {
 			if err := http.Serve(adminLn, mux); err != nil && !isClosedErr(err) {
 				fmt.Fprintf(os.Stderr, "puflab serve: admin server: %v\n", err)
 			}
 		}()
-		fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /debug/pprof)\n", adminLn.Addr())
+		fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /timeseries /slo /alerts /debug/pprof)\n", adminLn.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -238,11 +285,21 @@ func runServe(args []string) {
 	if adminLn != nil {
 		_ = adminLn.Close()
 	}
+	if sloStop != nil {
+		close(sloStop)
+	}
+	// One last sample + evaluation so the final state reflects traffic that
+	// landed after the last ticker fire.
+	sampler.Tick()
+	engine.Evaluate()
 	approved, denied := srv.Stats()
 	fmt.Printf("decision log: %d approved, %d denied\n", approved, denied)
 	if *state != "" {
 		if err := writeFinalMetrics(*state); err != nil {
 			fmt.Fprintf(os.Stderr, "puflab serve: final metrics snapshot: %v\n", err)
+		}
+		if err := writeFinalSLO(*state, engine); err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: final SLO snapshot: %v\n", err)
 		}
 	}
 	// Flush explicitly so shutdown compacts the WAL into a snapshot; the
@@ -268,6 +325,21 @@ func writeFinalMetrics(stateDir string) error {
 		return err
 	}
 	fmt.Printf("final metrics snapshot written to %s\n", path)
+	return nil
+}
+
+// writeFinalSLO persists the engine's closing alert/objective state beside
+// metrics_final.json, so a post-mortem also sees what was firing at exit.
+func writeFinalSLO(stateDir string, engine *slo.Engine) error {
+	b, err := json.MarshalIndent(engine.Final(), "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(stateDir, "slo_final.json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("final SLO snapshot written to %s\n", path)
 	return nil
 }
 

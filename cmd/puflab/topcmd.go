@@ -1,0 +1,113 @@
+// top: a live terminal dashboard over a serve instance's admin plane —
+// windowed rates and quantiles from /timeseries, objective burn rates from
+// /slo, and active alerts from /alerts, redrawn in place every interval.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"xorpuf/internal/telemetry/history"
+	"xorpuf/internal/telemetry/slo"
+)
+
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7411", "admin HTTP address of a serve instance (its -admin flag)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	count := fs.Int("count", 0, "number of refreshes before exiting (0 = run until interrupted)")
+	window := fs.Duration("window", time.Minute, "trailing window for rates and quantiles")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-fetch timeout")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	for i := 0; *count == 0 || i < *count; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		frame, err := renderTopFrame(client, *addr, *window)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab top: %v\n", err)
+			os.Exit(1)
+		}
+		// ANSI clear-and-home keeps the dashboard in place between frames.
+		fmt.Print("\x1b[2J\x1b[H" + frame)
+	}
+}
+
+// renderTopFrame fetches one round of admin-plane state and renders it.
+func renderTopFrame(client *http.Client, addr string, window time.Duration) (string, error) {
+	var dump history.Dump
+	if err := json.Unmarshal(adminGet(client, addr, fmt.Sprintf("/timeseries?window=%s", window)), &dump); err != nil {
+		return "", fmt.Errorf("decoding /timeseries: %w", err)
+	}
+	var statuses []slo.ObjectiveStatus
+	if err := json.Unmarshal(adminGet(client, addr, "/slo"), &statuses); err != nil {
+		return "", fmt.Errorf("decoding /slo: %w", err)
+	}
+	var alerts alertsDoc
+	if err := json.Unmarshal(adminGet(client, addr, "/alerts?events=5"), &alerts); err != nil {
+		return "", fmt.Errorf("decoding /alerts: %w", err)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "puflab top — %s  window %s  ticks %d  %s\n\n",
+		addr, window, dump.Ticks, dump.At.Format("15:04:05"))
+
+	fmt.Fprintf(&b, "%-22s %-9s %10s %10s\n", "objective", "state", "long-burn", "short-burn")
+	for _, s := range statuses {
+		fmt.Fprintf(&b, "%-22s %-9s %10.2f %10.2f\n", s.Name, s.State, s.LongBurn, s.ShortBurn)
+	}
+
+	firing := 0
+	for _, a := range alerts.Alerts {
+		if a.State == "firing" || a.State == "pending" {
+			if firing == 0 {
+				b.WriteString("\nALERTS\n")
+			}
+			firing++
+			fmt.Fprintf(&b, "  %-9s %-40s %s\n", a.State, a.Name, a.Reason)
+		}
+	}
+	if firing == 0 {
+		b.WriteString("\nno pending/firing alerts\n")
+	}
+
+	b.WriteString("\nrates (/s)\n")
+	for _, name := range sortedKeys(dump.Counters) {
+		c := dump.Counters[name]
+		if c.Rate == 0 && c.Last == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-40s %10s   total %.0f\n", name, sig3(c.Rate), c.Last)
+	}
+
+	if len(dump.Histograms) > 0 {
+		b.WriteString("\nlatencies (windowed)\n")
+		fmt.Fprintf(&b, "  %-40s %8s %10s %10s %10s\n", "histogram", "count", "p50", "p90", "p99")
+		names := make([]string, 0, len(dump.Histograms))
+		for n := range dump.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := dump.Histograms[name]
+			fmt.Fprintf(&b, "  %-40s %8d %10s %10s %10s\n",
+				name, h.Count, sig3(h.P50), sig3(h.P90), sig3(h.P99))
+		}
+	}
+
+	b.WriteString("\ngauges\n")
+	for _, name := range sortedKeys(dump.Gauges) {
+		fmt.Fprintf(&b, "  %-40s %10s\n", name, sig3(dump.Gauges[name].Last))
+	}
+	return b.String(), nil
+}

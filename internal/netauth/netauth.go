@@ -217,6 +217,12 @@ type Server struct {
 	tel    *serverMetrics
 	tracer *telemetry.Tracer
 
+	// traceObs, when set, observes every finished session trace (approved,
+	// denied, or refused) on the session goroutine — the anomaly detector's
+	// feed.  Like tel and tracer it is read without s.mu on the hot path,
+	// so it may only be swapped before Serve.
+	traceObs func(telemetry.SessionTrace)
+
 	// decisions counts completed authentications, for tests/monitoring.
 	decisions struct {
 		approved, denied int
@@ -282,6 +288,30 @@ func (s *Server) SetTracer(t *telemetry.Tracer) { s.tracer = t }
 // Tracer returns the session trace recorder (nil when disabled) — the
 // admin /traces endpoint reads it.
 func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
+// SetTraceObserver registers fn to receive every finished session trace —
+// including sessions refused before a verdict (unknown chip, throttled,
+// locked out), which is exactly the traffic an attack-pattern detector
+// must see.  fn runs on the session goroutine after the wire exchange is
+// complete; keep it fast or hand off.  Call before Serve.
+func (s *Server) SetTraceObserver(fn func(telemetry.SessionTrace)) { s.traceObs = fn }
+
+// ForceLockout locks a chip immediately, without waiting for K consecutive
+// denials — the enforcement half of a suspected-modeling-attack alert.
+// Subsequent attempts fail with locked_out and burn no challenges until an
+// operator calls Unlock.  It reports whether the chip exists and was not
+// already locked.
+func (s *Server) ForceLockout(chipID string) bool {
+	e := s.reg.Lookup(chipID)
+	if e == nil {
+		return false
+	}
+	if locked := e.Lock(); locked {
+		s.tel.lockout()
+		return true
+	}
+	return false
+}
 
 // Registry exposes the backing model database (for operator tooling).
 func (s *Server) Registry() *registry.Registry { return s.reg }
@@ -545,6 +575,9 @@ func (s *Server) handle(conn net.Conn) {
 		trace.TotalSeconds = time.Since(start).Seconds()
 		s.tel.sessionEnd(start)
 		s.tracer.Record(trace)
+		if s.traceObs != nil {
+			s.traceObs(trace)
+		}
 	}()
 	r := bufio.NewReader(conn)
 	fail := func(code string, retryable bool, format string, args ...interface{}) {
@@ -613,6 +646,7 @@ func (s *Server) handle(conn net.Conn) {
 		fail(CodeSelectionFailed, false, "challenge selection failed: %v", err)
 		return
 	}
+	trace.Challenges = len(cs)
 	out := message{Type: "challenges", Session: session, Challenges: make([]string, len(cs))}
 	for i, c := range cs {
 		out.Challenges[i] = c.String()

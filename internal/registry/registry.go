@@ -399,6 +399,23 @@ func (e *Entry) Verdict(approved bool, lockoutK int) bool {
 	return e.locked
 }
 
+// Lock forces a lockout immediately, bypassing the consecutive-denial
+// streak — the enforcement path for a suspected-modeling-attack alert or
+// an operator decision.  Journaled like any abuse-state change.  It
+// reports whether the chip was previously unlocked.
+func (e *Entry) Lock() bool {
+	e.reg.opmu.RLock()
+	defer e.reg.opmu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.locked {
+		return false
+	}
+	e.locked = true
+	_ = e.reg.appendRecord(recAbuse, abusePayload(e.id, e.denials, true))
+	return true
+}
+
 // Unlock lifts a lockout (an operator decision), journaled.  It reports
 // whether the chip was locked.
 func (e *Entry) Unlock() bool {

@@ -7,6 +7,33 @@ import (
 	"strconv"
 )
 
+// Content types the admin plane serves.  /metrics is the text scrape
+// format; every other endpoint is JSON.  These are package constants (not
+// inline literals) so the regression test and every handler agree on the
+// exact header value.
+const (
+	ContentTypeText = "text/plain; charset=utf-8"
+	ContentTypeJSON = "application/json"
+)
+
+// writeJSON encodes v with the JSON content type set before the first
+// body byte — after the first Write the header is immutable, so every
+// error path must decide its type up front.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Endpoint is an extra handler to mount on the admin mux — the time-series
+// and SLO planes register /timeseries, /slo, and /alerts this way (their
+// packages sit above telemetry in the import graph, so the mux cannot
+// import them).  Extra endpoints returning JSON must set ContentTypeJSON
+// themselves; history.Sampler.Handler and the slo.Engine handlers do.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // AdminMux builds the operator-facing HTTP surface `puflab serve -admin`
 // exposes:
 //
@@ -15,12 +42,17 @@ import (
 //	/traces         recent authentication session traces (?n=K caps the count)
 //	/debug/pprof/*  the standard runtime profiler endpoints
 //
+// plus any extra endpoints (/timeseries, /slo, /alerts in production).
+//
+// Content-type contract, pinned by TestAdminMuxContentTypes: /metrics
+// serves ContentTypeText; every JSON endpoint serves ContentTypeJSON.
+//
 // reg, tracer, and healthz may each be nil; the endpoints degrade to empty
 // snapshots, empty trace lists, and a bare {"status":"ok"}.  The mux is
 // deliberately built by hand (not net/http.DefaultServeMux) so importing
 // net/http/pprof's handlers never leaks profiling onto a mux the caller
 // didn't ask for.
-func AdminMux(reg *Registry, tracer *Tracer, healthz func() any) *http.ServeMux {
+func AdminMux(reg *Registry, tracer *Tracer, healthz func() any, extra ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
@@ -30,11 +62,11 @@ func AdminMux(reg *Registry, tracer *Tracer, healthz func() any) *http.ServeMux 
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
 			}
-			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Type", ContentTypeJSON)
 			_, _ = w.Write(body)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("Content-Type", ContentTypeText)
 		_ = snap.WriteText(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -42,8 +74,7 @@ func AdminMux(reg *Registry, tracer *Tracer, healthz func() any) *http.ServeMux 
 		if healthz != nil {
 			payload = healthz()
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(payload)
+		writeJSON(w, payload)
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		n := 0
@@ -57,13 +88,17 @@ func AdminMux(reg *Registry, tracer *Tracer, healthz func() any) *http.ServeMux 
 		if traces == nil {
 			traces = []SessionTrace{}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(traces)
+		writeJSON(w, traces)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		if e.Handler != nil {
+			mux.Handle(e.Path, e.Handler)
+		}
+	}
 	return mux
 }

@@ -77,6 +77,47 @@ func TestAdminMuxEndpoints(t *testing.T) {
 	}
 }
 
+// TestAdminMuxContentTypes pins the content-type contract: /metrics is the
+// text scrape format, every JSON endpoint (including extras mounted the way
+// /timeseries, /slo, and /alerts are) serves exactly ContentTypeJSON.
+// Regression test for the header being set after the first body write (at
+// which point it is silently ignored) or drifting between endpoints.
+func TestAdminMuxContentTypes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total").Inc()
+	extra := Endpoint{Path: "/extra", Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]int{"ok": 1})
+	})}
+	srv := httptest.NewServer(AdminMux(reg, NewTracer(4), nil, extra))
+	defer srv.Close()
+
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"/metrics", ContentTypeText},
+		{"/metrics?format=json", ContentTypeJSON},
+		{"/healthz", ContentTypeJSON},
+		{"/traces", ContentTypeJSON},
+		{"/traces?n=2", ContentTypeJSON},
+		{"/extra", ContentTypeJSON},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d", tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != tc.want {
+			t.Errorf("%s Content-Type = %q, want %q", tc.path, got, tc.want)
+		}
+	}
+}
+
 // TestAdminMuxNilDependencies: every dependency may be nil and the plane
 // must still serve.
 func TestAdminMuxNilDependencies(t *testing.T) {

@@ -1,0 +1,141 @@
+// Package history turns the telemetry registry's point-in-time snapshots
+// into queryable time series.  A Sampler periodically snapshots a
+// telemetry.Registry into fixed-capacity ring buffers — one per counter,
+// gauge, and histogram — and answers windowed questions the raw registry
+// cannot: "what is the session rate over the last minute?", "what was auth
+// p99 over the last five minutes?", "how many WAL fsyncs happened since the
+// spike started?".
+//
+// Design constraints mirror the parent package's:
+//
+//  1. Bounded memory.  Every series is a ring of Capacity points; a server
+//     that runs for a year holds exactly as much history as one that ran
+//     for an hour.  A fleet-wide cardinality explosion is impossible
+//     because series only exist for instruments already in the registry.
+//  2. Injectable time.  The sampler never reads the wall clock itself: the
+//     Now function is configuration, and Tick() takes one sample at
+//     whatever Now returns.  Tests drive a fake clock through arbitrary
+//     timelines with zero sleeps; production wraps Tick in a time.Ticker
+//     loop.
+//  3. Windowed deltas, not instantaneous guesses.  Counters are cumulative,
+//     so rates come from the first-vs-last sample inside the window.
+//     Histograms keep whole bucket snapshots, so a windowed quantile is
+//     computed over exactly the observations that fell inside the window
+//     (bucket-wise delta), not diluted by the process's whole lifetime.
+package history
+
+import (
+	"time"
+)
+
+// Point is one sample of one series.
+type Point struct {
+	// T is the sample's timestamp (the sampler's Now at Tick time).
+	T time.Time `json:"t"`
+	// V is the sampled value.
+	V float64 `json:"v"`
+}
+
+// Series is a fixed-capacity ring buffer of points in append order.  It is
+// not safe for concurrent use on its own; the Sampler serialises access.
+type Series struct {
+	ring []Point
+	next int
+	full bool
+}
+
+// newSeries returns a series retaining the last capacity points
+// (minimum 2 — a single point can answer no windowed question).
+func newSeries(capacity int) *Series {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Series{ring: make([]Point, capacity)}
+}
+
+// Append stores one sample, evicting the oldest when full.
+func (s *Series) Append(p Point) {
+	s.ring[s.next] = p
+	s.next++
+	if s.next == len(s.ring) {
+		s.next = 0
+		s.full = true
+	}
+}
+
+// Len returns how many points are retained.
+func (s *Series) Len() int {
+	if s.full {
+		return len(s.ring)
+	}
+	return s.next
+}
+
+// at returns the i-th retained point, oldest first.
+func (s *Series) at(i int) Point {
+	if s.full {
+		return s.ring[(s.next+i)%len(s.ring)]
+	}
+	return s.ring[i]
+}
+
+// Last returns the newest point and whether one exists.
+func (s *Series) Last() (Point, bool) {
+	n := s.Len()
+	if n == 0 {
+		return Point{}, false
+	}
+	return s.at(n - 1), true
+}
+
+// Window returns the retained points with T >= since, oldest first.
+func (s *Series) Window(since time.Time) []Point {
+	n := s.Len()
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		if p := s.at(i); !p.T.Before(since) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// bounds returns the first and last point with T >= since and whether the
+// window holds at least two distinct-in-time samples.
+func (s *Series) bounds(since time.Time) (first, last Point, ok bool) {
+	w := s.Window(since)
+	if len(w) < 2 {
+		return Point{}, Point{}, false
+	}
+	first, last = w[0], w[len(w)-1]
+	return first, last, last.T.After(first.T)
+}
+
+// Delta returns the value change across the window (newest minus oldest
+// retained sample with T >= since).  Negative deltas — a counter reset
+// after a restart — are clamped to zero: a reset destroys the baseline,
+// and reporting a huge negative rate would be worse than reporting none.
+func (s *Series) Delta(since time.Time) (float64, bool) {
+	first, last, ok := s.bounds(since)
+	if !ok {
+		return 0, false
+	}
+	d := last.V - first.V
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// Rate returns the per-second change across the window.
+func (s *Series) Rate(since time.Time) (float64, bool) {
+	first, last, ok := s.bounds(since)
+	if !ok {
+		return 0, false
+	}
+	d := last.V - first.V
+	if d < 0 {
+		d = 0
+	}
+	return d / last.T.Sub(first.T).Seconds(), true
+}

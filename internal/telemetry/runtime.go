@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeCollector returns a collector function that refreshes the
+// process-health instruments in reg each time it runs:
+//
+//	runtime_goroutines            gauge    live goroutine count
+//	runtime_heap_inuse_bytes      gauge    bytes in in-use heap spans
+//	runtime_heap_alloc_bytes      gauge    bytes of live allocated objects
+//	runtime_gc_cycles_total       counter  completed GC cycles
+//	runtime_gc_pause_seconds      histogram  individual stop-the-world pauses
+//	runtime_uptime_seconds        gauge    seconds since the collector was built
+//
+// The intended caller is the history sampler (Options.Collectors), so the
+// same tick that samples auth latency also samples process health and the
+// two land on the same timeline.  now is the clock uptime is measured on —
+// inject a fake for deterministic tests; nil means time.Now.
+//
+// Each run calls runtime.ReadMemStats, which briefly stops the world;
+// at sampling cadences (seconds) the cost is noise, but do not call the
+// collector on a per-request path.
+func RuntimeCollector(reg *Registry, now func() time.Time) func() {
+	if reg == nil {
+		return func() {}
+	}
+	if now == nil {
+		now = time.Now
+	}
+	var (
+		start      = now()
+		goroutines = reg.Gauge("runtime_goroutines")
+		heapInuse  = reg.Gauge("runtime_heap_inuse_bytes")
+		heapAlloc  = reg.Gauge("runtime_heap_alloc_bytes")
+		gcCycles   = reg.Counter("runtime_gc_cycles_total")
+		gcPause    = reg.Histogram("runtime_gc_pause_seconds", LatencyBuckets)
+		uptime     = reg.Gauge("runtime_uptime_seconds")
+		lastNumGC  uint32
+	)
+	return func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapInuse.Set(int64(ms.HeapInuse))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		if ms.NumGC > lastNumGC {
+			gcCycles.Add(uint64(ms.NumGC - lastNumGC))
+			// PauseNs is a circular buffer of the last 256 pause times;
+			// feed only the cycles completed since the previous run.
+			newCycles := ms.NumGC - lastNumGC
+			if newCycles > uint32(len(ms.PauseNs)) {
+				newCycles = uint32(len(ms.PauseNs))
+			}
+			for i := uint32(0); i < newCycles; i++ {
+				idx := (ms.NumGC - i + 255) % 256
+				gcPause.Observe(float64(ms.PauseNs[idx]) / 1e9)
+			}
+			lastNumGC = ms.NumGC
+		}
+		uptime.Set(int64(now().Sub(start).Seconds()))
+	}
+}

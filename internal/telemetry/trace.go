@@ -31,6 +31,9 @@ type SessionTrace struct {
 	DenialCode string `json:"denial_code,omitempty"`
 	// Mismatches is the mismatched-bit count of a completed verdict.
 	Mismatches int `json:"mismatches"`
+	// Challenges is how many challenges the session burned (0 for sessions
+	// refused before selection) — the anomaly detector's velocity signal.
+	Challenges int `json:"challenges"`
 	// Retries counts protocol retries beyond the first attempt
 	// (client-side traces; servers see each attempt as its own session).
 	Retries int `json:"retries"`
