@@ -36,12 +36,16 @@
 //	          snapshot (-addr, -raw, -json)
 //	bench     measure the authentication hot path and the observability
 //	          plane's overhead (-json, -o, -out, -n, -seed, -baseline,
-//	          -tolerance)
+//	          -tolerance, -best)
 //	top       live terminal dashboard over a serve admin plane: windowed
 //	          rates, quantiles, burn rates, alerts (-addr, -interval,
 //	          -count, -window)
 //	slo       one-shot SLO evaluation against a serve admin plane; exits
 //	          nonzero while any alert is firing (-addr, -json, -events)
+//	repl      inspect or drive registry replication via a serve admin plane
+//	          (status / promote subcommands; -addr, -json)
+//	gateway   consistent-hashing session gateway routing devices to shard
+//	          owners with failover re-routing (-listen, -shard, -cooldown)
 //	all       every experiment above (fig4 at fast scale)
 //
 // Common flags:
@@ -98,6 +102,12 @@ func main() {
 		return
 	case "slo":
 		runSLO(os.Args[2:])
+		return
+	case "repl":
+		runRepl(os.Args[2:])
+		return
+	case "gateway":
+		runGateway(os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -255,7 +265,9 @@ func usage() {
 usage: puflab <experiment> [-full] [-seed N] [-csv]
 
 experiments: fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 metrics protocols avalanche campaign all
-network:     serve auth   (run "puflab serve -h" / "puflab auth -h" for the resilience and fault-injection knobs)
+network:     serve auth gateway (run "puflab serve -h" / "puflab auth -h" for the resilience and fault-injection
+             knobs; "puflab serve -primary/-follower" replicates the registry; "puflab gateway" fronts the shards)
+replication: repl         (status / promote against a serve admin plane; promote fails over to a follower)
 fleet:       fleet        (persistent registry benchmark: enrollment throughput, lookups/s, recovery time)
 lifecycle:   health       (drift-detector report, force-quarantine, re-enrollment; "puflab health" for usage)
 observe:     metrics bench top slo ("puflab metrics" scrapes a serve -admin plane; "puflab bench" measures

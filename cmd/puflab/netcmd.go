@@ -20,6 +20,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -29,6 +31,7 @@ import (
 	"xorpuf/internal/netauth"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/registry/fleet"
+	"xorpuf/internal/registry/repl"
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
 	"xorpuf/internal/telemetry"
@@ -91,8 +94,25 @@ func runServe(args []string) {
 	autoReenroll := fs.Bool("auto-reenroll", false, "automatically re-enroll chips the drift detectors quarantine")
 	sample := fs.Duration("sample", 2*time.Second, "telemetry sampling / SLO evaluation interval (0 = SLO plane off)")
 	attackLockout := fs.Bool("attack-lockout", false, "force-lock any chip whose suspected-modeling-attack alert fires")
+	primaryAddr := fs.String("primary", "", "replication listen address: serve as a replication primary for followers")
+	followerAddr := fs.String("follower", "", "primary's replication address: replicate instead of serving (auth starts on promotion)")
+	replQuorum := fs.Int("repl-quorum", 1, "follower acks required before an issued challenge leaves the server (with -primary)")
+	replStrict := fs.Bool("repl-strict", false, "fail issuance when the quorum cannot ack, instead of degrading to async (with -primary)")
+	replFault := fs.Bool("repl-fault", false, "apply the -fault-* chaos knobs to the replication link instead of the auth port")
 	fault := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *primaryAddr != "" && *followerAddr != "" {
+		fmt.Fprintln(os.Stderr, "puflab serve: -primary and -follower are mutually exclusive")
+		os.Exit(2)
+	}
+	if *followerAddr != "" && *admin == "" {
+		fmt.Fprintln(os.Stderr, "puflab serve: -follower needs -admin (promotion happens via POST /repl/promote)")
+		os.Exit(2)
+	}
+	if *followerAddr != "" && *autoReenroll {
+		fmt.Fprintln(os.Stderr, "puflab serve: -auto-reenroll is a primary-side repair; a follower must not mutate its registry")
 		os.Exit(2)
 	}
 
@@ -118,22 +138,26 @@ func runServe(args []string) {
 	srv.SetThrottle(*throttle)
 	srv.SetChallengeBudget(*budget)
 
-	rep, err := fleet.Run(fleet.Config{
-		Chips:        *chips,
-		Workers:      *workers,
-		XORWidth:     *xorWidth,
-		Seed:         *seed,
-		Enroll:       core.DefaultEnrollConfig(),
-		Budget:       *budget,
-		SkipExisting: true, // resume over recovered state
-		Progress:     fleetProgress(*chips),
-	}, reg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "puflab serve: fleet enrollment: %v\n", err)
-		os.Exit(1)
+	// A follower never enrolls: its whole registry arrives from the primary
+	// (snapshot, then the tailed log), and local mutations would fork it.
+	if *followerAddr == "" {
+		rep, err := fleet.Run(fleet.Config{
+			Chips:        *chips,
+			Workers:      *workers,
+			XORWidth:     *xorWidth,
+			Seed:         *seed,
+			Enroll:       core.DefaultEnrollConfig(),
+			Budget:       *budget,
+			SkipExisting: true, // resume over recovered state
+			Progress:     fleetProgress(*chips),
+		}, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: fleet enrollment: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("enrolled %d chips (%d already present) in %v — %.1f chips/s\n",
+			rep.Enrolled, rep.Skipped, rep.Duration.Round(time.Millisecond), rep.PerSecond)
 	}
-	fmt.Printf("enrolled %d chips (%d already present) in %v — %.1f chips/s\n",
-		rep.Enrolled, rep.Skipped, rep.Duration.Round(time.Millisecond), rep.PerSecond)
 
 	// Health transitions are always reported; with -auto-reenroll a
 	// quarantined chip is also repaired in place (re-measured, refit,
@@ -170,6 +194,43 @@ func runServe(args []string) {
 			repair.Handle(ev)
 		}
 	})
+
+	// Replication roles.  A primary ships its journal to followers and gates
+	// issuance on their acks; a follower tails the primary into this
+	// process's registry and serves no authentication until promoted.
+	var prim *repl.Primary
+	var foll *repl.Follower
+	var follCancel context.CancelFunc
+	if *primaryAddr != "" {
+		replLn, err := net.Listen("tcp", *primaryAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: replication listener: %v\n", err)
+			os.Exit(1)
+		}
+		if *replFault {
+			replLn = faultnet.WrapListener(replLn, fault())
+			fmt.Printf("fault injection active on the replication link: %+v\n", fault())
+		}
+		prim = repl.NewPrimary(reg, repl.PrimaryConfig{Quorum: *replQuorum, Strict: *replStrict})
+		go func() {
+			if err := prim.Serve(replLn); err != nil {
+				fmt.Fprintf(os.Stderr, "puflab serve: replication primary: %v\n", err)
+			}
+		}()
+		fmt.Printf("replication primary on %s (quorum=%d, strict=%v)\n", replLn.Addr(), *replQuorum, *replStrict)
+	}
+	if *followerAddr != "" {
+		var follCfg repl.FollowerConfig
+		if *replFault {
+			follCfg.Dial = faultnet.NewDialer(fault()).DialContext
+			fmt.Printf("fault injection active on the replication link: %+v\n", fault())
+		}
+		foll = repl.NewFollower(reg, *followerAddr, follCfg)
+		var follCtx context.Context
+		follCtx, follCancel = context.WithCancel(context.Background())
+		go foll.Run(follCtx)
+		fmt.Printf("replicating from %s; authentication serving deferred until promotion\n", *followerAddr)
+	}
 
 	// SLO plane: a sampler snapshots the process-wide registry (runtime
 	// collector included) on every tick; the burn-rate engine and the
@@ -209,9 +270,37 @@ func runServe(args []string) {
 		}()
 	}
 
+	// Authentication serving is a closure so a follower can defer it to the
+	// moment of promotion; every other role starts it immediately.
+	done := make(chan error, 1)
+	var authOnce sync.Once
+	var authStarted atomic.Bool
+	startAuth := func() error {
+		var startErr error
+		authOnce.Do(func() {
+			ln, err := net.Listen("tcp", *addr)
+			if err != nil {
+				startErr = err
+				return
+			}
+			var serveLn net.Listener = ln
+			if cfg := fault(); !*replFault && (cfg.ResetProb > 0 || cfg.CorruptProb > 0 || cfg.StallProb > 0 ||
+				cfg.PartialWriteProb > 0 || cfg.MaxLatency > 0) {
+				serveLn = faultnet.WrapListener(ln, cfg)
+				fmt.Printf("fault injection active: %+v\n", cfg)
+			}
+			fmt.Printf("verification server on %s (n=%d, lockout=%d, throttle=%v, budget=%d)\n",
+				ln.Addr(), *n, *lockout, *throttle, *budget)
+			authStarted.Store(true)
+			go func() { done <- srv.Serve(serveLn) }()
+		})
+		return startErr
+	}
+
 	// Observability plane: metrics, health, session traces, time series,
-	// SLOs, alerts, and pprof on a separate listener so operational scraping
-	// never competes with (or exposes) the authentication port.
+	// SLOs, alerts, replication state, and pprof on a separate listener so
+	// operational scraping never competes with (or exposes) the
+	// authentication port.
 	var adminLn net.Listener
 	if *admin != "" {
 		adminLn, err = net.Listen("tcp", *admin)
@@ -219,45 +308,52 @@ func runServe(args []string) {
 			fmt.Fprintf(os.Stderr, "puflab serve: admin listener: %v\n", err)
 			os.Exit(1)
 		}
+		endpoints := []telemetry.Endpoint{
+			{Path: "/timeseries", Handler: sampler.Handler()},
+			{Path: "/slo", Handler: engine.SLOHandler()},
+			{Path: "/alerts", Handler: engine.AlertsHandler()},
+			{Path: "/repl", Handler: replStatusHandler(prim, foll)},
+		}
+		if foll != nil {
+			endpoints = append(endpoints, telemetry.Endpoint{
+				Path: "/repl/promote", Handler: promoteHandler(foll, startAuth),
+			})
+		}
 		mux := telemetry.AdminMux(telemetry.Default, srv.Tracer(), func() any {
 			approved, denied := srv.Stats()
-			return map[string]any{
+			payload := map[string]any{
 				"status":   "ok",
 				"chips":    reg.Len(),
 				"approved": approved,
 				"denied":   denied,
 			}
-		},
-			telemetry.Endpoint{Path: "/timeseries", Handler: sampler.Handler()},
-			telemetry.Endpoint{Path: "/slo", Handler: engine.SLOHandler()},
-			telemetry.Endpoint{Path: "/alerts", Handler: engine.AlertsHandler()},
-		)
+			if doc := replStatusDocFor(prim, foll); doc.Role != "standalone" {
+				payload["repl"] = doc
+				// A degraded replication link is a health event: the
+				// never-reuse guarantee is running on one copy.
+				if doc.Follower != nil && doc.Follower.State == repl.StateDegraded {
+					payload["status"] = "degraded"
+				}
+			}
+			return payload
+		}, endpoints...)
 		go func() {
 			if err := http.Serve(adminLn, mux); err != nil && !isClosedErr(err) {
 				fmt.Fprintf(os.Stderr, "puflab serve: admin server: %v\n", err)
 			}
 		}()
-		fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /timeseries /slo /alerts /debug/pprof)\n", adminLn.Addr())
+		fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /timeseries /slo /alerts /repl /debug/pprof)\n", adminLn.Addr())
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
-		os.Exit(1)
+	if *followerAddr == "" {
+		if err := startAuth(); err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	var serveLn net.Listener = ln
-	if cfg := fault(); cfg.ResetProb > 0 || cfg.CorruptProb > 0 || cfg.StallProb > 0 ||
-		cfg.PartialWriteProb > 0 || cfg.MaxLatency > 0 {
-		serveLn = faultnet.WrapListener(ln, cfg)
-		fmt.Printf("fault injection active: %+v\n", cfg)
-	}
-	fmt.Printf("verification server on %s (n=%d, lockout=%d, throttle=%v, budget=%d)\n",
-		ln.Addr(), *n, *lockout, *throttle, *budget)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(serveLn) }()
 	select {
 	case s := <-sig:
 		fmt.Printf("\n%v: draining in-flight sessions (signal again to force exit)…\n", s)
@@ -269,12 +365,20 @@ func runServe(args []string) {
 			os.Exit(1)
 		}()
 		srv.Close()
-		<-done
+		if authStarted.Load() {
+			<-done
+		}
 	case err := <-done:
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "puflab serve: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if follCancel != nil {
+		follCancel() // stop replicating (no-op after promotion)
+	}
+	if prim != nil {
+		prim.Close() // drop follower links and detach the commit gate
 	}
 	if repair != nil {
 		repair.Close() // finish any in-flight re-enrollment before flushing
@@ -341,6 +445,55 @@ func writeFinalSLO(stateDir string, engine *slo.Engine) error {
 	}
 	fmt.Printf("final SLO snapshot written to %s\n", path)
 	return nil
+}
+
+// replStatusDoc is the /repl payload (and the "repl" key in /healthz).
+type replStatusDoc struct {
+	Role     string               `json:"role"`
+	Primary  *repl.PrimaryStatus  `json:"primary,omitempty"`
+	Follower *repl.FollowerStatus `json:"follower,omitempty"`
+}
+
+func replStatusDocFor(prim *repl.Primary, foll *repl.Follower) replStatusDoc {
+	switch {
+	case prim != nil:
+		st := prim.Status()
+		return replStatusDoc{Role: "primary", Primary: &st}
+	case foll != nil:
+		st := foll.Status()
+		return replStatusDoc{Role: "follower", Follower: &st}
+	default:
+		return replStatusDoc{Role: "standalone"}
+	}
+}
+
+// replStatusHandler serves /repl: the process's replication role and state.
+func replStatusHandler(prim *repl.Primary, foll *repl.Follower) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(replStatusDocFor(prim, foll))
+	})
+}
+
+// promoteHandler serves POST /repl/promote on a follower: stop replicating
+// and start serving authentication from the replicated registry.  The call
+// is idempotent — repeated posts re-report the promotion.
+func promoteHandler(foll *repl.Follower, startAuth func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "promotion requires POST", http.StatusMethodNotAllowed)
+			return
+		}
+		seq := foll.Promote()
+		if err := startAuth(); err != nil {
+			http.Error(w, fmt.Sprintf("promoted at seq %d but auth serving failed: %v", seq, err),
+				http.StatusInternalServerError)
+			return
+		}
+		fmt.Printf("promoted: serving authentication from replicated state at seq %d\n", seq)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"promoted": true, "seq": seq})
+	})
 }
 
 // isClosedErr reports whether err is the routine "use of closed network

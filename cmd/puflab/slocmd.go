@@ -101,6 +101,8 @@ func printSLO(statuses []slo.ObjectiveStatus, alerts alertsDoc) {
 			value = fmt.Sprintf("good %.3f", s.GoodFraction)
 		case s.Kind == slo.KindLatency:
 			value = sig3(s.QuantileSeconds) + "s"
+		case s.Kind == slo.KindGauge:
+			value = sig3(s.GaugeValue)
 		}
 		budget := "-"
 		if s.Kind == slo.KindRatio && s.HasData {

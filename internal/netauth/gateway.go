@@ -1,0 +1,318 @@
+// Session gateway: the fleet-facing front door of a replicated deployment.
+// Devices dial one address; the gateway peeks the session's hello frame,
+// maps the chip ID onto a consistent-hash ring of registry shards, and
+// splices the connection through to the shard's current owner.  Each shard
+// lists its replicas in priority order (primary first); when the owner is
+// unreachable the gateway marks it down for a cooldown and re-routes the
+// session to the next replica — which is how traffic finds a freshly
+// promoted follower after failover, with no device-side reconfiguration.
+//
+// The gateway stays protocol-thin on purpose: it parses exactly one frame
+// (the hello, which it forwards verbatim) and never terminates the
+// authentication protocol, so the end-to-end CRC and error semantics between
+// device and verifier are untouched.
+package netauth
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xorpuf/internal/telemetry"
+)
+
+var (
+	gatewaySessions   = telemetry.Default.Counter("gateway_sessions_total")
+	gatewayActive     = telemetry.Default.Gauge("gateway_active_sessions")
+	gatewayReroutes   = telemetry.Default.Counter("gateway_reroutes_total")
+	gatewayUnroutable = telemetry.Default.Counter("gateway_unroutable_total")
+	gatewayDownMarks  = telemetry.Default.Counter("gateway_backend_down_total")
+)
+
+// GatewayShard is one registry shard: a name (the hash-ring identity) and
+// its replica addresses in routing priority order — the primary first, then
+// the followers that may be promoted in its place.
+type GatewayShard struct {
+	Name  string
+	Addrs []string
+}
+
+// GatewayConfig tunes a Gateway.
+type GatewayConfig struct {
+	// VirtualNodes is how many ring points each shard gets; more points
+	// smooth the chip distribution (default 64).
+	VirtualNodes int
+	// DialTimeout bounds one backend dial attempt (default 2s).
+	DialTimeout time.Duration
+	// Cooldown is how long a backend that failed a dial is skipped before
+	// it is probed again (default 3s).
+	Cooldown time.Duration
+	// HelloTimeout bounds the wait for the session's hello frame
+	// (default 5s).
+	HelloTimeout time.Duration
+}
+
+func (c GatewayConfig) normalized() GatewayConfig {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = 64
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3 * time.Second
+	}
+	if c.HelloTimeout <= 0 {
+		c.HelloTimeout = 5 * time.Second
+	}
+	return c
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Gateway routes authentication sessions to registry shard owners.
+type Gateway struct {
+	shards []GatewayShard
+	ring   []ringPoint
+	cfg    GatewayConfig
+
+	mu     sync.Mutex
+	down   map[string]time.Time
+	ln     net.Listener
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewGateway builds a gateway over the given shards.
+func NewGateway(shards []GatewayShard, cfg GatewayConfig) (*Gateway, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("netauth: gateway needs at least one shard")
+	}
+	g := &Gateway{shards: shards, cfg: cfg.normalized(), down: make(map[string]time.Time)}
+	for i, s := range shards {
+		if s.Name == "" || len(s.Addrs) == 0 {
+			return nil, fmt.Errorf("netauth: gateway shard %d needs a name and at least one address", i)
+		}
+		for v := 0; v < g.cfg.VirtualNodes; v++ {
+			g.ring = append(g.ring, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", s.Name, v)), shard: i})
+		}
+	}
+	sort.Slice(g.ring, func(a, b int) bool { return g.ring[a].hash < g.ring[b].hash })
+	return g, nil
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck
+	return h.Sum64()
+}
+
+// ShardFor returns the shard that owns chipID.
+func (g *Gateway) ShardFor(chipID string) GatewayShard {
+	h := ringHash(chipID)
+	i := sort.Search(len(g.ring), func(i int) bool { return g.ring[i].hash >= h })
+	if i == len(g.ring) {
+		i = 0
+	}
+	return g.shards[g.ring[i].shard]
+}
+
+// Serve accepts device connections on ln until Close.
+func (g *Gateway) Serve(ln net.Listener) error {
+	g.mu.Lock()
+	g.ln = ln
+	g.mu.Unlock()
+	if g.closed.Load() {
+		ln.Close()
+		return fmt.Errorf("netauth: gateway closed")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if g.closed.Load() {
+				return nil
+			}
+			var ne net.Error
+			if ok := asNetError(err, &ne); ok && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.handle(conn)
+		}()
+	}
+}
+
+func asNetError(err error, target *net.Error) bool {
+	ne, ok := err.(net.Error)
+	if ok {
+		*target = ne
+	}
+	return ok
+}
+
+// Close stops accepting and waits for in-flight sessions to unwind (each is
+// bounded by the backend's own session deadlines).
+func (g *Gateway) Close() {
+	if g.closed.Swap(true) {
+		return
+	}
+	g.mu.Lock()
+	ln := g.ln
+	g.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	g.wg.Wait()
+}
+
+// handle routes one session: peek the hello, pick the shard owner, splice.
+func (g *Gateway) handle(client net.Conn) {
+	defer client.Close()
+	gatewaySessions.Inc()
+	gatewayActive.Inc()
+	defer gatewayActive.Dec()
+
+	br := bufio.NewReader(client)
+	client.SetReadDeadline(time.Now().Add(g.cfg.HelloTimeout))
+	line, err := readLine(br)
+	if err != nil {
+		return
+	}
+	client.SetReadDeadline(time.Time{})
+	hello, err := decodeFrame(line)
+	if err != nil || hello.Type != "hello" || hello.ChipID == "" {
+		g.refuse(client, CodeBadMessage, "gateway: first frame must be a hello", false)
+		return
+	}
+
+	shard := g.ShardFor(hello.ChipID)
+	backend := g.dialShard(shard)
+	if backend == nil {
+		gatewayUnroutable.Inc()
+		g.refuse(client, CodeBusy, fmt.Sprintf("gateway: no reachable owner for shard %s", shard.Name), true)
+		return
+	}
+	defer backend.Close()
+	if _, err := backend.Write(line); err != nil {
+		g.refuse(client, CodeBusy, "gateway: shard owner dropped the session", true)
+		return
+	}
+
+	// Bidirectional splice.  When either side finishes, both close; the
+	// surviving copy then unblocks and the session ends.
+	done := make(chan struct{}, 2)
+	go func() {
+		buf := make([]byte, 32<<10)
+		copyConn(backend, br, buf) // br first: it may hold bytes past the hello
+		done <- struct{}{}
+	}()
+	go func() {
+		buf := make([]byte, 32<<10)
+		copyConn(client, backend, buf)
+		done <- struct{}{}
+	}()
+	<-done
+	client.Close()
+	backend.Close()
+	<-done
+}
+
+type reader interface{ Read([]byte) (int, error) }
+
+func copyConn(dst net.Conn, src reader, buf []byte) {
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dialShard tries the shard's replicas in priority order, skipping backends
+// inside their down cooldown (unless every replica is marked down, in which
+// case all are probed).  A successful later-replica dial is a re-route.
+func (g *Gateway) dialShard(shard GatewayShard) net.Conn {
+	for pass := 0; pass < 2; pass++ {
+		for i, addr := range shard.Addrs {
+			if pass == 0 && g.isDown(addr) {
+				continue
+			}
+			conn, err := net.DialTimeout("tcp", addr, g.cfg.DialTimeout)
+			if err != nil {
+				g.markDown(addr)
+				continue
+			}
+			g.markUp(addr)
+			if i > 0 {
+				gatewayReroutes.Inc()
+			}
+			return conn
+		}
+		// Second pass only if the first skipped someone.
+		if !g.anyDown(shard.Addrs) {
+			break
+		}
+	}
+	return nil
+}
+
+func (g *Gateway) isDown(addr string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	at, ok := g.down[addr]
+	return ok && time.Since(at) < g.cfg.Cooldown
+}
+
+func (g *Gateway) anyDown(addrs []string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, a := range addrs {
+		if at, ok := g.down[a]; ok && time.Since(at) < g.cfg.Cooldown {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Gateway) markDown(addr string) {
+	g.mu.Lock()
+	_, was := g.down[addr]
+	g.down[addr] = time.Now()
+	g.mu.Unlock()
+	if !was {
+		gatewayDownMarks.Inc()
+	}
+}
+
+func (g *Gateway) markUp(addr string) {
+	g.mu.Lock()
+	delete(g.down, addr)
+	g.mu.Unlock()
+}
+
+// refuse sends one structured error frame and closes.
+func (g *Gateway) refuse(conn net.Conn, code, msg string, retryable bool) {
+	frame, err := encodeFrame(message{Type: "error", Code: code, Message: msg, Retryable: retryable})
+	if err != nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(g.cfg.HelloTimeout))
+	conn.Write(frame) //nolint:errcheck
+}

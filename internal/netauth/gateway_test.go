@@ -1,0 +1,147 @@
+package netauth
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// startGateway serves a gateway over the given shards on a loopback
+// listener.
+func startGateway(t *testing.T, shards []GatewayShard, cfg GatewayConfig) (*Gateway, string) {
+	t.Helper()
+	g, err := NewGateway(shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go g.Serve(ln) //nolint:errcheck
+	t.Cleanup(g.Close)
+	return g, ln.Addr().String()
+}
+
+func TestGatewayShardRingIsDeterministicAndSpread(t *testing.T) {
+	shards := []GatewayShard{
+		{Name: "shard-0", Addrs: []string{"127.0.0.1:1"}},
+		{Name: "shard-1", Addrs: []string{"127.0.0.1:2"}},
+	}
+	g1, err := NewGateway(shards, GatewayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGateway(shards, GatewayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 400; i++ {
+		id := "chip-" + string(rune('a'+i%26)) + "-" + time.Duration(i).String()
+		a, b := g1.ShardFor(id), g2.ShardFor(id)
+		if a.Name != b.Name {
+			t.Fatalf("chip %q routed to %s and %s by identical rings", id, a.Name, b.Name)
+		}
+		counts[a.Name]++
+	}
+	for _, s := range shards {
+		if counts[s.Name] < 40 {
+			t.Fatalf("shard %s owns only %d/400 chips — ring badly skewed: %v", s.Name, counts[s.Name], counts)
+		}
+	}
+}
+
+func TestGatewayRoutesAndReroutesOnFailover(t *testing.T) {
+	chip := silicon.NewChip(rng.New(1), silicon.DefaultParams(), 4)
+	cfg := core.DefaultEnrollConfig()
+	cfg.TrainingSize = 2000
+	cfg.ValidationSize = 5000
+	enr, err := core.EnrollChip(chip, rng.New(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two independent verifiers holding the same enrollment, as primary and
+	// promoted-follower would after failover.
+	start := func() (*Server, net.Listener) {
+		srv := NewServer(5, 3)
+		if err := srv.Register("chip-A", enr.Model); err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln) //nolint:errcheck
+		return srv, ln
+	}
+	srv1, ln1 := start()
+	srv2, ln2 := start()
+	defer srv2.Close()
+
+	_, gwAddr := startGateway(t, []GatewayShard{
+		{Name: "shard-0", Addrs: []string{ln1.Addr().String(), ln2.Addr().String()}},
+	}, GatewayConfig{Cooldown: 200 * time.Millisecond})
+
+	res, err := Authenticate(gwAddr, "chip-A", chip, silicon.Nominal, 10*time.Second)
+	if err != nil || !res.Approved {
+		t.Fatalf("auth via gateway: %+v, %v", res, err)
+	}
+	if got := srv1.ChipStatus("chip-A").Issued; got == 0 {
+		t.Fatal("primary replica served no challenges — routed to the wrong backend")
+	}
+
+	// Primary replica dies; the same device address must keep working.
+	srv1.Close()
+	res, err = Authenticate(gwAddr, "chip-A", chip, silicon.Nominal, 10*time.Second)
+	if err != nil || !res.Approved {
+		t.Fatalf("auth after failover: %+v, %v", res, err)
+	}
+	if got := srv2.ChipStatus("chip-A").Issued; got == 0 {
+		t.Fatal("failover replica served no challenges — re-route did not happen")
+	}
+}
+
+func TestGatewayRefusalsAreStructured(t *testing.T) {
+	// A shard whose every replica is unreachable: sessions get a retryable
+	// busy error, so devices back off and retry into the failover window.
+	_, gwAddr := startGateway(t, []GatewayShard{
+		{Name: "shard-0", Addrs: []string{"127.0.0.1:1"}},
+	}, GatewayConfig{DialTimeout: 200 * time.Millisecond})
+
+	chip := silicon.NewChip(rng.New(1), silicon.DefaultParams(), 2)
+	_, err := Authenticate(gwAddr, "chip-A", chip, silicon.Nominal, 5*time.Second)
+	var perr *ProtocolError
+	if !errors.As(err, &perr) || perr.Code != CodeBusy || !perr.Retryable {
+		t.Fatalf("unroutable session error = %v, want retryable %s", err, CodeBusy)
+	}
+
+	// A session that does not open with a hello is refused outright.
+	conn, err := net.Dial("tcp", gwAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("{\"type\":\"challenges\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m message
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatalf("refusal frame not JSON: %v", err)
+	}
+	if m.Type != "error" || m.Code != CodeBadMessage {
+		t.Fatalf("refusal frame %+v, want %s", m, CodeBadMessage)
+	}
+}

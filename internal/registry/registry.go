@@ -110,6 +110,18 @@ type Registry struct {
 
 	closed     atomic.Bool
 	compacting atomic.Bool
+
+	// closeOnce/closeDone make Close idempotent and concurrent-safe: every
+	// caller observes the one real shutdown complete before returning.
+	closeOnce sync.Once
+	closeDone chan struct{}
+	closeErr  error
+
+	// Replication hooks (nil when the registry is not replicated).  Stored
+	// as atomic pointers so a replication layer can attach and detach while
+	// traffic is live.
+	appendObs  atomic.Pointer[AppendObserver]
+	commitWait atomic.Pointer[CommitWaiter]
 }
 
 // Open creates or recovers a registry.  dir == "" yields a volatile
@@ -117,7 +129,7 @@ type Registry struct {
 // otherwise dir is created if needed, the latest snapshot is loaded, and the
 // WAL tail is replayed over it.
 func Open(dir string, opts Options) (*Registry, error) {
-	r := &Registry{opts: opts.normalized(), dir: dir}
+	r := &Registry{opts: opts.normalized(), dir: dir, closeDone: make(chan struct{})}
 	r.shards = make([]shard, r.opts.Shards)
 	r.mask = uint64(r.opts.Shards - 1)
 	for i := range r.shards {
@@ -245,22 +257,31 @@ func (r *Registry) Len() int {
 // Close compacts (when persistent) and releases the WAL.  A registry that is
 // killed without Close loses nothing — recovery replays the WAL — Close just
 // makes the next Open a pure snapshot load.
+//
+// Close is idempotent and safe under concurrent use (including a concurrent
+// Range whose callback is mid-flight): exactly one caller performs the
+// shutdown, and every caller — first or repeat — returns only after it has
+// finished, with the same error.
 func (r *Registry) Close() error {
-	if r.closed.Swap(true) {
-		return nil
-	}
-	r.opmu.Lock()
-	defer r.opmu.Unlock()
-	if r.wal == nil {
-		return nil
-	}
-	cerr := r.compactLocked()
-	werr := r.wal.close()
-	r.wal = nil
-	if cerr != nil {
-		return cerr
-	}
-	return werr
+	r.closeOnce.Do(func() {
+		defer close(r.closeDone)
+		r.closed.Store(true)
+		r.opmu.Lock()
+		defer r.opmu.Unlock()
+		if r.wal == nil {
+			return
+		}
+		cerr := r.compactLocked()
+		werr := r.wal.close()
+		r.wal = nil
+		if cerr != nil {
+			r.closeErr = cerr
+		} else {
+			r.closeErr = werr
+		}
+	})
+	<-r.closeDone
+	return r.closeErr
 }
 
 // Status is a point-in-time snapshot of one chip's accounting.
@@ -366,9 +387,18 @@ func (e *Entry) Issue(count, maxExamined int) ([]challenge.Challenge, []uint8, e
 		for _, c := range cs {
 			payload = appendU64(payload, c.Word())
 		}
-		if werr := e.reg.appendRecord(recIssued, payload); werr != nil {
-			// The words are recorded in memory but not durable; refuse to
-			// hand them out.  Conservative: challenges burn, none reissue.
+		seq, werr := e.reg.appendRecordSeq(recIssued, payload)
+		if werr == nil {
+			// Replication-aware issuance: when a commit waiter is attached
+			// the burned words must also be acknowledged by the follower
+			// quorum before they leave the server, so never-reuse holds
+			// across primary loss, not just primary restart.
+			werr = e.reg.waitCommitted(seq)
+		}
+		if werr != nil {
+			// The words are recorded in memory (and possibly on disk) but
+			// not safely committed; refuse to hand them out.  Conservative:
+			// challenges burn, none reissue.
 			return nil, nil, werr
 		}
 	}

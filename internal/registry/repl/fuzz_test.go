@@ -1,0 +1,122 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"xorpuf/internal/registry"
+)
+
+// seedFrames builds a corpus of well-formed wire traffic: a full session's
+// worth of handshake, snapshot, record, and control frames, with the record
+// and snapshot bytes captured from a live registry so the decoders see
+// realistic payloads, not just hand-rolled ones.
+func seedFrames(f *testing.F) {
+	reg, err := registry.Open("", registry.Options{Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer reg.Close()
+	var records [][]byte
+	reg.SetAppendObserver(func(seq uint64, typ byte, payload []byte) {
+		records = append(records, encodeFrame(fRecord, recordPayload(seq, typ, payload)))
+	})
+	if err := reg.Register("chip-0", syntheticModel(2, 16), 64); err != nil {
+		f.Fatal(err)
+	}
+	e := reg.Lookup("chip-0")
+	if _, _, err := e.Issue(3, 0); err != nil {
+		f.Fatal(err)
+	}
+	e.Verdict(false, 2)
+	reg.Deregister("chip-0")
+	snap, snapSeq, err := reg.SnapshotBytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(encodeFrame(fHello, helloPayload(0)))
+	f.Add(encodeFrame(fSnapBegin, snapBeginPayload(snapSeq, uint64(len(snap)), 4096)))
+	f.Add(encodeFrame(fSnapChunk, snap))
+	f.Add(encodeFrame(fSnapEnd, nil))
+	f.Add(encodeFrame(fAck, u64Payload(7)))
+	f.Add(encodeFrame(fHeartbeat, heartbeatPayload(9, 1<<20)))
+	f.Add(encodeFrame(fError, errorPayload(CodeApply, "wal append failed")))
+	for _, rec := range records {
+		f.Add(rec)
+	}
+	// One whole session on the wire: snapshot phase then the record tail.
+	stream := encodeFrame(fSnapBegin, snapBeginPayload(0, uint64(len(snap)), 0))
+	stream = append(stream, encodeFrame(fSnapChunk, snap)...)
+	stream = append(stream, encodeFrame(fSnapEnd, nil)...)
+	for _, rec := range records {
+		stream = append(stream, rec...)
+	}
+	f.Add(stream)
+	// Degenerate inputs.
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add([]byte{fRecord, 0xff, 0xff, 0xff, 0x7f})
+}
+
+// FuzzReplStream drives the replication stream decoder — frame reader,
+// per-type payload decoders, snapshot install, and replicated record apply —
+// with adversarial byte streams.  The invariant mirrors the follower's
+// degrade-never-fork contract: garbage must surface as an error (dropping
+// the link), never as a panic, a giant allocation, or a state change that
+// skips sequence numbers.
+func FuzzReplStream(f *testing.F) {
+	seedFrames(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg, err := registry.Open("", registry.Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reg.Close()
+		br := bufio.NewReader(bytes.NewReader(data))
+		var snap []byte
+		var snapLen uint64
+		for {
+			typ, payload, err := readFrame(br)
+			if err != nil {
+				return // torn or corrupt stream: the link would drop here
+			}
+			switch typ {
+			case fHello:
+				_, _, _ = decodeHello(payload)
+			case fSnapBegin:
+				_, snapLen, _, _ = decodeSnapBegin(payload)
+				snap = nil
+			case fSnapChunk:
+				if uint64(len(snap)+len(payload)) > snapLen || len(snap)+len(payload) > 1<<22 {
+					return
+				}
+				snap = append(snap, payload...)
+			case fSnapEnd:
+				_ = reg.InstallSnapshot(snap) // must not panic, corrupt or not
+			case fRecord:
+				seq, rectype, rec, err := decodeRecord(payload)
+				if err != nil {
+					return
+				}
+				before := reg.Seq()
+				if aerr := reg.ApplyReplicated(seq, rectype, rec); aerr != nil {
+					if got := reg.Seq(); got != before {
+						t.Fatalf("failed apply moved seq %d → %d", before, got)
+					}
+					return
+				}
+				if got := reg.Seq(); got != before+1 {
+					t.Fatalf("apply moved seq %d → %d, want +1", before, got)
+				}
+			case fAck:
+				_, _ = decodeU64(payload, "ack")
+			case fHeartbeat:
+				_, _, _ = decodeHeartbeat(payload)
+			case fError:
+				_, _ = decodeError(payload)
+			}
+		}
+	})
+}

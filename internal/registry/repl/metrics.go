@@ -1,0 +1,26 @@
+package repl
+
+import "xorpuf/internal/telemetry"
+
+// Replication instruments, captured once from the Default registry.  Like
+// the registry's WAL instruments these are process-wide: a process normally
+// plays one replication role, and tests that host both roles share series
+// whose semantics keep them distinguishable (lag is follower-side, follower
+// counts are primary-side).
+var (
+	// Follower side.
+	replLagRecords   = telemetry.Default.Gauge("repl_lag_records")
+	replLagBytes     = telemetry.Default.Gauge("repl_lag_bytes")
+	replApplySeconds = telemetry.Default.Histogram("repl_apply_seconds", telemetry.LatencyBuckets)
+	replApplied      = telemetry.Default.Counter("repl_records_applied_total")
+	replSnapshots    = telemetry.Default.Counter("repl_snapshots_installed_total")
+	replDegraded     = telemetry.Default.Counter("repl_degraded_total")
+
+	// Primary side.
+	replFollowers     = telemetry.Default.Gauge("repl_followers_connected")
+	replShipped       = telemetry.Default.Counter("repl_records_shipped_total")
+	replLinkDrops     = telemetry.Default.Counter("repl_link_drops_total")
+	replCommitSeconds = telemetry.Default.Histogram("repl_commit_wait_seconds", telemetry.LatencyBuckets)
+	replUnreplicated  = telemetry.Default.Counter("repl_unreplicated_issues_total")
+	replCommitTimeout = telemetry.Default.Counter("repl_commit_timeouts_total")
+)

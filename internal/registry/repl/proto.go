@@ -1,0 +1,218 @@
+// Package repl replicates a registry by WAL shipping: a primary streams
+// every journaled record to connected followers over framed TCP, new or
+// lagging followers bootstrap from a full XPS2 snapshot and then tail the
+// log, and challenge issuance can be gated on follower acknowledgements so
+// the paper's never-reuse invariant holds across primary loss, not just
+// primary restart.
+//
+// Wire format (one TCP connection per follower, follower dials):
+//
+//	frame: type(1) | len(u32 LE) | payload | crc32(IEEE, over type..payload)
+//
+//	fHello     f→p  version(1) lastSeq(u64)
+//	fSnapBegin p→f  snapSeq(u64) dataLen(u64) walBytes(u64)
+//	fSnapChunk p→f  raw snapshot bytes
+//	fSnapEnd   p→f  (empty)
+//	fRecord    p→f  seq(u64) rectype(1) payload (one WAL record)
+//	fAck       f→p  appliedSeq(u64)
+//	fHeartbeat p→f  primarySeq(u64) walBytes(u64)
+//	fError     ↔    code(str16) message(rest)
+//
+// Every session starts hello → snapshot (dataLen 0 when the follower is
+// already at the cut) → record stream.  The follower acknowledges a record
+// only after Registry.ApplyReplicated has durably journaled and applied it;
+// anything that cannot be applied exactly — a sequence gap, a corrupt frame,
+// a local WAL failure — is terminal for the link: the follower degrades and
+// reconnects (re-bootstrapping from a snapshot), it never forks the log.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const protocolVersion = 1
+
+const (
+	fHello     byte = 1
+	fSnapBegin byte = 2
+	fSnapChunk byte = 3
+	fSnapEnd   byte = 4
+	fRecord    byte = 5
+	fAck       byte = 6
+	fHeartbeat byte = 7
+	fError     byte = 8
+)
+
+const (
+	// maxFramePayload bounds one frame so a corrupted length field cannot
+	// trigger a giant allocation: the registry caps WAL record payloads at
+	// 1<<26, plus the seq/type prefix of an fRecord frame.
+	maxFramePayload = 1<<26 + 16
+
+	// snapChunkSize is how much snapshot data rides in one fSnapChunk.
+	snapChunkSize = 256 << 10
+
+	// maxSnapshotBytes bounds an advertised snapshot transfer.
+	maxSnapshotBytes = 1 << 32
+)
+
+// Link error codes carried by fError frames and LinkError values.
+const (
+	CodeSeqGap   = "seq_gap"  // record does not extend the local log
+	CodeApply    = "apply"    // local journal/apply failure (WAL append, fsync, decode)
+	CodeProto    = "proto"    // malformed or unexpected frame
+	CodeShutdown = "shutdown" // orderly close of the other end
+	CodeOverflow = "overflow" // follower fell behind the primary's send buffer
+	CodeDiverged = "diverged" // follower log is ahead of the primary's
+)
+
+// LinkError is the structured, terminal error that ends a replication
+// session.  The same code travels in the fError frame so the peer can
+// attribute the drop.
+type LinkError struct {
+	Code string
+	Msg  string
+}
+
+func (e *LinkError) Error() string { return "repl: " + e.Code + ": " + e.Msg }
+
+func linkErrf(code, format string, args ...interface{}) *LinkError {
+	return &LinkError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// encodeFrame builds one wire frame.
+func encodeFrame(typ byte, payload []byte) []byte {
+	buf := make([]byte, 0, 5+len(payload)+4)
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[:len(buf)]))
+}
+
+// writeFrame sends one frame as a single write.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	_, err := w.Write(encodeFrame(typ, payload))
+	return err
+}
+
+// readFrame reads and integrity-checks one frame.
+func readFrame(br *bufio.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > maxFramePayload {
+		return 0, nil, linkErrf(CodeProto, "frame payload %d exceeds cap", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, err
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return 0, nil, err
+	}
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != binary.LittleEndian.Uint32(trailer[:]) {
+		return 0, nil, linkErrf(CodeProto, "frame checksum mismatch")
+	}
+	return hdr[0], payload, nil
+}
+
+func helloPayload(lastSeq uint64) []byte {
+	buf := make([]byte, 0, 9)
+	buf = append(buf, protocolVersion)
+	return binary.LittleEndian.AppendUint64(buf, lastSeq)
+}
+
+func decodeHello(p []byte) (version byte, lastSeq uint64, err error) {
+	if len(p) != 9 {
+		return 0, 0, linkErrf(CodeProto, "hello payload %d bytes, want 9", len(p))
+	}
+	return p[0], binary.LittleEndian.Uint64(p[1:]), nil
+}
+
+func snapBeginPayload(snapSeq, dataLen, walBytes uint64) []byte {
+	buf := make([]byte, 0, 24)
+	buf = binary.LittleEndian.AppendUint64(buf, snapSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, dataLen)
+	return binary.LittleEndian.AppendUint64(buf, walBytes)
+}
+
+func decodeSnapBegin(p []byte) (snapSeq, dataLen, walBytes uint64, err error) {
+	if len(p) != 24 {
+		return 0, 0, 0, linkErrf(CodeProto, "snap-begin payload %d bytes, want 24", len(p))
+	}
+	snapSeq = binary.LittleEndian.Uint64(p[0:8])
+	dataLen = binary.LittleEndian.Uint64(p[8:16])
+	walBytes = binary.LittleEndian.Uint64(p[16:24])
+	if dataLen > maxSnapshotBytes {
+		return 0, 0, 0, linkErrf(CodeProto, "snapshot length %d exceeds cap", dataLen)
+	}
+	return snapSeq, dataLen, walBytes, nil
+}
+
+func recordPayload(seq uint64, rectype byte, rec []byte) []byte {
+	buf := make([]byte, 0, 9+len(rec))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	buf = append(buf, rectype)
+	return append(buf, rec...)
+}
+
+func decodeRecord(p []byte) (seq uint64, rectype byte, rec []byte, err error) {
+	if len(p) < 9 {
+		return 0, 0, nil, linkErrf(CodeProto, "record payload %d bytes, want ≥ 9", len(p))
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), p[8], p[9:], nil
+}
+
+func u64Payload(v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(make([]byte, 0, 8), v)
+}
+
+func decodeU64(p []byte, what string) (uint64, error) {
+	if len(p) != 8 {
+		return 0, linkErrf(CodeProto, "%s payload %d bytes, want 8", what, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+func heartbeatPayload(primarySeq, walBytes uint64) []byte {
+	buf := make([]byte, 0, 16)
+	buf = binary.LittleEndian.AppendUint64(buf, primarySeq)
+	return binary.LittleEndian.AppendUint64(buf, walBytes)
+}
+
+func decodeHeartbeat(p []byte) (primarySeq, walBytes uint64, err error) {
+	if len(p) != 16 {
+		return 0, 0, linkErrf(CodeProto, "heartbeat payload %d bytes, want 16", len(p))
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), binary.LittleEndian.Uint64(p[8:16]), nil
+}
+
+func errorPayload(code, msg string) []byte {
+	if len(code) > 0xFFFF {
+		code = code[:0xFFFF]
+	}
+	buf := make([]byte, 0, 2+len(code)+len(msg))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(code)))
+	buf = append(buf, code...)
+	return append(buf, msg...)
+}
+
+func decodeError(p []byte) (*LinkError, error) {
+	if len(p) < 2 {
+		return nil, linkErrf(CodeProto, "error payload %d bytes, want ≥ 2", len(p))
+	}
+	n := int(binary.LittleEndian.Uint16(p[0:2]))
+	if len(p) < 2+n {
+		return nil, linkErrf(CodeProto, "error code truncated")
+	}
+	return &LinkError{Code: string(p[2 : 2+n]), Msg: string(p[2+n:])}, nil
+}

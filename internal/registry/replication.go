@@ -1,0 +1,280 @@
+// Replication surface: the hooks a WAL-shipping layer (internal/registry/repl)
+// uses to turn one registry into a primary and another into a follower.
+//
+// Primary side: SetAppendObserver taps every durably journaled record, in
+// exact sequence order, as the shipping source; SetCommitWaiter lets the
+// issuance path (Entry.Issue) block until the configured follower quorum has
+// acknowledged the recIssued record, so a challenge never leaves the server
+// before the burn is replicated.
+//
+// Follower side: ApplyReplicated journals a record from the primary at the
+// primary's sequence number — refusing gaps, so the log can degrade but never
+// fork — and then applies it to the live store under the normal entry/shard
+// locking.  InstallSnapshot bootstraps a new or lagging follower from a full
+// XPS2 snapshot.  A follower registry must not take local mutations while it
+// is replicating; promotion simply stops feeding ApplyReplicated and starts
+// serving, since the store is already a sequence-exact copy.
+package registry
+
+import (
+	"errors"
+	"fmt"
+
+	"xorpuf/internal/health"
+)
+
+// ErrSeqGap is returned by ApplyReplicated when a record does not directly
+// extend the local log.  It is terminal for a replication link: applying it
+// would fork the log, so the follower must drop the link and re-bootstrap.
+var ErrSeqGap = errors.New("registry: replicated record out of sequence")
+
+// AppendObserver sees every record after it is durably appended, under the
+// registry's journal lock (exact seq order, no concurrent calls).  It must
+// return quickly and must copy payload if it retains it.
+type AppendObserver func(seq uint64, typ byte, payload []byte)
+
+// CommitWaiter gates challenge issuance on replication: Entry.Issue calls it
+// with the recIssued record's sequence number and refuses to release the
+// challenges unless it returns nil.
+type CommitWaiter func(seq uint64) error
+
+// SetAppendObserver attaches (or, with nil, detaches) the append observer.
+func (r *Registry) SetAppendObserver(fn AppendObserver) {
+	if fn == nil {
+		r.appendObs.Store(nil)
+		return
+	}
+	r.appendObs.Store(&fn)
+}
+
+// SetCommitWaiter attaches (or, with nil, detaches) the issuance commit
+// waiter.
+func (r *Registry) SetCommitWaiter(fn CommitWaiter) {
+	if fn == nil {
+		r.commitWait.Store(nil)
+		return
+	}
+	r.commitWait.Store(&fn)
+}
+
+func (r *Registry) waitCommitted(seq uint64) error {
+	if w := r.commitWait.Load(); w != nil {
+		return (*w)(seq)
+	}
+	return nil
+}
+
+// Seq returns the sequence number of the last record in the local log.
+func (r *Registry) Seq() uint64 {
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	return r.seq
+}
+
+// ApplyReplicated applies one record shipped from a replication primary.
+// The record is validated first, then journaled locally at the primary's
+// sequence number, then applied to the live store — so an error at any step
+// means the record took no effect and the caller must NOT acknowledge it.
+//
+// seq must directly extend the local log (Seq()+1); anything else returns
+// ErrSeqGap, which is terminal for the link.  A WAL append or fsync failure
+// is likewise returned as a structured error with nothing applied.
+func (r *Registry) ApplyReplicated(seq uint64, typ byte, payload []byte) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	r.opmu.RLock()
+	defer r.opmu.RUnlock()
+	apply, err := r.decodeReplicated(typ, payload)
+	if err != nil {
+		return err
+	}
+	if err := r.journalReplicated(seq, typ, payload); err != nil {
+		return err
+	}
+	apply()
+	return nil
+}
+
+// journalReplicated appends one record at an explicit (primary-assigned)
+// sequence number, enforcing continuity.  Caller holds opmu.R.
+func (r *Registry) journalReplicated(seq uint64, typ byte, payload []byte) error {
+	r.pmu.Lock()
+	if r.wal == nil && r.dir != "" {
+		r.pmu.Unlock()
+		return ErrClosed
+	}
+	if seq != r.seq+1 {
+		want := r.seq + 1
+		r.pmu.Unlock()
+		return fmt.Errorf("%w: got seq %d, want %d", ErrSeqGap, seq, want)
+	}
+	needCompact, err := r.appendLocked(seq, typ, payload)
+	if err == nil {
+		r.seq = seq
+	}
+	r.pmu.Unlock()
+	r.maybeCompactAsync(needCompact)
+	return err
+}
+
+// decodeReplicated validates a record payload and returns a closure that
+// applies it under the normal shard/entry locking.  Decoding before
+// journaling keeps a malformed record from entering the local log.
+func (r *Registry) decodeReplicated(typ byte, payload []byte) (func(), error) {
+	rd := &reader{b: payload}
+	switch typ {
+	case recRegister, recReenroll:
+		id := rd.str()
+		budget := int(rd.u32())
+		model := rd.readModel()
+		if rd.err != nil {
+			return nil, fmt.Errorf("register/reenroll record: %w", rd.err)
+		}
+		return func() {
+			e := r.Lookup(id)
+			if e == nil {
+				sel := r.newSelector(id, model)
+				sel.SetBudget(budget)
+				r.install(&Entry{id: id, reg: r, model: model, selector: sel,
+					tracker: health.NewTracker(r.opts.Health)})
+				return
+			}
+			if typ == recRegister {
+				return // duplicate registration: primary already rejected it
+			}
+			// Mirror Replace: new model goes live, every previously issued
+			// challenge stays burned, abuse counters and detectors reset.
+			sel := r.newSelector(id, model)
+			sel.SetBudget(budget)
+			e.mu.Lock()
+			sel.MarkUsed(e.selector.ExportState().Used...)
+			e.model, e.selector = model, sel
+			e.denials, e.locked = 0, false
+			e.tracker.Reset()
+			e.mu.Unlock()
+		}, nil
+	case recIssued:
+		id := rd.str()
+		n := int(rd.u32())
+		if rd.err == nil && n > maxUsedWords {
+			rd.fail("implausible issued count %d", n)
+		}
+		if rd.err != nil {
+			return nil, fmt.Errorf("issued record: %w", rd.err)
+		}
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rd.u64()
+		}
+		if rd.err != nil {
+			return nil, fmt.Errorf("issued record: %w", rd.err)
+		}
+		return func() {
+			if e := r.Lookup(id); e != nil {
+				e.mu.Lock()
+				e.selector.MarkUsed(words...)
+				e.mu.Unlock()
+			}
+		}, nil
+	case recAbuse:
+		id := rd.str()
+		denials := int(rd.u32())
+		locked := rd.u8() == 1
+		if rd.err != nil {
+			return nil, fmt.Errorf("abuse record: %w", rd.err)
+		}
+		return func() {
+			if e := r.Lookup(id); e != nil {
+				e.mu.Lock()
+				e.denials, e.locked = denials, locked
+				e.mu.Unlock()
+			}
+		}, nil
+	case recDeregister:
+		id := rd.str()
+		if rd.err != nil {
+			return nil, fmt.Errorf("deregister record: %w", rd.err)
+		}
+		return func() {
+			sh := r.shard(id)
+			sh.mu.Lock()
+			_, ok := sh.m[id]
+			delete(sh.m, id)
+			sh.mu.Unlock()
+			if ok {
+				chipsGauge.Dec()
+			}
+		}, nil
+	case recHealth:
+		id := rd.str()
+		st := rd.readTrackerState()
+		if rd.err != nil {
+			return nil, fmt.Errorf("health record: %w", rd.err)
+		}
+		return func() {
+			if e := r.Lookup(id); e != nil {
+				e.mu.Lock()
+				e.tracker.Restore(st)
+				e.mu.Unlock()
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, typ)
+	}
+}
+
+// SnapshotBytes returns a full XPS2-framed snapshot of the store and the
+// sequence cut it reflects: every record with seq ≤ the cut is included, so a
+// follower that installs it need only tail records after the cut.  The store
+// is quiesced (opmu.W) for the duration, exactly like Compact.
+func (r *Registry) SnapshotBytes() ([]byte, uint64, error) {
+	if r.closed.Load() {
+		return nil, 0, ErrClosed
+	}
+	r.opmu.Lock()
+	defer r.opmu.Unlock()
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	return encodeSnapshot(r.snapshotBodyLocked()), r.seq, nil
+}
+
+// InstallSnapshot replaces the entire store with the contents of an
+// XPS2-framed snapshot (as produced by SnapshotBytes) — the follower
+// bootstrap path.  The snapshot is fully validated before any live state is
+// touched.  On a persistent registry the snapshot is also written to disk
+// and the WAL reset, so a follower that crashes right after install recovers
+// at the snapshot cut instead of an older local state.
+func (r *Registry) InstallSnapshot(data []byte) error {
+	if r.closed.Load() {
+		return ErrClosed
+	}
+	entries, seq, err := r.decodeSnapshot(data)
+	if err != nil {
+		return err
+	}
+	r.opmu.Lock()
+	defer r.opmu.Unlock()
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for id := range sh.m {
+			delete(sh.m, id)
+			chipsGauge.Dec()
+		}
+		sh.mu.Unlock()
+	}
+	for _, e := range entries {
+		r.install(e)
+	}
+	r.pmu.Lock()
+	defer r.pmu.Unlock()
+	r.seq = seq
+	if r.wal == nil {
+		return nil
+	}
+	if err := r.writeSnapshotFile(data); err != nil {
+		return err
+	}
+	return r.resetWALLocked()
+}

@@ -1,0 +1,254 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xorpuf/internal/health"
+)
+
+// replayInto pipes every record a mutation on src produces straight into
+// dst via ApplyReplicated — an in-process WAL ship with no wire.
+func replayInto(t *testing.T, src, dst *Registry) {
+	t.Helper()
+	src.SetAppendObserver(func(seq uint64, typ byte, payload []byte) {
+		p := append([]byte(nil), payload...)
+		if err := dst.ApplyReplicated(seq, typ, p); err != nil {
+			t.Errorf("ApplyReplicated(seq %d, type %d): %v", seq, typ, err)
+		}
+	})
+}
+
+func TestApplyReplicatedMirrorsEveryRecordType(t *testing.T) {
+	src, err := Open("", Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Open("", Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	defer dst.Close()
+	replayInto(t, src, dst)
+
+	model := syntheticModel(2, 16)
+	if err := src.Register("chip-a", model, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Register("chip-b", model, 0); err != nil {
+		t.Fatal(err)
+	}
+	e := src.Lookup("chip-a")
+	wantWords := issueWords(t, e, 6)
+	e.Verdict(false, 3)
+	e.Verdict(false, 3)
+	e.RecordAuth(health.Outcome{Challenges: 5, Mismatches: 1})
+	if err := src.Replace("chip-a", syntheticModel(2, 16), 50); err != nil {
+		t.Fatal(err)
+	}
+	src.Deregister("chip-b")
+
+	if got, want := dst.Seq(), src.Seq(); got != want {
+		t.Fatalf("follower at seq %d, primary at %d", got, want)
+	}
+	if dst.Lookup("chip-b") != nil {
+		t.Fatal("deregister did not replicate")
+	}
+	de := dst.Lookup("chip-a")
+	if de == nil {
+		t.Fatal("chip-a missing on follower")
+	}
+	ds, ss := de.Status(), e.Status()
+	if ds.Issued != ss.Issued || ds.Denials != ss.Denials || ds.Locked != ss.Locked {
+		t.Fatalf("follower status %+v, primary %+v", ds, ss)
+	}
+	// The replicated re-enrollment must keep every old word burned: issue
+	// from the follower copy and check for overlap.
+	cs, _, err := de.Issue(6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		if wantWords[c.Word()] {
+			t.Fatalf("word %#x reissued by replicated entry", c.Word())
+		}
+	}
+}
+
+func TestApplyReplicatedRefusesGapsAndGarbage(t *testing.T) {
+	reg, err := Open("", Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	if err := reg.ApplyReplicated(2, recDeregister, appendString(nil, "x")); !errors.Is(err, ErrSeqGap) {
+		t.Fatalf("gap apply: %v, want ErrSeqGap", err)
+	}
+	if err := reg.ApplyReplicated(1, 99, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown type: %v, want ErrCorrupt", err)
+	}
+	if err := reg.ApplyReplicated(1, recRegister, []byte{0xff}); err == nil {
+		t.Fatal("truncated register payload applied")
+	}
+	if got := reg.Seq(); got != 0 {
+		t.Fatalf("failed applies advanced seq to %d", got)
+	}
+	// A valid record at the right seq still applies afterwards.
+	if err := reg.ApplyReplicated(1, recRegister, registerPayload("chip-a", 0, syntheticModel(2, 16))); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Lookup("chip-a") == nil {
+		t.Fatal("valid replicated register missing")
+	}
+}
+
+func TestSnapshotBytesInstallRoundTrip(t *testing.T) {
+	src, err := Open("", Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.Register("chip-a", syntheticModel(2, 16), 20); err != nil {
+		t.Fatal(err)
+	}
+	issued := issueWords(t, src.Lookup("chip-a"), 4)
+
+	dir := t.TempDir()
+	dst, err := Open(dir, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-existing state must be wiped by the install.
+	if err := dst.Register("stale", syntheticModel(2, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, seq, err := src.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.InstallSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Lookup("stale") != nil {
+		t.Fatal("stale entry survived snapshot install")
+	}
+	if got := dst.Seq(); got != seq {
+		t.Fatalf("installed seq %d, want %d", got, seq)
+	}
+	// Corrupt snapshots must be rejected without touching state.
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)/2] ^= 0x80
+	if err := dst.InstallSnapshot(bad); err == nil {
+		t.Fatal("corrupt snapshot installed")
+	}
+
+	// The install is durable: a kill -9 right after it recovers at the cut
+	// with the burned words intact.
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	e := re.Lookup("chip-a")
+	if e == nil {
+		t.Fatal("chip-a lost across reopen")
+	}
+	if got := e.Status().Issued; got != 4 {
+		t.Fatalf("recovered %d issued, want 4", got)
+	}
+	cs, _, err := e.Issue(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		if issued[c.Word()] {
+			t.Fatalf("word %#x reissued after snapshot install + reopen", c.Word())
+		}
+	}
+}
+
+func TestCommitWaiterGatesIssuance(t *testing.T) {
+	reg, err := Open("", Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if err := reg.Register("chip-a", syntheticModel(2, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	quorumDown := errors.New("quorum down")
+	var gotSeq uint64
+	reg.SetCommitWaiter(func(seq uint64) error {
+		gotSeq = seq
+		return quorumDown
+	})
+	e := reg.Lookup("chip-a")
+	before := e.Status().Issued
+	if _, _, err := e.Issue(3, 0); !errors.Is(err, quorumDown) {
+		t.Fatalf("gated Issue: %v, want the waiter's error", err)
+	}
+	if gotSeq != reg.Seq() {
+		t.Fatalf("waiter saw seq %d, registry at %d", gotSeq, reg.Seq())
+	}
+	// Refused challenges stay burned; a retry draws fresh ones.
+	if got := e.Status().Issued; got != before+3 {
+		t.Fatalf("refused issuance burned %d, want 3", got-before)
+	}
+	reg.SetCommitWaiter(nil)
+	if _, _, err := e.Issue(3, 0); err != nil {
+		t.Fatalf("detached waiter still gating: %v", err)
+	}
+}
+
+func TestCloseIdempotentUnderConcurrentRange(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := Open(dir, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if err := reg.Register(fmt.Sprintf("chip-%d", i), syntheticModel(2, 16), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			reg.Range(func(e *Entry) bool {
+				_ = e.Status()
+				_, _, _ = e.Issue(1, 0) // racing Close may refuse; must not panic
+				return true
+			})
+			errs[g] = reg.Close()
+		}(g)
+	}
+	wg.Wait()
+	// Every Close call observes the one real shutdown and its error.
+	for g, err := range errs {
+		if err != errs[0] {
+			t.Fatalf("Close %d returned %v, Close 0 returned %v", g, err, errs[0])
+		}
+	}
+	if err := reg.Close(); err != errs[0] {
+		t.Fatalf("late Close returned %v, want %v", err, errs[0])
+	}
+	// The registry reopens cleanly after the concurrent shutdown.
+	re, err := Open(dir, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != 32 {
+		t.Fatalf("recovered %d chips, want 32", got)
+	}
+}

@@ -124,21 +124,56 @@ func (r *Registry) snapPath() string { return filepath.Join(r.dir, snapName) }
 // entry lock); pmu serializes sequence assignment with the physical append
 // so the on-disk order equals the seq order.
 func (r *Registry) appendRecord(typ byte, payload []byte) error {
-	if r.wal == nil {
-		return nil // volatile registry
-	}
+	_, err := r.appendRecordSeq(typ, payload)
+	return err
+}
+
+// appendRecordSeq is appendRecord returning the assigned sequence number so
+// replication-aware callers (Entry.Issue) can wait for follower acks on it.
+// Volatile registries still assign sequence numbers and feed the append
+// observer — their "durability" is the in-memory store itself — so a
+// volatile primary can replicate.
+func (r *Registry) appendRecordSeq(typ byte, payload []byte) (uint64, error) {
 	r.pmu.Lock()
+	if r.wal == nil && r.dir != "" {
+		// Persistent registry whose WAL is gone: Close won the race with
+		// this mutation.  Refuse rather than mutate without a journal.
+		r.pmu.Unlock()
+		return 0, ErrClosed
+	}
 	r.seq++
-	buf := make([]byte, 0, recHeaderLen+len(payload)+recTrailerLen)
-	buf = appendU64(buf, r.seq)
-	buf = append(buf, typ)
-	buf = appendU32(buf, uint32(len(payload)))
-	buf = append(buf, payload...)
-	buf = appendU32(buf, crc32.ChecksumIEEE(buf))
-	err := r.wal.append(buf, r.opts.Fsync)
-	r.sinceSnap++
-	needCompact := err == nil && r.opts.SnapshotEvery > 0 && r.sinceSnap >= r.opts.SnapshotEvery
+	seq := r.seq
+	needCompact, err := r.appendLocked(seq, typ, payload)
 	r.pmu.Unlock()
+	r.maybeCompactAsync(needCompact)
+	return seq, err
+}
+
+// appendLocked writes one framed record at seq (pmu held), notifies the
+// append observer on success, and reports whether auto-compaction is due.
+func (r *Registry) appendLocked(seq uint64, typ byte, payload []byte) (needCompact bool, err error) {
+	if r.wal != nil {
+		buf := make([]byte, 0, recHeaderLen+len(payload)+recTrailerLen)
+		buf = appendU64(buf, seq)
+		buf = append(buf, typ)
+		buf = appendU32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+		buf = appendU32(buf, crc32.ChecksumIEEE(buf))
+		if err = r.wal.append(buf, r.opts.Fsync); err != nil {
+			return false, err
+		}
+		r.sinceSnap++
+		needCompact = r.opts.SnapshotEvery > 0 && r.sinceSnap >= r.opts.SnapshotEvery
+	}
+	if obs := r.appendObs.Load(); obs != nil {
+		// Called under pmu so observers see records in exact seq order.
+		// Observers must be fast and must copy payload if they retain it.
+		(*obs)(seq, typ, payload)
+	}
+	return needCompact, nil
+}
+
+func (r *Registry) maybeCompactAsync(needCompact bool) {
 	if needCompact && r.compacting.CompareAndSwap(false, true) {
 		// Compact needs opmu.W; the triggering mutation still holds
 		// opmu.R, so compaction must run asynchronously.
@@ -147,7 +182,6 @@ func (r *Registry) appendRecord(typ byte, payload []byte) error {
 			_ = r.Compact()
 		}()
 	}
-	return err
 }
 
 // Compact writes a full snapshot and resets the WAL.  It excludes all
@@ -168,6 +202,19 @@ func (r *Registry) compactLocked() error {
 	r.pmu.Lock()
 	defer r.pmu.Unlock()
 
+	if err := r.writeSnapshotFile(encodeSnapshot(r.snapshotBodyLocked())); err != nil {
+		return err
+	}
+	// Snapshot durable; the WAL prefix is now redundant.  Recreate it
+	// empty.  A crash before this point leaves seq ≤ snapshot-seq records
+	// behind, which replay skips.
+	return r.resetWALLocked()
+}
+
+// snapshotBodyLocked serializes the full store at the current sequence cut.
+// Requires opmu.W (quiescent store: reading entry state without e.mu is
+// race-free) and pmu (stable seq).
+func (r *Registry) snapshotBodyLocked() []byte {
 	body := appendU64(nil, r.seq)
 	count := 0
 	for i := range r.shards {
@@ -176,8 +223,6 @@ func (r *Registry) compactLocked() error {
 	body = appendU32(body, uint32(count))
 	for i := range r.shards {
 		for _, e := range r.shards[i].m {
-			// opmu.W excludes every mutator, so reading entry state
-			// without e.mu is race-free here.
 			body = appendString(body, e.id)
 			body = appendSelectorState(body, e.selector.ExportState())
 			body = appendModel(body, e.model)
@@ -190,17 +235,26 @@ func (r *Registry) compactLocked() error {
 			body = appendTrackerState(body, e.tracker.Snapshot())
 		}
 	}
+	return body
+}
 
+// encodeSnapshot frames a snapshot body in the XPS2 file format.
+func encodeSnapshot(body []byte) []byte {
+	buf := make([]byte, 0, 4+len(body)+4)
+	buf = append(buf, snapMagic[:]...)
+	buf = append(buf, body...)
+	return appendU32(buf, crc32.ChecksumIEEE(body))
+}
+
+// writeSnapshotFile atomically replaces the snapshot file with data (an
+// XPS2-framed snapshot): temp file, fsync, rename.
+func (r *Registry) writeSnapshotFile(data []byte) error {
 	tmp := r.snapPath() + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	buf := make([]byte, 0, 4+len(body)+4)
-	buf = append(buf, snapMagic[:]...)
-	buf = append(buf, body...)
-	buf = appendU32(buf, crc32.ChecksumIEEE(body))
-	if _, err := f.Write(buf); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -218,14 +272,15 @@ func (r *Registry) compactLocked() error {
 		os.Remove(tmp)
 		return err
 	}
+	return nil
+}
 
-	// Snapshot durable; the WAL prefix is now redundant.  Recreate it
-	// empty.  A crash before this point leaves seq ≤ snapshot-seq records
-	// behind, which replay skips.
+// resetWALLocked closes the current WAL and recreates it empty (pmu held).
+func (r *Registry) resetWALLocked() error {
 	if err := r.wal.close(); err != nil {
 		return err
 	}
-	f, err = os.Create(r.walPath())
+	f, err := os.Create(r.walPath())
 	if err != nil {
 		return err
 	}
@@ -264,21 +319,36 @@ func (r *Registry) loadSnapshot() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	entries, seq, err := r.decodeSnapshot(data)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range entries {
+		r.install(e)
+	}
+	return seq, nil
+}
+
+// decodeSnapshot validates an XPS1/XPS2-framed snapshot and materializes its
+// entries without installing them, so callers can reject a corrupt snapshot
+// before touching live state.
+func (r *Registry) decodeSnapshot(data []byte) ([]*Entry, uint64, error) {
 	if len(data) < 4+8+4+4 {
-		return 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
 	magic := [4]byte(data[:4])
 	if magic != snapMagic && magic != snapMagicV1 {
-		return 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
 	hasHealth := magic == snapMagic
 	body, trailer := data[4:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
-		return 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
 	}
 	rd := &reader{b: body}
 	seq := rd.u64()
 	count := int(rd.u32())
+	var entries []*Entry
 	for i := 0; i < count && rd.err == nil; i++ {
 		id := rd.str()
 		st := rd.readSelectorState()
@@ -294,15 +364,15 @@ func (r *Registry) loadSnapshot() (uint64, error) {
 		}
 		sel := r.newSelector(id, model)
 		sel.ImportState(st)
-		r.install(&Entry{
+		entries = append(entries, &Entry{
 			id: id, reg: r, model: model, selector: sel,
 			denials: denials, locked: locked, tracker: tracker,
 		})
 	}
 	if rd.err != nil {
-		return 0, fmt.Errorf("snapshot entry decode: %w", rd.err)
+		return nil, 0, fmt.Errorf("snapshot entry decode: %w", rd.err)
 	}
-	return seq, nil
+	return entries, seq, nil
 }
 
 // replayWAL applies records with seq > snapSeq, truncates any torn tail, and

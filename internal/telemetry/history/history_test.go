@@ -114,6 +114,45 @@ func TestSamplerTickAndQueries(t *testing.T) {
 	}
 }
 
+// TestSamplerGaugeQuantile: nearest-rank quantiles over a gauge's sampled
+// trajectory — the estimator behind level SLOs like replication lag p99.
+func TestSamplerGaugeQuantile(t *testing.T) {
+	clk := newFakeClock()
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("lag")
+	s := NewSampler(reg, Options{Capacity: 128, Now: clk.Now})
+
+	// 100 samples, 1 s apart, values 1..100.
+	for i := 1; i <= 100; i++ {
+		g.Set(int64(i))
+		s.Tick()
+		clk.Advance(time.Second)
+	}
+	// All 100 samples in-window: nearest-rank p50 = 50, p99 = 99, and the
+	// extremes clamp to min/max.
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 50}, {0.99, 99}, {0, 1}, {1, 100}} {
+		v, ok := s.GaugeQuantile("lag", 200*time.Second, tc.q)
+		if !ok || v != tc.want {
+			t.Fatalf("GaugeQuantile(q=%v) = %v ok=%v, want %v", tc.q, v, ok, tc.want)
+		}
+	}
+	// A narrow window sees only the tail samples.
+	v, ok := s.GaugeQuantile("lag", 10*time.Second, 0.5)
+	if !ok || v < 90 {
+		t.Fatalf("windowed GaugeQuantile = %v ok=%v, want >= 90 (tail only)", v, ok)
+	}
+	// Unknown gauges and empty windows report no data, not zero.
+	if _, ok := s.GaugeQuantile("never_registered", time.Minute, 0.99); ok {
+		t.Fatal("unknown gauge should report no data")
+	}
+	if _, ok := s.GaugeQuantile("lag", 0, 0.99); ok {
+		t.Fatal("empty window should report no data")
+	}
+}
+
 // TestSamplerWindowedQuantileIsolatesSpike: the windowed histogram delta
 // must reflect only observations inside the window — the whole point of
 // keeping snapshot rings instead of scalar quantiles.

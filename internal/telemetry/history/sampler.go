@@ -2,6 +2,7 @@ package history
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -254,6 +255,44 @@ func (s *Sampler) GaugeLast(name string) (float64, bool) {
 	}
 	p, ok := sr.Last()
 	return p.V, ok
+}
+
+// GaugeQuantile estimates the q-th quantile of the gauge's sampled values
+// inside the trailing window — "p99 of replication lag over 5 minutes" is a
+// quantile over samples of a level, not over histogram observations, so it
+// gets its own estimator.
+func (s *Sampler) GaugeQuantile(name string, window time.Duration, q float64) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.gauges[name]
+	if sr == nil {
+		return 0, false
+	}
+	w := sr.Window(s.now().Add(-window))
+	if len(w) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, len(w))
+	for i, p := range w {
+		vals[i] = p.V
+	}
+	sort.Float64s(vals)
+	if q <= 0 {
+		return vals[0], true
+	}
+	if q >= 1 {
+		return vals[len(vals)-1], true
+	}
+	// Nearest-rank on the sampled values: the smallest sample with at least
+	// a q fraction of the window at or below it.
+	idx := int(math.Ceil(q*float64(len(vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(vals) {
+		idx = len(vals) - 1
+	}
+	return vals[idx], true
 }
 
 // HistWindow returns the bucket-wise delta snapshot of the named histogram

@@ -11,6 +11,10 @@
 //     means "the whole month's budget gone in ~2 hours".
 //   - Latency: a windowed quantile of a histogram against a threshold; the
 //     burn rate is quantile / threshold.
+//   - Gauge: a windowed quantile of a sampled gauge level against a limit;
+//     the burn rate is quantile / limit.  This covers objectives over
+//     levels rather than events — "replication lag p99 stays under N
+//     records" is a statement about a gauge's trajectory, not a counter's.
 //
 // Rules are multi-window: the condition requires the burn rate to exceed
 // the rule's threshold over BOTH a long and a short trailing window.  The
@@ -44,6 +48,8 @@ const (
 	KindRatio Kind = "ratio"
 	// KindLatency: windowed histogram quantile vs a threshold.
 	KindLatency Kind = "latency"
+	// KindGauge: windowed gauge-level quantile vs a limit.
+	KindGauge Kind = "gauge"
 )
 
 // Objective declares one SLO.
@@ -67,6 +73,11 @@ type Objective struct {
 	Histogram string  `json:"histogram,omitempty"`
 	Quantile  float64 `json:"quantile,omitempty"`
 	Threshold float64 `json:"threshold_seconds,omitempty"`
+
+	// Gauge objectives: Quantile of the sampled Gauge level must stay at
+	// or below Limit (in the gauge's own unit).
+	Gauge string  `json:"gauge,omitempty"`
+	Limit float64 `json:"limit,omitempty"`
 }
 
 // Rule binds an objective to its burn-rate windows and alert dwells.
@@ -99,6 +110,8 @@ type ObjectiveStatus struct {
 	GoodFraction float64 `json:"good_fraction,omitempty"`
 	// QuantileSeconds is the long-window quantile (latency kind).
 	QuantileSeconds float64 `json:"quantile_seconds,omitempty"`
+	// GaugeValue is the long-window gauge quantile (gauge kind).
+	GaugeValue float64 `json:"gauge_value,omitempty"`
 	// LongBurn and ShortBurn are the two windows' burn rates.
 	LongBurn  float64 `json:"long_burn"`
 	ShortBurn float64 `json:"short_burn"`
@@ -224,6 +237,21 @@ func (e *Engine) burnLatency(o Objective, window time.Duration) (burn, quantile 
 	return q / thr, q, true
 }
 
+// burnGauge evaluates a gauge objective over one window.  A gauge that has
+// never been sampled (this deployment does not replicate, say) reports
+// no-data, which keeps the bound alert inactive rather than green-washing
+// or paging on absence.
+func (e *Engine) burnGauge(o Objective, window time.Duration) (burn, quantile float64, ok bool) {
+	q, ok := e.hist.GaugeQuantile(o.Gauge, window, o.Quantile)
+	if !ok {
+		return 0, 0, false
+	}
+	if o.Limit <= 0 {
+		return 0, q, false
+	}
+	return q / o.Limit, q, true
+}
+
 // Evaluate advances every rule and attached evaluator to the sampler's
 // current time and returns the transitions that fired.  Call it after each
 // sampler Tick.
@@ -255,6 +283,14 @@ func (e *Engine) Evaluate() []Event {
 			value = longBurn
 			reason = fmt.Sprintf("%s p%g = %.4gs over %v (threshold %.4gs)",
 				r.Objective.Histogram, r.Objective.Quantile*100, qLong, r.LongWindow, r.Objective.Threshold)
+		case KindGauge:
+			var qLong float64
+			longBurn, qLong, okLong = e.burnGauge(r.Objective, r.LongWindow)
+			shortBurn, _, okShort = e.burnGauge(r.Objective, r.ShortWindow)
+			st.GaugeValue = qLong
+			value = longBurn
+			reason = fmt.Sprintf("%s p%g = %.4g over %v (limit %.4g)",
+				r.Objective.Gauge, r.Objective.Quantile*100, qLong, r.LongWindow, r.Objective.Limit)
 		default:
 			var goodFrac, badFrac float64
 			longBurn, goodFrac, badFrac, okLong = e.burnRatio(r.Objective, r.LongWindow)
@@ -430,6 +466,9 @@ func (e *Engine) AlertsHandler() http.Handler {
 //	session-latency-p99 p99 of netauth_session_seconds ≤ 250 ms
 //	wal-fsync-p99       p99 of registry_wal_fsync_seconds ≤ 50 ms
 //	quarantine-rate     ≤ 1% of completed sessions quarantine a chip
+//	replication-lag-p99 p99 of repl_lag_records ≤ 512 records behind
+//	                    (inactive on deployments that never replicate —
+//	                    the gauge is only sampled once a follower runs)
 //
 // Windows are minutes, not the SRE workbook's hours, because the demo
 // fleets this repo runs live for minutes; the arithmetic is identical.
@@ -474,6 +513,15 @@ func DefaultRules() []Rule {
 			LongWindow: 10 * time.Minute, ShortWindow: 2 * time.Minute,
 			Burn: 2, PendingFor: 20 * time.Second, ResolveAfter: time.Minute,
 			Severity: "ticket",
+		},
+		{
+			Objective: Objective{
+				Name: "replication-lag-p99", Kind: KindGauge,
+				Gauge: "repl_lag_records", Quantile: 0.99, Limit: 512,
+			},
+			LongWindow: 5 * time.Minute, ShortWindow: time.Minute,
+			Burn: 1, PendingFor: 20 * time.Second, ResolveAfter: time.Minute,
+			Severity: "page",
 		},
 	}
 }

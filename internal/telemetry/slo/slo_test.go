@@ -240,6 +240,75 @@ func TestLatencyObjective(t *testing.T) {
 	}
 }
 
+// TestGaugeObjective: windowed gauge-level quantile against a limit — the
+// replication-lag shape.  A gauge that is never sampled (no follower in
+// this deployment) must read as no-data, keeping the alert inactive.
+func TestGaugeObjective(t *testing.T) {
+	h := newHarness([]Rule{{
+		Objective: Objective{
+			Name: "lag", Kind: KindGauge,
+			Gauge: "repl_lag", Quantile: 0.99, Limit: 100,
+		},
+		LongWindow: time.Minute, ShortWindow: 15 * time.Second,
+		Burn: 1, PendingFor: 0, ResolveAfter: 10 * time.Second,
+		Severity: "page",
+	}})
+
+	// The gauge does not exist yet: no data, alert inactive.
+	h.tick(5 * time.Second)
+	st := h.engine.Status()
+	if len(st) != 1 || st[0].HasData {
+		t.Fatalf("status with absent gauge = %+v, want HasData=false", st)
+	}
+	if s := stateOf(h.engine, "slo:lag"); s != "inactive" {
+		t.Fatalf("absent-gauge state = %s", s)
+	}
+
+	// Healthy replication: lag bounded well under the limit.
+	lag := h.reg.Gauge("repl_lag")
+	for i := 0; i < 4; i++ {
+		lag.Set(int64(5 + i))
+		h.tick(5 * time.Second)
+	}
+	st = h.engine.Status()
+	if len(st) != 1 || !st[0].HasData || st[0].GaugeValue > 100 {
+		t.Fatalf("healthy status = %+v, want HasData under limit", st)
+	}
+	if s := stateOf(h.engine, "slo:lag"); s != "inactive" {
+		t.Fatalf("healthy state = %s", s)
+	}
+
+	// The follower falls behind: lag over the limit in both windows fires
+	// immediately (PendingFor 0).
+	var fired bool
+	for i := 0; i < 16 && !fired; i++ {
+		lag.Set(800)
+		for _, ev := range h.tick(5 * time.Second) {
+			if ev.ToState == "firing" {
+				fired = true
+			}
+		}
+	}
+	if !fired {
+		t.Fatalf("lag spike never fired; status %+v", h.engine.Status())
+	}
+
+	// Catch-up: lag returns to near zero until both windows clear, then the
+	// resolve dwell elapses.
+	var resolvedAt string
+	for i := 0; i < 24 && resolvedAt == ""; i++ {
+		lag.Set(2)
+		for _, ev := range h.tick(10 * time.Second) {
+			if ev.ToState == "resolved" {
+				resolvedAt = ev.Reason
+			}
+		}
+	}
+	if resolvedAt == "" {
+		t.Fatalf("lag alert never resolved; state = %s", stateOf(h.engine, "slo:lag"))
+	}
+}
+
 // TestBadCounterRatio: quarantine-rate-style objectives use Bad/Total with
 // the bad counter possibly never registered — that must read as zero bad,
 // not no-data.
@@ -328,7 +397,7 @@ func TestEventLogAndHandlers(t *testing.T) {
 // names a real metric family and carries sane windows.
 func TestDefaultRulesCatalog(t *testing.T) {
 	rules := DefaultRules()
-	if len(rules) != 4 {
+	if len(rules) != 5 {
 		t.Fatalf("DefaultRules count = %d", len(rules))
 	}
 	seen := map[string]bool{}
@@ -351,6 +420,10 @@ func TestDefaultRulesCatalog(t *testing.T) {
 		case KindLatency:
 			if r.Objective.Histogram == "" || r.Objective.Threshold <= 0 {
 				t.Errorf("%s: latency objective incomplete", r.Objective.Name)
+			}
+		case KindGauge:
+			if r.Objective.Gauge == "" || r.Objective.Limit <= 0 {
+				t.Errorf("%s: gauge objective incomplete", r.Objective.Name)
 			}
 		}
 	}
