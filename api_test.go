@@ -111,7 +111,7 @@ func TestPublicAPIKeyGeneration(t *testing.T) {
 		t.Fatal(err)
 	}
 	kcfg := xorpuf.KeyConfig{M: 7, T: 6, Selector: xorpuf.NewKeySelector(enr.Model, 12)}
-	kEnr, err := xorpuf.EnrollKey(chip, 13, xorpuf.Nominal, kcfg)
+	kEnr, enrolledKey, err := xorpuf.EnrollKey(chip, 13, xorpuf.Nominal, kcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +119,7 @@ func TestPublicAPIKeyGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if key != kEnr.Key {
+	if key != enrolledKey {
 		t.Fatal("key did not reproduce via facade")
 	}
 	if fixed > 1 {

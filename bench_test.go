@@ -16,6 +16,7 @@ import (
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/core"
 	"xorpuf/internal/experiments"
+	"xorpuf/internal/keyex"
 	"xorpuf/internal/keygen"
 	"xorpuf/internal/mlattack"
 	"xorpuf/internal/registry"
@@ -503,15 +504,70 @@ func BenchmarkKeyGeneration(b *testing.B) {
 	kcfg := keygen.Config{M: 7, T: 10, Selector: sel}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		kEnr, err := keygen.Enroll(chip, chip.Stages(), rng.New(uint64(83+i)), silicon.Nominal, kcfg)
+		kEnr, enrolledKey, err := keygen.Enroll(chip, chip.Stages(), rng.New(uint64(83+i)), silicon.Nominal, kcfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		key, fixed, err := keygen.Reproduce(chip, kEnr, silicon.Nominal, keygen.Config{M: 7, T: 10})
-		if err != nil || key != kEnr.Key {
+		if err != nil || key != enrolledKey {
 			b.Fatal("key did not reproduce")
 		}
 		b.ReportMetric(float64(fixed), "corrections")
+	}
+}
+
+// BenchmarkFleetKeyDerivation times one reverse fuzzy-extractor key
+// establishment at fleet scale: a registry-backed entry burns a block of
+// model-selected challenges (journaled through the WAL), the server-side
+// Generate builds helper data over the model's predicted responses, and
+// fielded silicon at the worst V/T corner reproduces the key from one-shot
+// reads.  Metrics: keys per second (inverse ns/op) and bits corrected.
+func BenchmarkFleetKeyDerivation(b *testing.B) {
+	const chips = 8
+	enrollCfg := core.DefaultEnrollConfig()
+	enrollCfg.TrainingSize = 400
+	enrollCfg.ValidationSize = 1500
+	enrollCfg.Conditions = silicon.Corners()
+	reg, err := registry.Open(b.TempDir(), registry.Options{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reg.Close()
+	rep, err := fleet.Run(fleet.Config{
+		Chips: chips, Workers: 4, XORWidth: 2, Seed: 99, Enroll: enrollCfg,
+	}, reg)
+	if err != nil || rep.Enrolled != chips {
+		b.Fatalf("fleet.Run: %+v, %v", rep, err)
+	}
+	devices := make([]core.Device, chips)
+	for i := range devices {
+		devices[i] = fleet.Chip(99, i, silicon.DefaultParams(), 2)
+	}
+	kcfg := keyex.Config{M: 7, T: 10}
+	corner := silicon.Condition{VDD: 0.8, TempC: 60}
+	src := rng.New(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entry := reg.Lookup(fmt.Sprintf("chip-%d", i%chips))
+		cs, predicted, err := entry.IssueKey(kcfg.N(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		master, helper, err := keyex.Generate(kcfg, src, predicted)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reads := make([]uint8, len(cs))
+		for j, c := range cs {
+			reads[j] = devices[i%chips].ReadXOR(c, corner)
+		}
+		key, corrected, err := keyex.Reproduce(kcfg, reads, helper)
+		if err != nil || key != master {
+			b.Fatalf("key did not reproduce at corner: %v", err)
+		}
+		b.ReportMetric(float64(corrected), "corrected-bits")
+		keyex.Zeroize(master[:])
+		keyex.Zeroize(key[:])
 	}
 }
 
@@ -535,11 +591,11 @@ func BenchmarkAblationKeygenSelectedVsRandom(b *testing.B) {
 		sel := core.NewSelector(enr.Model, rng.New(uint64(86+i)))
 		selCfg := keygen.Config{M: 7, T: 15, Selector: sel}
 		rndCfg := keygen.Config{M: 7, T: 15}
-		kSel, err := keygen.Enroll(chip, chip.Stages(), rng.New(uint64(90+i)), silicon.Nominal, selCfg)
+		kSel, _, err := keygen.Enroll(chip, chip.Stages(), rng.New(uint64(90+i)), silicon.Nominal, selCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		kRnd, err := keygen.Enroll(chip, chip.Stages(), rng.New(uint64(190+i)), silicon.Nominal, rndCfg)
+		kRnd, _, err := keygen.Enroll(chip, chip.Stages(), rng.New(uint64(190+i)), silicon.Nominal, rndCfg)
 		if err != nil {
 			b.Fatal(err)
 		}

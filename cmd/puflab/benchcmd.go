@@ -16,6 +16,7 @@ import (
 
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/core"
+	"xorpuf/internal/keyex"
 	"xorpuf/internal/netauth"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/rng"
@@ -116,6 +117,30 @@ func runBench(args []string) {
 		})
 	}))
 
+	// Micro: the reverse fuzzy extractor's cryptographic core — server-side
+	// helper generation plus device-side reproduction, no network.
+	kcfg := keyex.Config{M: 7, T: 8}
+	ksrc := rng.New(*seed)
+	w := make([]uint8, kcfg.N())
+	for i := range w {
+		w[i] = uint8(ksrc.Uint64() & 1)
+	}
+	add("keyex_derive", bestOf(func() testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				master, helper, err := keyex.Generate(kcfg, ksrc, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				key, _, err := keyex.Reproduce(kcfg, w, helper)
+				if err != nil || key != master {
+					b.Fatal("key did not reproduce")
+				}
+			}
+		})
+	}))
+
 	// Macro: full client↔server sessions over loopback TCP, instrumented
 	// (Default registry + tracer) vs bare (telemetry disabled).
 	e2e := add("auth_session_e2e", bestOf(func() testing.BenchmarkResult {
@@ -127,6 +152,13 @@ func runBench(args []string) {
 	if bare.NsPerOp > 0 {
 		report.OverheadPercent = (e2e.NsPerOp - bare.NsPerOp) / bare.NsPerOp * 100
 	}
+
+	// Macro: a full key exchange — burn, helper generation, device
+	// reproduction, mutual confirmation, channel upgrade — plus one
+	// encrypted 1 KiB payload round-trip over the established channel.
+	add("keyex_session_e2e", bestOf(func() testing.BenchmarkResult {
+		return benchKeyexSession(*seed, kcfg)
+	}))
 
 	if *asJSON || *out != "" {
 		b, err := json.MarshalIndent(report, "", "  ")
@@ -160,9 +192,14 @@ func runBench(args []string) {
 	}
 }
 
-// compareBaseline fails when the instrumented end-to-end session benchmark
-// regressed more than tolerance percent against a prior report.  Loopback
-// benchmarks are noisy, so only the headline macro benchmark gates CI.
+// gatedBenchmarks are the macro benchmarks that fail CI on regression.
+// Micro benchmarks are printed for context but never gate — single-digit
+// nanosecond measurements on shared runners swing too wildly.
+var gatedBenchmarks = []string{"auth_session_e2e", "keyex_session_e2e"}
+
+// compareBaseline prints the per-metric delta against a prior report for
+// every benchmark both reports know, then fails if any gated macro
+// benchmark regressed more than tolerance percent.
 func compareBaseline(report benchReport, path string, tolerance float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -172,27 +209,106 @@ func compareBaseline(report benchReport, path string, tolerance float64) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("decoding baseline %s: %w", path, err)
 	}
-	const name = "auth_session_e2e"
-	find := func(r benchReport) (benchResult, bool) {
-		for _, b := range r.Benchmarks {
-			if b.Name == name {
-				return b, true
+	prev := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		prev[b.Name] = b
+	}
+	gated := make(map[string]bool, len(gatedBenchmarks))
+	for _, name := range gatedBenchmarks {
+		gated[name] = true
+	}
+	fmt.Fprintf(os.Stderr, "baseline %s (tolerance %.0f%% on gated benchmarks):\n", path, tolerance)
+	var failures []string
+	for _, cur := range report.Benchmarks {
+		p, ok := prev[cur.Name]
+		if !ok || p.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "  %-24s %38.1f ns/op  (new, no baseline entry)\n", cur.Name, cur.NsPerOp)
+			continue
+		}
+		change := (cur.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+		mark := ""
+		if gated[cur.Name] {
+			mark = "  [gated]"
+			if change > tolerance {
+				mark = "  [gated: REGRESSED]"
+				failures = append(failures,
+					fmt.Sprintf("%s regressed %.2f%% (> %.0f%% tolerance)", cur.Name, change, tolerance))
 			}
 		}
-		return benchResult{}, false
+		fmt.Fprintf(os.Stderr, "  %-24s %15.1f → %15.1f ns/op  %+8.2f%%%s\n",
+			cur.Name, p.NsPerOp, cur.NsPerOp, change, mark)
 	}
-	cur, ok1 := find(report)
-	prev, ok2 := find(base)
-	if !ok1 || !ok2 || prev.NsPerOp <= 0 {
-		return fmt.Errorf("baseline %s has no usable %s entry", path, name)
+	gateSeen := false
+	for _, name := range gatedBenchmarks {
+		if _, ok := prev[name]; ok {
+			gateSeen = true
+		}
 	}
-	change := (cur.NsPerOp - prev.NsPerOp) / prev.NsPerOp * 100
-	fmt.Fprintf(os.Stderr, "baseline %s: %s %.1f → %.1f ns/op (%+.2f%%, tolerance %.0f%%)\n",
-		path, name, prev.NsPerOp, cur.NsPerOp, change, tolerance)
-	if change > tolerance {
-		return fmt.Errorf("%s regressed %.2f%% (> %.0f%% tolerance) vs %s", name, change, tolerance, path)
+	if !gateSeen {
+		return fmt.Errorf("baseline %s has no usable gated benchmark entry", path)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%s vs %s", failures[0], path)
 	}
 	return nil
+}
+
+// benchKeyexSession measures one full key exchange plus an encrypted 1 KiB
+// payload per iteration against a loopback server.  The model-backed device
+// reproduces the key with zero bit errors, so this times the protocol and
+// cryptography, not the error-correction tail.
+func benchKeyexSession(seed uint64, kcfg keyex.Config) testing.BenchmarkResult {
+	model := benchModel(seed, 4, 64)
+	reg, err := registry.Open("", registry.Options{Seed: seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer reg.Close()
+	const chipID = "bench-chip"
+	if err := reg.Register(chipID, model, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+		os.Exit(1)
+	}
+	srv := netauth.NewServerWithRegistry(16, seed, reg)
+	if err := srv.SetKeyExchange(kcfg); err != nil {
+		fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "puflab bench: %v\n", err)
+		os.Exit(1)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	client := &netauth.Client{
+		Addr:   ln.Addr().String(),
+		ChipID: chipID,
+		Device: modelDevice{m: model},
+		Cond:   silicon.Nominal,
+	}
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	ctx := context.Background()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ss, err := client.Establish(ctx)
+			if err != nil {
+				b.Fatalf("session %d: %v", i, err)
+			}
+			if err := ss.SendPayload(payload); err != nil {
+				b.Fatalf("session %d payload: %v", i, err)
+			}
+			if err := ss.Close(); err != nil {
+				b.Fatalf("session %d close: %v", i, err)
+			}
+		}
+	})
 }
 
 // benchModel fabricates a synthetic ChipModel whose predictions need no

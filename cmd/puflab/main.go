@@ -22,14 +22,20 @@
 //	serve     run a TCP verification server over enrolled simulated chips
 //	          (-addr, -chips, -xor, -n, -lockout, -throttle, -maxconns,
 //	          -budget, -drain, -state, -workers, -auto-reenroll, -admin
-//	          for the observability plane, and -fault-* chaos knobs)
+//	          for the observability plane, -keyex/-keyex-m/-keyex-t for
+//	          the key exchange, and -fault-* chaos knobs)
 //	fleet     benchmark the persistent chip registry at manufacturing scale:
 //	          parallel enrollment throughput, concurrent lookups/s, and
 //	          crash-recovery time (-chips, -workers, -xor, -dir, -budget,
 //	          -train, -validate, -lookups, -snap-every)
 //	auth      authenticate a simulated device against a serve instance
 //	          (-addr, -chip, -impostor, -sessions, -attempts, -base-delay,
-//	          -max-delay, -vdd, -temp, and -fault-* chaos knobs)
+//	          -max-delay, -vdd, -temp, -encrypt to authenticate inside a
+//	          PUF-keyed encrypted channel, and -fault-* chaos knobs)
+//	keyex     establish a PUF-derived session key via the reverse fuzzy
+//	          extractor and exercise the encrypted channel (-addr, -chip,
+//	          -impostor, -sessions, -vdd, -temp, -payload, -no-auth;
+//	          the serve side needs -keyex)
 //	health    inspect and repair drift-health state in a persistent registry
 //	          (report / quarantine / reenroll subcommands; -state, -chip)
 //	metrics   scrape a serve instance's admin plane and pretty-print the
@@ -84,6 +90,9 @@ func main() {
 		return
 	case "auth":
 		runAuth(os.Args[2:])
+		return
+	case "keyex":
+		runKeyex(os.Args[2:])
 		return
 	case "fleet":
 		runFleet(os.Args[2:])
@@ -265,8 +274,9 @@ func usage() {
 usage: puflab <experiment> [-full] [-seed N] [-csv]
 
 experiments: fig2 fig3 fig4 fig8 fig9 fig10 fig11 fig12 metrics protocols avalanche campaign all
-network:     serve auth gateway (run "puflab serve -h" / "puflab auth -h" for the resilience and fault-injection
-             knobs; "puflab serve -primary/-follower" replicates the registry; "puflab gateway" fronts the shards)
+network:     serve auth keyex gateway (run "puflab serve -h" / "puflab auth -h" for the resilience and
+             fault-injection knobs; "puflab serve -keyex" + "puflab keyex" establish PUF-derived session keys;
+             "puflab serve -primary/-follower" replicates the registry; "puflab gateway" fronts the shards)
 replication: repl         (status / promote against a serve admin plane; promote fails over to a follower)
 fleet:       fleet        (persistent registry benchmark: enrollment throughput, lookups/s, recovery time)
 lifecycle:   health       (drift-detector report, force-quarantine, re-enrollment; "puflab health" for usage)

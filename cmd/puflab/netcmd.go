@@ -28,6 +28,7 @@ import (
 	"xorpuf/internal/core"
 	"xorpuf/internal/faultnet"
 	"xorpuf/internal/health"
+	"xorpuf/internal/keyex"
 	"xorpuf/internal/netauth"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/registry/fleet"
@@ -88,6 +89,9 @@ func runServe(args []string) {
 	lockout := fs.Int("lockout", 5, "consecutive denials before a chip is locked out (0 = off)")
 	throttle := fs.Duration("throttle", 0, "minimum interval between attempts per chip (0 = off)")
 	budget := fs.Int("budget", 0, "lifetime challenge budget per chip (0 = unlimited)")
+	keyexOn := fs.Bool("keyex", false, "enable the reverse fuzzy-extractor key exchange (encrypted sessions)")
+	keyexM := fs.Int("keyex-m", 8, "key exchange BCH field degree m (code length 2^m−1 challenges per derivation)")
+	keyexT := fs.Int("keyex-t", 12, "key exchange BCH correction capability t")
 	state := fs.String("state", "", "registry state directory (empty = in-memory; set to survive restarts)")
 	admin := fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /traces, /debug/pprof (empty = off)")
 	workers := fs.Int("workers", 0, "enrollment worker-pool size (0 = GOMAXPROCS)")
@@ -137,6 +141,15 @@ func runServe(args []string) {
 	srv.SetLockout(*lockout)
 	srv.SetThrottle(*throttle)
 	srv.SetChallengeBudget(*budget)
+	if *keyexOn {
+		kcfg := keyex.Config{M: *keyexM, T: *keyexT}
+		if err := srv.SetKeyExchange(kcfg); err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: key exchange config: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("key exchange enabled: BCH(m=%d,t=%d), %d challenges burned per key derivation\n",
+			*keyexM, *keyexT, kcfg.N())
+	}
 
 	// A follower never enrolls: its whole registry arrives from the primary
 	// (snapshot, then the tailed log), and local mutations would fork it.
@@ -516,6 +529,7 @@ func runAuth(args []string) {
 	maxDelay := fs.Duration("max-delay", 2*time.Second, "retry backoff cap")
 	vdd := fs.Float64("vdd", silicon.Nominal.VDD, "supply voltage the device is read at")
 	tempC := fs.Float64("temp", silicon.Nominal.TempC, "temperature (°C) the device is read at")
+	encrypt := fs.Bool("encrypt", false, "establish a PUF-derived session key first and authenticate inside the encrypted channel (server must run -keyex)")
 	fault := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -548,7 +562,20 @@ func runAuth(args []string) {
 	exitCode := 0
 	for i := 0; i < *sessions; i++ {
 		start := time.Now()
-		res, err := client.Authenticate(ctx)
+		var res netauth.Result
+		var err error
+		if *encrypt {
+			var ss *netauth.SecureSession
+			ss, err = client.Establish(ctx)
+			if err == nil {
+				fmt.Printf("session %d: key established (%s, %d challenges, %d bits corrected)\n",
+					i+1, ss.Result.Cipher, ss.Result.Challenges, ss.Result.Corrected)
+				res, err = ss.Authenticate()
+				_ = ss.Close()
+			}
+		} else {
+			res, err = client.Authenticate(ctx)
+		}
 		elapsed := time.Since(start).Round(time.Millisecond)
 		switch {
 		case err != nil:

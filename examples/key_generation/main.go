@@ -35,24 +35,24 @@ func main() {
 	selected := keygen.Config{M: 7, T: 10, Selector: selector}
 	random := keygen.Config{M: 7, T: 10}
 
-	keySel, err := keygen.Enroll(chip, chip.Stages(), rng.New(3), xorpuf.Nominal, selected)
+	enrSel, keySel, err := keygen.Enroll(chip, chip.Stages(), rng.New(3), xorpuf.Nominal, selected)
 	if err != nil {
 		log.Fatal(err)
 	}
-	keyRnd, err := keygen.Enroll(chip, chip.Stages(), rng.New(4), xorpuf.Nominal, random)
+	enrRnd, keyRnd, err := keygen.Enroll(chip, chip.Stages(), rng.New(4), xorpuf.Nominal, random)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("enrolled two keys from the same chip (BCH(127,64,10), one-shot reads)\n")
-	fmt.Printf("  key (selected challenges): %x…\n", keySel.Key[:8])
-	fmt.Printf("  key (random challenges):   %x…\n\n", keyRnd.Key[:8])
+	fmt.Printf("  key (selected challenges): %x…\n", keySel[:8])
+	fmt.Printf("  key (random challenges):   %x…\n\n", keyRnd[:8])
 
 	fmt.Printf("%-14s  %-28s  %-28s\n", "condition", "selected: corrections", "random: corrections")
 	for _, cond := range xorpuf.Corners() {
-		kS, fixS, errS := keygen.Reproduce(chip, keySel, cond, selected)
-		kR, fixR, errR := keygen.Reproduce(chip, keyRnd, cond, random)
-		selStatus := fmt.Sprintf("%d fixed, key ok=%v", fixS, errS == nil && kS == keySel.Key)
-		rndStatus := fmt.Sprintf("%d fixed, key ok=%v", fixR, errR == nil && kR == keyRnd.Key)
+		kS, fixS, errS := keygen.Reproduce(chip, enrSel, cond, selected)
+		kR, fixR, errR := keygen.Reproduce(chip, enrRnd, cond, random)
+		selStatus := fmt.Sprintf("%d fixed, key ok=%v", fixS, errS == nil && kS == keySel)
+		rndStatus := fmt.Sprintf("%d fixed, key ok=%v", fixR, errR == nil && kR == keyRnd)
 		if errR != nil {
 			rndStatus = "FAILED (too many flips)"
 		}

@@ -21,8 +21,8 @@ type BCH struct {
 // correction capability t.  The generator polynomial is the LCM of the
 // minimal polynomials of α, α², …, α^{2t}; K follows from its degree.
 func NewBCH(m, t int) (*BCH, error) {
-	if t < 1 {
-		return nil, fmt.Errorf("ecc: t = %d, want >= 1", t)
+	if err := CheckParams(m, t); err != nil {
+		return nil, err
 	}
 	f, err := NewField(m)
 	if err != nil {

@@ -1,0 +1,44 @@
+package ecc
+
+import "fmt"
+
+// ParamError reports BCH code parameters outside the constructible range.
+// It is a typed error so callers that receive (M, T) from an untrusted
+// source — a wire peer negotiating a fuzzy-extractor code, an operator
+// flag — can validate up front and reject with structure, instead of
+// surfacing a generator-construction failure (or, for an absurd T, paying
+// an attacker-controlled amount of coset arithmetic) deep inside NewBCH.
+type ParamError struct {
+	M, T   int
+	Reason string
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("ecc: invalid BCH parameters m=%d t=%d: %s", e.M, e.T, e.Reason)
+}
+
+// Field size limits follow the primitive-polynomial table in gf.go.
+const (
+	// MinM and MaxM bound the GF(2^m) extension degree.
+	MinM = 3
+	MaxM = 14
+)
+
+// CheckParams validates (m, t) against the BCH code bounds before any
+// table or generator construction: m must name a supported field, t must be
+// at least 1, and the designed distance 2t+1 must leave room for at least
+// one message bit (a loose necessary bound checked exactly by NewBCH, which
+// still fails cleanly for codes that pass here but collapse to k ≤ 0).
+func CheckParams(m, t int) error {
+	if m < MinM || m > MaxM {
+		return &ParamError{M: m, T: t, Reason: fmt.Sprintf("m outside [%d, %d]", MinM, MaxM)}
+	}
+	if t < 1 {
+		return &ParamError{M: m, T: t, Reason: "t must be >= 1"}
+	}
+	n := (1 << uint(m)) - 1
+	if 2*t >= n {
+		return &ParamError{M: m, T: t, Reason: fmt.Sprintf("2t = %d leaves no message bits in a length-%d code", 2*t, n)}
+	}
+	return nil
+}

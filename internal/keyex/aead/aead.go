@@ -1,0 +1,271 @@
+// Package aead implements the ChaCha20-Poly1305 AEAD of RFC 8439 from
+// first principles — this module deliberately has no dependencies outside
+// the standard library, and the standard library ships neither primitive.
+// It is the channel cipher behind keyex's encrypted sessions.
+//
+// The implementation is the textbook construction: a 20-round ChaCha20
+// keystream (counter 0 reserved for the one-time Poly1305 key, data
+// encrypted from counter 1) and a Poly1305 tag over
+// AD ‖ pad16 ‖ ciphertext ‖ pad16 ‖ len(AD) ‖ len(ciphertext).  Both
+// primitives are validated against the RFC's test vectors in aead_test.go,
+// and tag comparison in Open is constant-time.
+package aead
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+const (
+	// KeySize is the ChaCha20-Poly1305 key length.
+	KeySize = 32
+	// NonceSize is the 96-bit nonce length.
+	NonceSize = 12
+	// Overhead is the Poly1305 tag appended to every ciphertext.
+	Overhead = 16
+)
+
+// ErrOpen is returned when a ciphertext fails authentication.
+var ErrOpen = errors.New("aead: message authentication failed")
+
+// Seal encrypts and authenticates plaintext with the additional data ad,
+// returning nonce-bound ciphertext ‖ tag appended to dst.
+func Seal(dst []byte, key *[KeySize]byte, nonce *[NonceSize]byte, plaintext, ad []byte) []byte {
+	var polyKey [32]byte
+	deriveOneTimeKey(&polyKey, key, nonce)
+
+	off := len(dst)
+	dst = append(dst, plaintext...)
+	xorKeyStream(key, nonce, 1, dst[off:])
+	ct := dst[off:]
+
+	var tag [Overhead]byte
+	macAEAD(&tag, &polyKey, ad, ct)
+	return append(dst, tag[:]...)
+}
+
+// Open authenticates and decrypts box (ciphertext ‖ tag), returning the
+// plaintext appended to dst.  The tag check runs in constant time and
+// nothing is decrypted unless it passes.
+func Open(dst []byte, key *[KeySize]byte, nonce *[NonceSize]byte, box, ad []byte) ([]byte, error) {
+	if len(box) < Overhead {
+		return nil, ErrOpen
+	}
+	ct, tag := box[:len(box)-Overhead], box[len(box)-Overhead:]
+
+	var polyKey [32]byte
+	deriveOneTimeKey(&polyKey, key, nonce)
+	var want [Overhead]byte
+	macAEAD(&want, &polyKey, ad, ct)
+	if subtle.ConstantTimeCompare(tag, want[:]) != 1 {
+		return nil, ErrOpen
+	}
+
+	off := len(dst)
+	dst = append(dst, ct...)
+	xorKeyStream(key, nonce, 1, dst[off:])
+	return dst, nil
+}
+
+// deriveOneTimeKey fills polyKey with the first 32 bytes of the block-0
+// keystream (RFC 8439 §2.6).
+func deriveOneTimeKey(polyKey *[32]byte, key *[KeySize]byte, nonce *[NonceSize]byte) {
+	var block [64]byte
+	chachaBlock(key, nonce, 0, &block)
+	copy(polyKey[:], block[:32])
+}
+
+// macAEAD computes the AEAD tag layout of RFC 8439 §2.8.
+func macAEAD(tag *[Overhead]byte, polyKey *[32]byte, ad, ct []byte) {
+	var p poly1305
+	p.init(polyKey)
+	p.update(ad)
+	p.pad16(len(ad))
+	p.update(ct)
+	p.pad16(len(ct))
+	var lens [16]byte
+	binary.LittleEndian.PutUint64(lens[0:8], uint64(len(ad)))
+	binary.LittleEndian.PutUint64(lens[8:16], uint64(len(ct)))
+	p.update(lens[:])
+	p.finish(tag)
+}
+
+// --- ChaCha20 ---------------------------------------------------------------
+
+// chachaBlock produces one 64-byte keystream block for the given counter.
+func chachaBlock(key *[KeySize]byte, nonce *[NonceSize]byte, counter uint32, out *[64]byte) {
+	var s [16]uint32
+	s[0], s[1], s[2], s[3] = 0x61707865, 0x3320646e, 0x79622d32, 0x6b206574
+	for i := 0; i < 8; i++ {
+		s[4+i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	s[12] = counter
+	s[13] = binary.LittleEndian.Uint32(nonce[0:4])
+	s[14] = binary.LittleEndian.Uint32(nonce[4:8])
+	s[15] = binary.LittleEndian.Uint32(nonce[8:12])
+
+	w := s
+	for round := 0; round < 10; round++ {
+		// column round
+		quarter(&w[0], &w[4], &w[8], &w[12])
+		quarter(&w[1], &w[5], &w[9], &w[13])
+		quarter(&w[2], &w[6], &w[10], &w[14])
+		quarter(&w[3], &w[7], &w[11], &w[15])
+		// diagonal round
+		quarter(&w[0], &w[5], &w[10], &w[15])
+		quarter(&w[1], &w[6], &w[11], &w[12])
+		quarter(&w[2], &w[7], &w[8], &w[13])
+		quarter(&w[3], &w[4], &w[9], &w[14])
+	}
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(out[4*i:], w[i]+s[i])
+	}
+}
+
+func quarter(a, b, c, d *uint32) {
+	*a += *b
+	*d = bits.RotateLeft32(*d^*a, 16)
+	*c += *d
+	*b = bits.RotateLeft32(*b^*c, 12)
+	*a += *b
+	*d = bits.RotateLeft32(*d^*a, 8)
+	*c += *d
+	*b = bits.RotateLeft32(*b^*c, 7)
+}
+
+// xorKeyStream XORs data in place with the keystream starting at counter.
+func xorKeyStream(key *[KeySize]byte, nonce *[NonceSize]byte, counter uint32, data []byte) {
+	var block [64]byte
+	for len(data) > 0 {
+		chachaBlock(key, nonce, counter, &block)
+		counter++
+		n := len(data)
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			data[i] ^= block[i]
+		}
+		data = data[n:]
+	}
+}
+
+// --- Poly1305 ---------------------------------------------------------------
+
+// poly1305 is the 64-bit-limb evaluation of the polynomial MAC over the
+// prime 2^130 − 5, following the widely used two-limb radix-2^64 layout:
+// the accumulator h = h0 + h1·2^64 + h2·2^128 with h2 holding only the top
+// few bits, and r clamped per the RFC so per-block products fit 128 bits.
+type poly1305 struct {
+	r0, r1     uint64
+	s0, s1     uint64
+	h0, h1, h2 uint64
+	buf        [16]byte
+	nbuf       int
+}
+
+func (p *poly1305) init(key *[32]byte) {
+	p.r0 = binary.LittleEndian.Uint64(key[0:8]) & 0x0FFFFFFC0FFFFFFF
+	p.r1 = binary.LittleEndian.Uint64(key[8:16]) & 0x0FFFFFFC0FFFFFFC
+	p.s0 = binary.LittleEndian.Uint64(key[16:24])
+	p.s1 = binary.LittleEndian.Uint64(key[24:32])
+}
+
+// update absorbs msg, buffering any trailing partial block.
+func (p *poly1305) update(msg []byte) {
+	if p.nbuf > 0 {
+		n := copy(p.buf[p.nbuf:], msg)
+		p.nbuf += n
+		msg = msg[n:]
+		if p.nbuf < 16 {
+			return
+		}
+		p.block(binary.LittleEndian.Uint64(p.buf[0:8]), binary.LittleEndian.Uint64(p.buf[8:16]), 1)
+		p.nbuf = 0
+	}
+	for len(msg) >= 16 {
+		p.block(binary.LittleEndian.Uint64(msg[0:8]), binary.LittleEndian.Uint64(msg[8:16]), 1)
+		msg = msg[16:]
+	}
+	p.nbuf = copy(p.buf[:], msg)
+}
+
+// pad16 zero-pads the absorbed stream to a 16-byte boundary, as the AEAD
+// layout requires between segments.  n is the segment length just absorbed.
+func (p *poly1305) pad16(n int) {
+	if rem := n % 16; rem != 0 {
+		var zero [16]byte
+		p.update(zero[:16-rem])
+	}
+}
+
+// block folds one 16-byte block (m0, m1) into the accumulator; hibit is 1
+// for full blocks and 0 for the already-padded final partial block.
+func (p *poly1305) block(m0, m1, hibit uint64) {
+	h0, c := bits.Add64(p.h0, m0, 0)
+	h1, c := bits.Add64(p.h1, m1, c)
+	h2 := p.h2 + c + hibit
+
+	// h · r over 2^130 − 5.  With r clamped (r0 < 2^60, r1 < 2^60 and
+	// divisible by 4) and h2 < 8, every partial product fits.
+	h0r0hi, h0r0lo := bits.Mul64(h0, p.r0)
+	h1r0hi, h1r0lo := bits.Mul64(h1, p.r0)
+	h0r1hi, h0r1lo := bits.Mul64(h0, p.r1)
+	h1r1hi, h1r1lo := bits.Mul64(h1, p.r1)
+	h2r0 := h2 * p.r0
+	h2r1 := h2 * p.r1
+
+	m1lo, c := bits.Add64(h1r0lo, h0r1lo, 0)
+	m1hi, _ := bits.Add64(h1r0hi, h0r1hi, c)
+	m2lo, c := bits.Add64(h2r0, h1r1lo, 0)
+	m2hi := h1r1hi + c
+
+	t0 := h0r0lo
+	t1, c := bits.Add64(m1lo, h0r0hi, 0)
+	t2, c := bits.Add64(m2lo, m1hi, c)
+	t3, _ := bits.Add64(h2r1, m2hi, c)
+
+	// Reduce: the value above 2^130 re-enters at the bottom multiplied by
+	// 5 (2^130 ≡ 5 mod p).  cc holds top·4 aligned at bit 0, so adding
+	// cc + cc>>2 adds top·5.
+	h0, h1, h2 = t0, t1, t2&3
+	ccLo, ccHi := t2&^uint64(3), t3
+	h0, c = bits.Add64(h0, ccLo, 0)
+	h1, c = bits.Add64(h1, ccHi, c)
+	h2 += c
+	ccLo = ccLo>>2 | (ccHi&3)<<62
+	ccHi >>= 2
+	h0, c = bits.Add64(h0, ccLo, 0)
+	h1, c = bits.Add64(h1, ccHi, c)
+	h2 += c
+
+	p.h0, p.h1, p.h2 = h0, h1, h2
+}
+
+// finish emits the tag: final partial block with its own padding bit, one
+// conditional subtraction of p, then the s offset.
+func (p *poly1305) finish(tag *[16]byte) {
+	if p.nbuf > 0 {
+		for i := p.nbuf; i < 16; i++ {
+			p.buf[i] = 0
+		}
+		p.buf[p.nbuf] = 1
+		p.block(binary.LittleEndian.Uint64(p.buf[0:8]), binary.LittleEndian.Uint64(p.buf[8:16]), 0)
+		p.nbuf = 0
+	}
+	// h is < 2p here; one constant-time conditional subtract fully
+	// reduces it.  p = 3·2^128 + (2^128 − 5).
+	t0, b := bits.Sub64(p.h0, 0xFFFFFFFFFFFFFFFB, 0)
+	t1, b := bits.Sub64(p.h1, 0xFFFFFFFFFFFFFFFF, b)
+	_, b = bits.Sub64(p.h2, 3, b)
+	mask := uint64(b) - 1 // borrow clear (h ≥ p) → all ones → take t
+	h0 := p.h0 ^ (mask & (p.h0 ^ t0))
+	h1 := p.h1 ^ (mask & (p.h1 ^ t1))
+
+	h0, c := bits.Add64(h0, p.s0, 0)
+	h1, _ = bits.Add64(h1, p.s1, c)
+	binary.LittleEndian.PutUint64(tag[0:8], h0)
+	binary.LittleEndian.PutUint64(tag[8:16], h1)
+}

@@ -1,0 +1,174 @@
+package aead
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex constant: %v", err)
+	}
+	return b
+}
+
+// RFC 8439 §2.3.2: ChaCha20 block function test vector.
+func TestChaChaBlockRFC(t *testing.T) {
+	var key [KeySize]byte
+	copy(key[:], unhex(t, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"))
+	var nonce [NonceSize]byte
+	copy(nonce[:], unhex(t, "000000090000004a00000000"))
+	var out [64]byte
+	chachaBlock(&key, &nonce, 1, &out)
+	want := unhex(t, "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"+
+		"d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+	if !bytes.Equal(out[:], want) {
+		t.Fatalf("chacha block mismatch:\n got %x\nwant %x", out[:], want)
+	}
+}
+
+// RFC 8439 §2.4.2: ChaCha20 encryption of the sunscreen plaintext.
+func TestChaChaEncryptRFC(t *testing.T) {
+	var key [KeySize]byte
+	copy(key[:], unhex(t, "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"))
+	var nonce [NonceSize]byte
+	copy(nonce[:], unhex(t, "000000000000004a00000000"))
+	plaintext := []byte("Ladies and Gentlemen of the class of '99: If I could offer you " +
+		"only one tip for the future, sunscreen would be it.")
+	data := append([]byte(nil), plaintext...)
+	xorKeyStream(&key, &nonce, 1, data)
+	want := unhex(t, "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"+
+		"f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"+
+		"07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"+
+		"5af90bbf74a35be6b40b8eedf2785e42874d")
+	if !bytes.Equal(data, want) {
+		t.Fatalf("chacha encryption mismatch:\n got %x\nwant %x", data, want)
+	}
+}
+
+// RFC 8439 §2.5.2: Poly1305 tag over "Cryptographic Forum Research Group".
+func TestPoly1305RFC(t *testing.T) {
+	var key [32]byte
+	copy(key[:], unhex(t, "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"))
+	var p poly1305
+	p.init(&key)
+	p.update([]byte("Cryptographic Forum Research Group"))
+	var tag [16]byte
+	p.finish(&tag)
+	want := unhex(t, "a8061dc1305136c6c22b8baf0c0127a9")
+	if !bytes.Equal(tag[:], want) {
+		t.Fatalf("poly1305 tag mismatch:\n got %x\nwant %x", tag[:], want)
+	}
+}
+
+// RFC 8439 §2.6.2: Poly1305 one-time key generation.
+func TestOneTimeKeyRFC(t *testing.T) {
+	var key [KeySize]byte
+	copy(key[:], unhex(t, "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f"))
+	var nonce [NonceSize]byte
+	copy(nonce[:], unhex(t, "000000000001020304050607"))
+	var polyKey [32]byte
+	deriveOneTimeKey(&polyKey, &key, &nonce)
+	want := unhex(t, "8ad5a08b905f81cc815040274ab29471a833b637e3fd0da508dbb8e2fdd1a646")
+	if !bytes.Equal(polyKey[:], want) {
+		t.Fatalf("one-time key mismatch:\n got %x\nwant %x", polyKey[:], want)
+	}
+}
+
+// RFC 8439 §2.8.2: full AEAD construction.
+func TestAEADSealRFC(t *testing.T) {
+	var key [KeySize]byte
+	copy(key[:], unhex(t, "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f"))
+	var nonce [NonceSize]byte
+	copy(nonce[:], unhex(t, "070000004041424344454647"))
+	ad := unhex(t, "50515253c0c1c2c3c4c5c6c7")
+	plaintext := []byte("Ladies and Gentlemen of the class of '99: If I could offer you " +
+		"only one tip for the future, sunscreen would be it.")
+
+	box := Seal(nil, &key, &nonce, plaintext, ad)
+	wantCT := unhex(t, "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"+
+		"3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"+
+		"92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"+
+		"3ff4def08e4b7a9de576d26586cec64b6116")
+	wantTag := unhex(t, "1ae10b594f09e26a7e902ecbd0600691")
+	if !bytes.Equal(box[:len(box)-Overhead], wantCT) {
+		t.Fatalf("AEAD ciphertext mismatch:\n got %x\nwant %x", box[:len(box)-Overhead], wantCT)
+	}
+	if !bytes.Equal(box[len(box)-Overhead:], wantTag) {
+		t.Fatalf("AEAD tag mismatch:\n got %x\nwant %x", box[len(box)-Overhead:], wantTag)
+	}
+
+	got, err := Open(nil, &key, &nonce, box, ad)
+	if err != nil {
+		t.Fatalf("Open rejected RFC vector: %v", err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Fatalf("Open plaintext mismatch:\n got %q\nwant %q", got, plaintext)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	var key [KeySize]byte
+	var nonce [NonceSize]byte
+	key[0] = 1
+	plaintext := []byte("burned challenges never reissue")
+	ad := []byte("transcript")
+	box := Seal(nil, &key, &nonce, plaintext, ad)
+
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { b[0] ^= 1; return b },        // ciphertext bit
+		func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, // tag bit
+		func(b []byte) []byte { return b[:len(b)-1] },        // truncated
+		func(b []byte) []byte { return append(b, 0) },        // extended
+		func(b []byte) []byte { return b[:Overhead-1] },      // below minimum
+	} {
+		bad := mutate(append([]byte(nil), box...))
+		if _, err := Open(nil, &key, &nonce, bad, ad); err == nil {
+			t.Fatal("Open accepted a tampered box")
+		}
+	}
+	if _, err := Open(nil, &key, &nonce, box, []byte("other ad")); err == nil {
+		t.Fatal("Open accepted wrong additional data")
+	}
+	if got, err := Open(nil, &key, &nonce, box, ad); err != nil || !bytes.Equal(got, plaintext) {
+		t.Fatalf("untampered box failed to open: %v", err)
+	}
+}
+
+// Round-trip across sizes that exercise block boundaries and the partial
+// final Poly1305 block on both the AD and ciphertext legs.
+func TestSealOpenRoundTripSizes(t *testing.T) {
+	var key [KeySize]byte
+	var nonce [NonceSize]byte
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	for _, n := range []int{0, 1, 15, 16, 17, 63, 64, 65, 128, 1000} {
+		for _, adLen := range []int{0, 1, 16, 33} {
+			pt := make([]byte, n)
+			ad := make([]byte, adLen)
+			for i := range pt {
+				pt[i] = byte(i)
+			}
+			for i := range ad {
+				ad[i] = byte(255 - i)
+			}
+			nonce[0] = byte(n)
+			nonce[1] = byte(adLen)
+			box := Seal(nil, &key, &nonce, pt, ad)
+			if len(box) != n+Overhead {
+				t.Fatalf("n=%d: box length %d, want %d", n, len(box), n+Overhead)
+			}
+			got, err := Open(nil, &key, &nonce, box, ad)
+			if err != nil {
+				t.Fatalf("n=%d adLen=%d: Open: %v", n, adLen, err)
+			}
+			if !bytes.Equal(got, pt) {
+				t.Fatalf("n=%d adLen=%d: round-trip mismatch", n, adLen)
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package keyex
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// duplex joins two in-memory buffers into the two ends of a connection:
+// whatever one end writes, the other reads.
+type duplex struct {
+	in  *bytes.Buffer
+	out *bytes.Buffer
+}
+
+func (d duplex) Read(p []byte) (int, error)  { return d.in.Read(p) }
+func (d duplex) Write(p []byte) (int, error) { return d.out.Write(p) }
+
+func testPair() (client, server *Channel, wire duplex) {
+	var master, transcript [32]byte
+	master[0], transcript[0] = 7, 9
+	keys := DeriveSession(master, transcript)
+	c2s, s2c := &bytes.Buffer{}, &bytes.Buffer{}
+	clientEnd := duplex{in: s2c, out: c2s}
+	serverEnd := duplex{in: c2s, out: s2c}
+	return NewChannel(clientEnd, keys, transcript, true),
+		NewChannel(serverEnd, keys, transcript, false),
+		duplex{in: c2s, out: s2c}
+}
+
+func TestChannelRoundTrip(t *testing.T) {
+	client, server, _ := testPair()
+	for i := 0; i < 5; i++ {
+		msg := []byte{byte(i), 'p', 'a', 'y', 'l', 'o', 'a', 'd'}
+		if err := client.WriteFrame(msg); err != nil {
+			t.Fatalf("frame %d write: %v", i, err)
+		}
+		got, err := server.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d read: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+		reply := append([]byte("ack-"), byte(i))
+		if err := server.WriteFrame(reply); err != nil {
+			t.Fatalf("reply %d write: %v", i, err)
+		}
+		got, err = client.ReadFrame()
+		if err != nil {
+			t.Fatalf("reply %d read: %v", i, err)
+		}
+		if !bytes.Equal(got, reply) {
+			t.Fatalf("reply %d mismatch", i)
+		}
+	}
+}
+
+func TestChannelRejectsTamperedFrame(t *testing.T) {
+	client, server, wire := testPair()
+	if err := client.WriteFrame([]byte("secret")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	raw := wire.in.Bytes()
+	raw[len(raw)-1] ^= 1 // flip a tag bit on the wire
+	if _, err := server.ReadFrame(); !errors.Is(err, ErrChannelAuth) {
+		t.Fatalf("tampered frame: got %v, want ErrChannelAuth", err)
+	}
+	// The whole channel is poisoned afterwards — both directions.
+	if _, err := server.ReadFrame(); !errors.Is(err, ErrChannelAuth) {
+		t.Fatalf("poisoned channel read: got %v", err)
+	}
+	if err := server.WriteFrame([]byte("x")); !errors.Is(err, ErrChannelAuth) {
+		t.Fatalf("poisoned channel write: got %v, want ErrChannelAuth", err)
+	}
+}
+
+func TestChannelRejectsReplayedFrame(t *testing.T) {
+	client, server, wire := testPair()
+	if err := client.WriteFrame([]byte("once")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	frame := append([]byte(nil), wire.in.Bytes()...)
+	if _, err := server.ReadFrame(); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	wire.in.Write(frame) // replay the identical bytes
+	if _, err := server.ReadFrame(); !errors.Is(err, ErrChannelAuth) {
+		t.Fatalf("replayed frame: got %v, want ErrChannelAuth", err)
+	}
+}
+
+func TestChannelDirectionSeparation(t *testing.T) {
+	client, _, wire := testPair()
+	if err := client.WriteFrame([]byte("to server")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Feed the client its own c2s bytes: the s2c key must not open them.
+	wire.out.Write(wire.in.Bytes())
+	if _, err := client.ReadFrame(); !errors.Is(err, ErrChannelAuth) {
+		t.Fatalf("reflected frame: got %v, want ErrChannelAuth", err)
+	}
+}
+
+func TestChannelLengthLimits(t *testing.T) {
+	client, server, _ := testPair()
+	if err := client.WriteFrame(make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// A hostile length prefix over the limit is rejected before allocation.
+	hostile := duplex{in: bytes.NewBuffer([]byte{0xFF, 0xFF, 0xFF, 0xFF}), out: &bytes.Buffer{}}
+	var keys SessionKeys
+	ch := NewChannel(hostile, keys, [32]byte{}, false)
+	if _, err := ch.ReadFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("hostile length: got %v, want ErrFrameTooLarge", err)
+	}
+
+	// A prefix below the AEAD overhead is structurally invalid.
+	hostile = duplex{in: bytes.NewBuffer([]byte{0, 0, 0, 3, 1, 2, 3}), out: &bytes.Buffer{}}
+	ch = NewChannel(hostile, keys, [32]byte{}, false)
+	if _, err := ch.ReadFrame(); err == nil {
+		t.Fatal("sub-overhead frame accepted")
+	}
+
+	// Truncated body surfaces the IO error, not a hang or a panic.
+	hostile = duplex{in: bytes.NewBuffer([]byte{0, 0, 0, 40, 1, 2}), out: &bytes.Buffer{}}
+	ch = NewChannel(hostile, keys, [32]byte{}, false)
+	if _, err := ch.ReadFrame(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated frame: got %v, want unexpected EOF", err)
+	}
+
+	_ = server
+}
+
+func TestChannelCloseZeroizes(t *testing.T) {
+	client, _, _ := testPair()
+	client.Close()
+	if client.sendKey != [32]byte{} || client.recvKey != [32]byte{} {
+		t.Fatal("Close left key material behind")
+	}
+	if err := client.WriteFrame([]byte("x")); err == nil {
+		t.Fatal("closed channel accepted a write")
+	}
+}

@@ -1,0 +1,215 @@
+// Package keyex implements a reverse fuzzy-extractor key exchange on top of
+// the code-offset construction in internal/ecc, following the observation of
+// "Exploiting PUF Models for Error Free Response Generation" (arXiv
+// 1701.08241): the server's enrolled model predicts stable-challenge
+// responses error-free (the paper's zero-HD criterion), so the server — not
+// the resource-constrained device — runs the Generate step and ships helper
+// data, while the device only runs the cheap Reproduce step over noisy
+// single-shot reads.
+//
+// The package is transport-agnostic: it owns the offer transcript, the key
+// schedule, and the confirmation MACs, while internal/netauth owns framing
+// and the handshake state machine.  Key-derivation challenges must burn from
+// the registry's never-reuse budget exactly like authentication challenges
+// (chosen-challenge attacks, arXiv 2312.01256); that journaling also lives
+// with the caller.
+package keyex
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"xorpuf/internal/ecc"
+	"xorpuf/internal/rng"
+)
+
+// CipherChaCha20Poly1305 names the only channel cipher this package
+// negotiates.  A peer that offers nothing from this list falls back to the
+// plain v1 JSON protocol.
+const CipherChaCha20Poly1305 = "chacha20poly1305"
+
+// Config selects the BCH code the helper data is built over.
+type Config struct {
+	// M and T parameterize the BCH(2^M−1, ·, T) code; the handshake reads
+	// 2^M−1 stable challenges and tolerates up to T single-shot flips.
+	M, T int
+}
+
+// DefaultConfig returns the production code: BCH(255, 163, 12).  Stable
+// model-selected challenges flip at most a few bits per 255 across the
+// paper's V/T envelope, so T = 12 gives a wide reliability margin while the
+// 163 message bits keep the extracted key above 128 bits of entropy.
+func DefaultConfig() Config { return Config{M: 8, T: 12} }
+
+// Validate checks the code parameters against the BCH bounds, returning the
+// typed *ecc.ParamError on violation so wire-supplied configurations are
+// rejected before any table construction.
+func (c Config) Validate() error { return ecc.CheckParams(c.M, c.T) }
+
+// N returns the code length (challenges per handshake).  Valid only after
+// Validate.
+func (c Config) N() int { return (1 << uint(c.M)) - 1 }
+
+// Generate is the server-side (reverse) step: bind the model-predicted
+// response bits w to a random codeword, returning the session master secret
+// and the public helper string.  len(w) must equal the code length.
+func Generate(cfg Config, src *rng.Source, w []uint8) (master [32]byte, helper []uint8, err error) {
+	code, err := ecc.NewBCH(cfg.M, cfg.T)
+	if err != nil {
+		return master, nil, err
+	}
+	if len(w) != code.N {
+		return master, nil, fmt.Errorf("keyex: %d response bits, code needs %d", len(w), code.N)
+	}
+	return ecc.NewFuzzyExtractor(code).Generate(src, w)
+}
+
+// Reproduce is the device-side step: recover the master secret from noisy
+// single-shot reads wPrime and the helper data, correcting up to cfg.T
+// flips.  Returns ecc.ErrReproduceFailed when the error pattern exceeds the
+// code's capability.
+func Reproduce(cfg Config, wPrime, helper []uint8) (master [32]byte, corrected int, err error) {
+	code, err := ecc.NewBCH(cfg.M, cfg.T)
+	if err != nil {
+		return master, 0, err
+	}
+	if len(wPrime) != code.N || len(helper) != code.N {
+		return master, 0, fmt.Errorf("keyex: %d response / %d helper bits, code needs %d", len(wPrime), len(helper), code.N)
+	}
+	return ecc.NewFuzzyExtractor(code).Reproduce(wPrime, helper)
+}
+
+// Offer is the canonical content of the server's keyex_offer frame, in wire
+// representation (bit strings, not bit slices) so both ends hash exactly the
+// bytes that crossed the network.
+type Offer struct {
+	Session    string   // server-assigned session ID
+	ChipID     string   // device identity the key is being derived for
+	Challenges []string // bit-string challenges, stage 0 first
+	Helper     string   // bit-string helper data, length 2^M−1
+	M, T       int      // BCH code parameters
+	Cipher     string   // negotiated channel cipher ("" = confirm-only)
+}
+
+// Transcript hashes the offer into the value that binds the key schedule
+// and both confirmation MACs to this exact handshake.  Every field is
+// length-prefixed so no two distinct offers collide.
+func Transcript(o Offer) [32]byte {
+	h := sha256.New()
+	put := func(s string) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	put("xorpuf-keyex-v1")
+	put(o.Session)
+	put(o.ChipID)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(o.Challenges)))
+	h.Write(n[:])
+	for _, c := range o.Challenges {
+		put(c)
+	}
+	put(o.Helper)
+	binary.BigEndian.PutUint32(n[:], uint32(o.M))
+	h.Write(n[:])
+	binary.BigEndian.PutUint32(n[:], uint32(o.T))
+	h.Write(n[:])
+	put(o.Cipher)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// SessionKeys is the schedule derived from the master secret: a key for the
+// confirmation MACs and one channel key per direction.
+type SessionKeys struct {
+	MAC [32]byte // key-confirmation MAC key
+	C2S [32]byte // client-to-server channel key
+	S2C [32]byte // server-to-client channel key
+}
+
+// DeriveSession expands the master secret into the session key schedule,
+// binding every key to the handshake transcript.
+func DeriveSession(master, transcript [32]byte) SessionKeys {
+	expand := func(label string) [32]byte {
+		mac := hmac.New(sha256.New, master[:])
+		mac.Write([]byte(label))
+		mac.Write(transcript[:])
+		var out [32]byte
+		mac.Sum(out[:0])
+		return out
+	}
+	return SessionKeys{
+		MAC: expand("xorpuf keyex mac"),
+		C2S: expand("xorpuf keyex c2s"),
+		S2C: expand("xorpuf keyex s2c"),
+	}
+}
+
+// Handshake roles for ConfirmMAC.
+const (
+	RoleDevice = "device"
+	RoleServer = "server"
+)
+
+// ConfirmMAC computes the key-confirmation MAC a peer sends to prove it
+// holds the session keys.  Roles are domain-separated so the server's accept
+// MAC can never be replayed as a device confirm (and vice versa); the device
+// always sends first.
+func ConfirmMAC(keys SessionKeys, role string, transcript [32]byte) [32]byte {
+	mac := hmac.New(sha256.New, keys.MAC[:])
+	mac.Write([]byte("confirm:" + role + ":"))
+	mac.Write(transcript[:])
+	var out [32]byte
+	mac.Sum(out[:0])
+	return out
+}
+
+// VerifyConfirm checks a received confirmation MAC in constant time.
+func VerifyConfirm(keys SessionKeys, role string, transcript [32]byte, got []byte) bool {
+	want := ConfirmMAC(keys, role, transcript)
+	return hmac.Equal(want[:], got)
+}
+
+// FormatBits renders a bit slice as the wire bit-string form ("0101…").
+func FormatBits(bits []uint8) string {
+	buf := make([]byte, len(bits))
+	for i, b := range bits {
+		buf[i] = '0' + (b & 1)
+	}
+	return string(buf)
+}
+
+// ParseBits decodes a wire bit string, rejecting anything but '0'/'1' and
+// anything longer than max before allocating — the string arrives from an
+// untrusted peer and sizes the decode buffers.
+func ParseBits(s string, max int) ([]uint8, error) {
+	if len(s) > max {
+		return nil, fmt.Errorf("keyex: bit string length %d exceeds limit %d", len(s), max)
+	}
+	out := make([]uint8, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			out[i] = 0
+		case '1':
+			out[i] = 1
+		default:
+			return nil, fmt.Errorf("keyex: bit string byte %d is %q, want '0' or '1'", i, s[i])
+		}
+	}
+	return out, nil
+}
+
+// Zeroize overwrites a secret in place.  Callers hand off derived keys and
+// then clear their own copies; the compiler cannot elide writes through a
+// slice that escapes here.
+func Zeroize(secret []byte) {
+	for i := range secret {
+		secret[i] = 0
+	}
+}

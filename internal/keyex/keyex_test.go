@@ -1,0 +1,179 @@
+package keyex
+
+import (
+	"errors"
+	"testing"
+
+	"xorpuf/internal/ecc"
+	"xorpuf/internal/rng"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, cfg := range []Config{{M: 0, T: 1}, {M: 8, T: 0}, {M: 8, T: 200}, {M: 20, T: 3}} {
+		err := cfg.Validate()
+		var pe *ecc.ParamError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Config%+v: want *ecc.ParamError, got %v", cfg, err)
+		}
+	}
+	if n := DefaultConfig().N(); n != 255 {
+		t.Fatalf("default code length %d, want 255", n)
+	}
+}
+
+func TestGenerateReproduceRoundTrip(t *testing.T) {
+	cfg := Config{M: 7, T: 6}
+	src := rng.New(42)
+	w := make([]uint8, cfg.N())
+	for i := range w {
+		w[i] = uint8(src.Uint64() & 1)
+	}
+	master, helper, err := Generate(cfg, src.Split("codeword"), w)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+
+	// Exact reads reproduce with zero corrections.
+	got, fixed, err := Reproduce(cfg, w, helper)
+	if err != nil || fixed != 0 || got != master {
+		t.Fatalf("clean reproduce: key match=%v fixed=%d err=%v", got == master, fixed, err)
+	}
+
+	// Up to T flips still reproduce.
+	noisy := append([]uint8(nil), w...)
+	for i := 0; i < cfg.T; i++ {
+		noisy[i*7] ^= 1
+	}
+	got, fixed, err = Reproduce(cfg, noisy, helper)
+	if err != nil || fixed != cfg.T || got != master {
+		t.Fatalf("T-flip reproduce: key match=%v fixed=%d err=%v", got == master, fixed, err)
+	}
+
+	// Far beyond T the decode must not silently return the right key by
+	// luck; it either errors or produces a different key (the handshake
+	// MAC rejects the latter).
+	for i := range noisy {
+		noisy[i] = w[i] ^ uint8(i&1)
+	}
+	got, _, err = Reproduce(cfg, noisy, helper)
+	if err == nil && got == master {
+		t.Fatal("reproduce with ~half the bits flipped returned the enrollment key")
+	}
+
+	// Mis-sized inputs are rejected up front.
+	if _, _, err := Reproduce(cfg, w[:10], helper); err == nil {
+		t.Fatal("short response vector accepted")
+	}
+	if _, _, err := Generate(cfg, src, w[:10]); err == nil {
+		t.Fatal("short enrollment vector accepted")
+	}
+}
+
+func TestTranscriptBindsEveryField(t *testing.T) {
+	base := Offer{
+		Session:    "0011223344556677",
+		ChipID:     "chip-7",
+		Challenges: []string{"0101", "1100"},
+		Helper:     "0110",
+		M:          8,
+		T:          12,
+		Cipher:     CipherChaCha20Poly1305,
+	}
+	h0 := Transcript(base)
+	mutations := []func(*Offer){
+		func(o *Offer) { o.Session = "0011223344556678" },
+		func(o *Offer) { o.ChipID = "chip-8" },
+		func(o *Offer) { o.Challenges = []string{"0101", "1101"} },
+		func(o *Offer) { o.Challenges = []string{"0101"} },
+		func(o *Offer) { o.Helper = "0111" },
+		func(o *Offer) { o.M = 9 },
+		func(o *Offer) { o.T = 11 },
+		func(o *Offer) { o.Cipher = "" },
+		// Field-boundary shift: same concatenated bytes, different split.
+		func(o *Offer) { o.Session = "001122334455667"; o.ChipID = "7chip-7" },
+	}
+	for i, mutate := range mutations {
+		o := base
+		o.Challenges = append([]string(nil), base.Challenges...)
+		mutate(&o)
+		if Transcript(o) == h0 {
+			t.Fatalf("mutation %d did not change the transcript", i)
+		}
+	}
+	if Transcript(base) != h0 {
+		t.Fatal("transcript not deterministic")
+	}
+}
+
+func TestKeyScheduleAndConfirm(t *testing.T) {
+	var master, transcript [32]byte
+	master[0], transcript[0] = 1, 2
+	keys := DeriveSession(master, transcript)
+	if keys.MAC == keys.C2S || keys.C2S == keys.S2C || keys.MAC == keys.S2C {
+		t.Fatal("session keys not pairwise distinct")
+	}
+	var transcript2 [32]byte
+	transcript2[0] = 3
+	if DeriveSession(master, transcript2) == keys {
+		t.Fatal("key schedule ignores the transcript")
+	}
+
+	dev := ConfirmMAC(keys, RoleDevice, transcript)
+	srv := ConfirmMAC(keys, RoleServer, transcript)
+	if dev == srv {
+		t.Fatal("device and server confirmation MACs identical")
+	}
+	if !VerifyConfirm(keys, RoleDevice, transcript, dev[:]) {
+		t.Fatal("valid device MAC rejected")
+	}
+	if VerifyConfirm(keys, RoleServer, transcript, dev[:]) {
+		t.Fatal("device MAC accepted in the server role")
+	}
+	bad := dev
+	bad[5] ^= 1
+	if VerifyConfirm(keys, RoleDevice, transcript, bad[:]) {
+		t.Fatal("corrupted MAC accepted")
+	}
+	if VerifyConfirm(keys, RoleDevice, transcript, dev[:10]) {
+		t.Fatal("truncated MAC accepted")
+	}
+}
+
+func TestFormatParseBits(t *testing.T) {
+	bits := []uint8{0, 1, 1, 0, 1}
+	s := FormatBits(bits)
+	if s != "01101" {
+		t.Fatalf("FormatBits = %q", s)
+	}
+	got, err := ParseBits(s, 10)
+	if err != nil {
+		t.Fatalf("ParseBits: %v", err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	if _, err := ParseBits("01x01", 10); err == nil {
+		t.Fatal("non-bit byte accepted")
+	}
+	if _, err := ParseBits("010101", 5); err == nil {
+		t.Fatal("over-limit bit string accepted")
+	}
+	if out, err := ParseBits("", 5); err != nil || len(out) != 0 {
+		t.Fatalf("empty string: %v", err)
+	}
+}
+
+func TestZeroize(t *testing.T) {
+	secret := []byte{1, 2, 3, 4}
+	Zeroize(secret)
+	for i, b := range secret {
+		if b != 0 {
+			t.Fatalf("byte %d not cleared", i)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package keygen
+
+import (
+	"errors"
+	"testing"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/ecc"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+)
+
+// modelDevice answers challenges deterministically from an enrolled model,
+// which makes error injection exact: flipping k recorded bits produces a
+// read vector at Hamming distance exactly k from the enrollment reads.
+type modelDevice struct {
+	model *core.ChipModel
+	flip  map[uint64]bool
+}
+
+func (d modelDevice) ReadXOR(c challenge.Challenge, _ silicon.Condition) uint8 {
+	bit, _ := d.model.PredictXOR(c)
+	if d.flip[c.Word()] {
+		bit ^= 1
+	}
+	return bit
+}
+
+// TestReproduceAcrossEnvelopeProperty is the reliability property the paper's
+// challenge selection promises: a key enrolled at nominal from model-selected
+// stable challenges reproduces at every corner of the full operating envelope
+// (0.8–1.0 V × 0–60 °C) within the configured correction budget T — and the
+// extractor fails closed the moment the error pattern goes one bit past T.
+func TestReproduceAcrossEnvelopeProperty(t *testing.T) {
+	chip := silicon.NewChip(rng.New(40), silicon.DefaultParams(), 4)
+	sel := enrolledSelector(t, chip, silicon.Corners())
+
+	for _, cfg := range []Config{
+		{M: 7, T: 4, Selector: sel},
+		{M: 7, T: 10, Selector: sel},
+	} {
+		enr, enrolledKey, err := Enroll(chip, chip.Stages(), rng.New(41), silicon.Nominal, cfg)
+		if err != nil {
+			t.Fatalf("T=%d: %v", cfg.T, err)
+		}
+
+		// Part 1: single-shot reproduction succeeds at every envelope
+		// corner, spending no more than T corrections.
+		for _, cond := range silicon.Corners() {
+			if err := cond.Validate(); err != nil {
+				t.Fatalf("corner %v outside the paper's envelope: %v", cond, err)
+			}
+			key, fixed, err := Reproduce(chip, enr, cond, cfg)
+			if err != nil {
+				t.Fatalf("T=%d at %v: %v", cfg.T, cond, err)
+			}
+			if key != enrolledKey {
+				t.Fatalf("T=%d at %v: reproduced a different key", cfg.T, cond)
+			}
+			if fixed > cfg.T {
+				t.Fatalf("T=%d at %v: decoder claims %d corrections past its budget", cfg.T, cond, fixed)
+			}
+		}
+
+		// Part 2: with exact error injection against a deterministic
+		// device, every error weight up to T recovers the key and weight
+		// T+1 fails closed — an error, never a silently wrong key.
+		detCfg := cfg
+		detCfg.Selector = nil // challenges come from the enrollment below
+		src := rng.New(42)
+		enrCfg := core.DefaultEnrollConfig()
+		enrCfg.TrainingSize = 2000
+		enrCfg.ValidationSize = 5000
+		chipEnr, err := core.EnrollChip(chip, rng.New(43), enrCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean := modelDevice{model: chipEnr.Model}
+		detEnr, detKey, err := Enroll(clean, chip.Stages(), src, silicon.Nominal, detCfg)
+		if err != nil {
+			t.Fatalf("T=%d deterministic enroll: %v", cfg.T, err)
+		}
+		for weight := 0; weight <= cfg.T+1; weight++ {
+			noisy := modelDevice{model: chipEnr.Model, flip: map[uint64]bool{}}
+			for _, c := range detEnr.Challenges[:weight] {
+				noisy.flip[c.Word()] = true
+			}
+			key, fixed, err := Reproduce(noisy, detEnr, silicon.Nominal, detCfg)
+			if weight <= cfg.T {
+				if err != nil {
+					t.Fatalf("T=%d weight=%d: %v", cfg.T, weight, err)
+				}
+				if key != detKey {
+					t.Fatalf("T=%d weight=%d: wrong key", cfg.T, weight)
+				}
+				if fixed != weight {
+					t.Fatalf("T=%d weight=%d: decoder fixed %d", cfg.T, weight, fixed)
+				}
+				continue
+			}
+			// One bit past the budget: fail closed.
+			if err == nil {
+				t.Fatalf("T=%d weight=%d: reproduction succeeded past the budget", cfg.T, weight)
+			}
+			if !errors.Is(err, ecc.ErrReproduceFailed) && !errors.Is(err, ErrKeyMismatch) {
+				t.Fatalf("T=%d weight=%d: unexpected failure mode %v", cfg.T, weight, err)
+			}
+			if key != ([32]byte{}) {
+				t.Fatalf("T=%d weight=%d: failed reproduction leaked a key", cfg.T, weight)
+			}
+		}
+	}
+}

@@ -129,7 +129,7 @@ func TestKeyFromXORPUFAcrossCorners(t *testing.T) {
 	chip := silicon.NewChip(rng.New(4), silicon.DefaultParams(), 4)
 	sel := enrolledSelector(t, chip, silicon.Corners())
 	cfg := Config{M: 7, T: 6, Selector: sel}
-	enr, err := Enroll(chip, chip.Stages(), rng.New(5), silicon.Nominal, cfg)
+	enr, enrolledKey, err := Enroll(chip, chip.Stages(), rng.New(5), silicon.Nominal, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestKeyFromXORPUFAcrossCorners(t *testing.T) {
 		if err != nil {
 			t.Fatalf("at %v: %v", cond, err)
 		}
-		if key != enr.Key {
+		if key != enrolledKey {
 			t.Fatalf("at %v: key mismatch", cond)
 		}
 		if fixed > 2 {
@@ -153,7 +153,7 @@ func TestRandomChallengesNeedTheCode(t *testing.T) {
 	// error-correction budget — and a too-weak code fails outright.
 	chip := silicon.NewChip(rng.New(6), silicon.DefaultParams(), 4)
 	strong := Config{M: 7, T: 15}
-	enr, err := Enroll(chip, chip.Stages(), rng.New(7), silicon.Nominal, strong)
+	enr, enrolledKey, err := Enroll(chip, chip.Stages(), rng.New(7), silicon.Nominal, strong)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,10 +167,10 @@ func TestRandomChallengesNeedTheCode(t *testing.T) {
 		t.Error("random challenges reproduced with zero corrections; expected real noise")
 	}
 	// Reproducing through a different (too weak) code must not yield the
-	// enrolled key: the near-perfect t=1 code miscorrects silently, so
-	// the observable failure is a wrong key, not an error.
+	// enrolled key: the near-perfect t=1 code miscorrects silently, and
+	// the key-check commitment turns that into a hard error.
 	weak := Config{M: 7, T: 1}
-	if keyWeak, _, err := Reproduce(chip, enr, corner, weak); err == nil && keyWeak == enr.Key {
+	if keyWeak, _, err := Reproduce(chip, enr, corner, weak); err == nil && keyWeak == enrolledKey {
 		t.Error("weak-code reproduce with mismatched enrollment returned the enrolled key")
 	}
 	// At the nominal condition the raw noise is lower; a strong code plus
@@ -188,7 +188,7 @@ func TestSelectedVsRandomCorrectionBudget(t *testing.T) {
 	corner := silicon.Condition{VDD: 0.8, TempC: 60}
 
 	selCfg := Config{M: 7, T: 10, Selector: sel}
-	selEnr, err := Enroll(chip, chip.Stages(), rng.New(9), silicon.Nominal, selCfg)
+	selEnr, _, err := Enroll(chip, chip.Stages(), rng.New(9), silicon.Nominal, selCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestSelectedVsRandomCorrectionBudget(t *testing.T) {
 	}
 
 	rndCfg := Config{M: 7, T: 10}
-	rndEnr, err := Enroll(chip, chip.Stages(), rng.New(10), silicon.Nominal, rndCfg)
+	rndEnr, _, err := Enroll(chip, chip.Stages(), rng.New(10), silicon.Nominal, rndCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,10 +216,52 @@ func TestSelectedVsRandomCorrectionBudget(t *testing.T) {
 
 func TestEnrollRejectsBadCode(t *testing.T) {
 	chip := silicon.NewChip(rng.New(11), silicon.DefaultParams(), 2)
-	if _, err := Enroll(chip, chip.Stages(), rng.New(12), silicon.Nominal, Config{M: 2, T: 1}); err == nil {
-		t.Error("invalid field size should fail")
+	for _, cfg := range []Config{{M: 2, T: 1}, {M: 4, T: 9}, {M: 7, T: 0}, {M: 15, T: 3}} {
+		_, _, err := Enroll(chip, chip.Stages(), rng.New(12), silicon.Nominal, cfg)
+		var pe *ecc.ParamError
+		if !errors.As(err, &pe) {
+			t.Errorf("Config{M:%d,T:%d}: want *ecc.ParamError, got %v", cfg.M, cfg.T, err)
+		}
+		if err := cfg.Validate(); !errors.As(err, &pe) {
+			t.Errorf("Config{M:%d,T:%d}.Validate(): want *ecc.ParamError, got %v", cfg.M, cfg.T, err)
+		}
+		if _, _, err := Reproduce(chip, &Enrollment{}, silicon.Nominal, cfg); !errors.As(err, &pe) {
+			t.Errorf("Reproduce Config{M:%d,T:%d}: want *ecc.ParamError, got %v", cfg.M, cfg.T, err)
+		}
 	}
-	if _, err := Enroll(chip, chip.Stages(), rng.New(13), silicon.Nominal, Config{M: 4, T: 9}); err == nil {
-		t.Error("t too large should fail")
+}
+
+func TestKeyCheckFailsClosed(t *testing.T) {
+	// Tampered helper data makes the decoder converge on a wrong codeword
+	// for some patterns; whatever it converges on, Reproduce must never
+	// return success with a key that differs from enrollment.
+	chip := silicon.NewChip(rng.New(14), silicon.DefaultParams(), 4)
+	sel := enrolledSelector(t, chip, silicon.Corners())
+	cfg := Config{M: 7, T: 4, Selector: sel}
+	enr, enrolledKey, err := Enroll(chip, chip.Stages(), rng.New(15), silicon.Nominal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a run of helper bits well past the correction budget.
+	for i := 0; i < 6*cfg.T; i++ {
+		enr.Helper[i*3%len(enr.Helper)] ^= 1
+	}
+	key, _, err := Reproduce(chip, enr, silicon.Nominal, cfg)
+	if err == nil {
+		t.Fatal("tampered helper reproduced without error")
+	}
+	if key == enrolledKey {
+		t.Fatal("tampered helper still yielded the enrolled key")
+	}
+	if key != ([32]byte{}) {
+		t.Fatal("failed Reproduce leaked a non-zero key")
+	}
+}
+
+func TestZeroizeKey(t *testing.T) {
+	key := [32]byte{1, 2, 3}
+	ZeroizeKey(&key)
+	if key != ([32]byte{}) {
+		t.Fatal("ZeroizeKey left material behind")
 	}
 }

@@ -1,0 +1,93 @@
+// frameConn abstracts "one CRC-framed JSON message in, one out" so the
+// server's admission control and authentication exchange run identically
+// over a plain TCP connection (protocol v1) and over an AEAD-encrypted
+// channel established by the key exchange.  The encrypted form keeps the
+// inner CRC framing: the checksum guards the JSON against software bugs on
+// either side of the cipher, while the AEAD tag guards the wire.
+package netauth
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"time"
+
+	"xorpuf/internal/keyex"
+)
+
+type frameConn interface {
+	write(m message) error
+	read(wantTypes ...string) (*message, error)
+}
+
+// readWriter stitches the handshake's buffered reader to the raw
+// connection, so bytes a pipelining peer sent ahead of the channel upgrade
+// are not stranded in the bufio buffer when keyex.Channel takes over the
+// socket.
+type readWriter struct {
+	io.Reader
+	io.Writer
+}
+
+// plainConn sends newline-delimited frames directly on the connection,
+// under the server's per-message deadlines.
+type plainConn struct {
+	s    *Server
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func (p *plainConn) write(m message) error {
+	return p.s.writeMsg(p.conn, m)
+}
+
+func (p *plainConn) read(wantTypes ...string) (*message, error) {
+	p.s.mu.Lock()
+	d := p.s.msgTimeout
+	p.s.mu.Unlock()
+	_ = p.conn.SetReadDeadline(time.Now().Add(d))
+	m, n, err := readMessageAny(p.r, wantTypes...)
+	if n > 0 {
+		p.s.tel.frame(n)
+	}
+	return m, err
+}
+
+// secureConn sends the same frames inside keyex.Channel AEAD boxes.  The
+// per-message deadline is applied to the underlying connection before each
+// channel operation, so a stalled peer cannot hold a session open forever.
+type secureConn struct {
+	s    *Server
+	conn net.Conn
+	ch   *keyex.Channel
+}
+
+func (c *secureConn) write(m message) error {
+	c.s.mu.Lock()
+	d := c.s.msgTimeout
+	c.s.mu.Unlock()
+	b, err := encodeFrame(m)
+	if err != nil {
+		return err
+	}
+	c.s.tel.secureFrame(len(b))
+	_ = c.conn.SetWriteDeadline(time.Now().Add(d))
+	return c.ch.WriteFrame(b)
+}
+
+func (c *secureConn) read(wantTypes ...string) (*message, error) {
+	c.s.mu.Lock()
+	d := c.s.msgTimeout
+	c.s.mu.Unlock()
+	_ = c.conn.SetReadDeadline(time.Now().Add(d))
+	payload, err := c.ch.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	c.s.tel.secureFrame(len(payload))
+	m, err := decodeFrame(payload)
+	if err != nil {
+		return nil, err
+	}
+	return checkMessage(m, wantTypes...)
+}

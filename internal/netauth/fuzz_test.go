@@ -21,7 +21,25 @@ func FuzzDecodeFrame(f *testing.F) {
 	if b, err := encodeFrame(message{Type: "verdict", Approved: true}); err == nil {
 		f.Add(b)
 	}
+	if b, err := encodeFrame(message{Type: "keyex_init", ChipID: "chip-0",
+		Caps: []string{"chacha20poly1305"}}); err == nil {
+		f.Add(b)
+	}
+	if b, err := encodeFrame(message{Type: "keyex_offer", Session: "abc",
+		Challenges: []string{"0101"}, Helper: "1100", BchM: 7, BchT: 8,
+		Cipher: "chacha20poly1305"}); err == nil {
+		f.Add(b)
+	}
+	if b, err := encodeFrame(message{Type: "keyex_confirm", Session: "abc",
+		MAC: "00ff"}); err == nil {
+		f.Add(b)
+	}
+	if b, err := encodeFrame(message{Type: "payload", Payload: "aGVsbG8=",
+		Digest: "deadbeef"}); err == nil {
+		f.Add(b)
+	}
 	f.Add([]byte(`{"type":"hello","chip_id":"x","crc":12345}`))
+	f.Add([]byte(`{"type":"keyex_offer","bch_m":-1,"bch_t":99999,"helper":"012"}`))
 	f.Add([]byte(`{"unknown_field":1}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(``))
@@ -53,6 +71,28 @@ func FuzzReadMessage(f *testing.F) {
 			if _, _, err := readMessage(r, "hello"); err != nil {
 				return
 			}
+		}
+	})
+}
+
+// FuzzReadMessageAny drives the server's first-frame dispatch path: any
+// byte stream must resolve to a hello, a keyex_init, or an error — and a
+// message accepted here must carry the type it was dispatched as.
+func FuzzReadMessageAny(f *testing.F) {
+	f.Add([]byte("{\"type\":\"hello\",\"chip_id\":\"c\"}\n"))
+	f.Add([]byte("{\"type\":\"keyex_init\",\"chip_id\":\"c\",\"caps\":[\"chacha20poly1305\"]}\n"))
+	f.Add([]byte("{\"type\":\"keyex_confirm\",\"mac\":\"00\"}\n"))
+	f.Add([]byte("{\"type\":\"error\",\"code\":\"key_mismatch\"}\n"))
+	f.Add([]byte(strings.Repeat("{", 2048)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		m, _, err := readMessageAny(r, "hello", "keyex_init")
+		if err != nil {
+			return
+		}
+		if m.Type != "hello" && m.Type != "keyex_init" {
+			t.Fatalf("dispatch accepted type %q", m.Type)
 		}
 	})
 }

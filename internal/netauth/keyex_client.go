@@ -1,0 +1,297 @@
+// Device side of the reverse fuzzy-extractor key exchange.  The device's
+// share of the work is deliberately tiny: one XOR readout per challenge and
+// a bounded-distance BCH decode — no code generation, no randomness, which
+// is exactly why the reverse construction suits a constrained PUF token.
+package netauth
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"xorpuf/internal/keyex"
+)
+
+// KeyexResult describes an established key-exchange session.
+type KeyexResult struct {
+	// Session is the server-assigned session identifier.
+	Session string
+	// Challenges is how many key-derivation challenges were burned.
+	Challenges int
+	// Corrected is how many bit errors the code-offset extractor fixed in
+	// the device's noisy reading — a live reliability measurement.
+	Corrected int
+	// Cipher is the negotiated channel cipher; empty means the exchange
+	// was confirm-only (mutual proof of key possession, no channel).
+	Cipher string
+}
+
+// SecureSession is an established, mutually key-confirmed session.  When a
+// cipher was negotiated it carries an AEAD-encrypted channel over the same
+// connection; Authenticate and SendPayload then run the v1 JSON protocol
+// inside it.  Not safe for concurrent use.  Close it when done.
+type SecureSession struct {
+	Result KeyexResult
+
+	c    *Client
+	conn net.Conn
+	ch   *keyex.Channel // nil when no cipher was negotiated
+	stop func() bool    // cancels the context watchdog on the conn
+}
+
+// Establish dials the server and runs the key exchange: it requests helper
+// data, reads the chip once per challenge, reproduces the session key with
+// the code-offset extractor, and exchanges key-confirmation MACs (device
+// first).  On success the returned session holds the encrypted channel.
+//
+// Unlike Authenticate there is no retry loop: every handshake burns
+// fresh challenges, so retrying is an explicit caller decision.
+func (c *Client) Establish(ctx context.Context) (*SecureSession, error) {
+	c.init()
+	if c.Device == nil {
+		return nil, errors.New("netauth: client has no device")
+	}
+	if err := c.Cond.Validate(); err != nil {
+		return nil, fmt.Errorf("netauth: operating condition: %w", err)
+	}
+	dialCtx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	conn, err := c.DialContext(dialCtx, "tcp", c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	// Cancellation must interrupt blocked handshake I/O, not just the gaps
+	// between messages: closing the connection fails the pending op.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	ss, err := c.establish(conn)
+	if err != nil {
+		stop()
+		conn.Close()
+		return nil, ctxErr(ctx, err)
+	}
+	ss.stop = stop
+	return ss, nil
+}
+
+// establish runs the handshake frames on an open connection.
+func (c *Client) establish(conn net.Conn) (*SecureSession, error) {
+	pf := &clientPlainFrames{conn: conn, timeout: c.Timeout, r: bufio.NewReader(conn)}
+
+	if err := pf.write(message{
+		Type: "keyex_init", ChipID: c.ChipID,
+		Caps: []string{keyex.CipherChaCha20Poly1305},
+	}); err != nil {
+		return nil, err
+	}
+	offer, err := pf.read("keyex_offer")
+	if err != nil {
+		return nil, err
+	}
+	cfg := keyex.Config{M: offer.BchM, T: offer.BchT}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("netauth: server offered bad code parameters: %w", err)
+	}
+	n := cfg.N()
+	if len(offer.Challenges) != n {
+		return nil, fmt.Errorf("netauth: offer carries %d challenges, code needs %d", len(offer.Challenges), n)
+	}
+	helper, err := keyex.ParseBits(offer.Helper, n)
+	if err != nil || len(helper) != n {
+		return nil, fmt.Errorf("netauth: bad helper data: %v", err)
+	}
+
+	// One single-shot XOR readout per challenge — the protocol's designed
+	// device workload, same as authentication.
+	w := make([]uint8, n)
+	for i, bits := range offer.Challenges {
+		cc, err := parseChallenge(bits)
+		if err != nil {
+			return nil, err
+		}
+		w[i] = c.Device.ReadXOR(cc, c.Cond)
+	}
+	master, corrected, err := keyex.Reproduce(cfg, w, helper)
+	if err != nil {
+		return nil, fmt.Errorf("netauth: key reproduction failed: %w", err)
+	}
+
+	// Bind the key schedule to the exact offer we answered.  A tampered
+	// offer (different challenges, helper, or cipher) yields a different
+	// transcript, so the server's confirm MAC will not verify.
+	o := keyex.Offer{
+		Session:    offer.Session,
+		ChipID:     c.ChipID,
+		Challenges: offer.Challenges,
+		Helper:     offer.Helper,
+		M:          offer.BchM,
+		T:          offer.BchT,
+		Cipher:     offer.Cipher,
+	}
+	transcript := keyex.Transcript(o)
+	keys := keyex.DeriveSession(master, transcript)
+	keyex.Zeroize(master[:])
+
+	devMAC := keyex.ConfirmMAC(keys, keyex.RoleDevice, transcript)
+	if err := pf.write(message{
+		Type: "keyex_confirm", Session: offer.Session, MAC: hex.EncodeToString(devMAC[:]),
+	}); err != nil {
+		return nil, err
+	}
+	accept, err := pf.read("keyex_accept")
+	if err != nil {
+		return nil, err // includes the structured key_mismatch denial
+	}
+	srvMAC, err := hex.DecodeString(accept.MAC)
+	if err != nil || !keyex.VerifyConfirm(keys, keyex.RoleServer, transcript, srvMAC) {
+		return nil, errors.New("netauth: server failed key confirmation")
+	}
+
+	ss := &SecureSession{
+		Result: KeyexResult{
+			Session:    offer.Session,
+			Challenges: n,
+			Corrected:  corrected,
+			Cipher:     offer.Cipher,
+		},
+		c:    c,
+		conn: conn,
+	}
+	if offer.Cipher == keyex.CipherChaCha20Poly1305 {
+		ss.ch = keyex.NewChannel(readWriter{pf.r, conn}, keys, transcript, true)
+	}
+	return ss, nil
+}
+
+// Authenticate runs one full authentication exchange inside the encrypted
+// channel — the same challenge/response/verdict protocol, now opaque to a
+// network observer.
+func (s *SecureSession) Authenticate() (Result, error) {
+	if err := s.write(message{Type: "hello", ChipID: s.c.ChipID}); err != nil {
+		return Result{}, err
+	}
+	ch, err := s.read("challenges")
+	if err != nil {
+		return Result{}, err
+	}
+	resp := message{Type: "responses", Session: ch.Session, Responses: make([]uint8, len(ch.Challenges))}
+	for i, bits := range ch.Challenges {
+		cc, err := parseChallenge(bits)
+		if err != nil {
+			return Result{}, err
+		}
+		resp.Responses[i] = s.c.Device.ReadXOR(cc, s.c.Cond)
+	}
+	if err := s.write(resp); err != nil {
+		return Result{}, err
+	}
+	verdict, err := s.read("verdict")
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Approved:   verdict.Approved,
+		Mismatches: verdict.Mismatches,
+		Challenges: len(ch.Challenges),
+		Attempts:   1,
+	}, nil
+}
+
+// SendPayload ships application data over the encrypted channel and
+// verifies the server's acknowledged digest end to end.
+func (s *SecureSession) SendPayload(data []byte) error {
+	sum := sha256.Sum256(data)
+	digest := hex.EncodeToString(sum[:])
+	if err := s.write(message{
+		Type:    "payload",
+		Session: s.Result.Session,
+		Payload: base64.StdEncoding.EncodeToString(data),
+		Digest:  digest,
+	}); err != nil {
+		return err
+	}
+	ack, err := s.read("payload_ack")
+	if err != nil {
+		return err
+	}
+	if ack.Digest != digest {
+		return fmt.Errorf("netauth: server acknowledged digest %s, want %s", ack.Digest, digest)
+	}
+	return nil
+}
+
+// Close says bye (best effort), tears down the channel, and closes the
+// connection.  Safe to call more than once.
+func (s *SecureSession) Close() error {
+	if s.ch != nil && !s.ch.Broken() {
+		if err := s.write(message{Type: "bye"}); err == nil {
+			_, _ = s.read("bye")
+		}
+	}
+	if s.ch != nil {
+		s.ch.Close()
+	}
+	if s.stop != nil {
+		s.stop()
+	}
+	return s.conn.Close()
+}
+
+// write sends one CRC-framed message through the encrypted channel.
+func (s *SecureSession) write(m message) error {
+	if s.ch == nil {
+		return errors.New("netauth: no encrypted channel was negotiated")
+	}
+	b, err := encodeFrame(m)
+	if err != nil {
+		return err
+	}
+	_ = s.conn.SetWriteDeadline(time.Now().Add(s.c.Timeout))
+	return s.ch.WriteFrame(b)
+}
+
+// read receives one message from the encrypted channel.
+func (s *SecureSession) read(wantTypes ...string) (*message, error) {
+	if s.ch == nil {
+		return nil, errors.New("netauth: no encrypted channel was negotiated")
+	}
+	_ = s.conn.SetReadDeadline(time.Now().Add(s.c.Timeout))
+	payload, err := s.ch.ReadFrame()
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeFrame(payload)
+	if err != nil {
+		return nil, err
+	}
+	return checkMessage(m, wantTypes...)
+}
+
+// clientPlainFrames is the client's plain-phase frame I/O (handshake
+// messages before the channel upgrade).
+type clientPlainFrames struct {
+	conn    net.Conn
+	timeout time.Duration
+	r       *bufio.Reader
+}
+
+func (p *clientPlainFrames) write(m message) error {
+	b, err := encodeFrame(m)
+	if err != nil {
+		return err
+	}
+	_ = p.conn.SetWriteDeadline(time.Now().Add(p.timeout))
+	_, err = p.conn.Write(b)
+	return err
+}
+
+func (p *clientPlainFrames) read(wantTypes ...string) (*message, error) {
+	_ = p.conn.SetReadDeadline(time.Now().Add(p.timeout))
+	m, _, err := readMessageAny(p.r, wantTypes...)
+	return m, err
+}

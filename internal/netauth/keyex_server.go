@@ -1,0 +1,231 @@
+// Server side of the reverse fuzzy-extractor key exchange (keyex package
+// overview has the protocol rationale).  The asymmetry is the point: the
+// server, which holds the enrolled model, runs the expensive BCH encode
+// over its error-free predicted responses; the device only has to read the
+// chip once per challenge and run the cheap code-offset Reproduce.
+//
+// Wire flow, all CRC-framed JSON like protocol v1:
+//
+//	device → server   {"type":"keyex_init","chip_id":"...","caps":["chacha20poly1305"]}
+//	server → device   {"type":"keyex_offer","session":"...","challenges":[...],
+//	                   "helper":"0101...","bch_m":8,"bch_t":12,"cipher":"chacha20poly1305"}
+//	device → server   {"type":"keyex_confirm","session":"...","mac":"<hex>"}
+//	server → device   {"type":"keyex_accept","session":"...","mac":"<hex>"}
+//
+// after which, if a cipher was negotiated, both sides switch the same
+// connection to length-prefixed AEAD frames (keyex.Channel) and keep
+// speaking CRC-framed JSON inside them: inner "hello" runs a full
+// authentication exchange, "payload"/"payload_ack" move integrity-checked
+// application data, "bye" ends the session cleanly.
+//
+// Security posture mirrors authentication exactly where it matters:
+//
+//   - Key-derivation challenges are burned (journaled recKeyIssued through
+//     the same quorum-gated WAL path as auth issuance) BEFORE the helper
+//     data leaves the server, so no challenge is ever reused even across a
+//     crash mid-handshake — helper data is exactly the kind of output a
+//     chosen-challenge modeling attack would love to replay.
+//   - The device confirms FIRST.  A peer that cannot reproduce the key —
+//     a modeling adversary holding a stolen chip ID, or silicon far out of
+//     its error envelope — gets a terminal key_mismatch denial that counts
+//     toward lockout, and never sees a server MAC to verify guesses against.
+//   - The server never reveals the predicted responses; only challenges and
+//     helper data cross the wire, which is the reverse fuzzy extractor's
+//     designed leakage.
+package netauth
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"xorpuf/internal/keyex"
+	"xorpuf/internal/registry"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/telemetry"
+)
+
+// SetKeyExchange enables the reverse fuzzy-extractor key exchange with the
+// given code parameters.  Call before Serve.  The configuration is
+// validated eagerly — a bad BCH geometry should fail server startup, not
+// every handshake.
+func (s *Server) SetKeyExchange(cfg keyex.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.keyexCfg = cfg
+	s.keyexOn = true
+	return nil
+}
+
+// keyexSession serves one key exchange on an admitted connection.  pc is
+// the plain frame view of the connection; the channel upgrade reuses its
+// buffered reader so no early bytes are stranded.
+func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *message, trace *telemetry.SessionTrace) {
+	fc := frameConn(pc)
+	s.mu.Lock()
+	enabled := s.keyexOn
+	cfg := s.keyexCfg
+	lockoutK := s.lockoutK
+	session := fmt.Sprintf("%016x", s.selSrc.Uint64())
+	codewordSeed := s.selSrc.Uint64()
+	s.mu.Unlock()
+	if !enabled {
+		s.fail(fc, trace, CodeKeyexUnavailable, false, "key exchange is not enabled on this server")
+		return
+	}
+	s.tel.keyexStart()
+	trace.Session = session
+
+	// Cipher negotiation: one suite today.  A client that offers nothing we
+	// speak still gets key confirmation (mutual proof of key possession)
+	// but no channel upgrade.
+	cipher := ""
+	for _, c := range init.Caps {
+		if c == keyex.CipherChaCha20Poly1305 {
+			cipher = c
+			break
+		}
+	}
+
+	// Burn fresh challenges for key derivation.  IssueKey journals them
+	// before they are released, so the never-reuse guarantee covers
+	// abandoned handshakes and crashes too.
+	deriveStart := time.Now()
+	cs, predicted, err := entry.IssueKey(cfg.N(), 0)
+	s.tel.observeSelect(deriveStart)
+	trace.Step("select", time.Since(deriveStart))
+	if err != nil {
+		s.fail(fc, trace, CodeSelectionFailed, false, "challenge selection failed: %v", err)
+		return
+	}
+	trace.Challenges = len(cs)
+
+	// Reverse fuzzy extractor: the enrolled model's predictions are the
+	// error-free enrollment reading, so Generate runs server-side and the
+	// device only ever runs Reproduce.
+	master, helper, err := keyex.Generate(cfg, rng.New(codewordSeed), predicted)
+	if err != nil {
+		s.fail(fc, trace, CodeSelectionFailed, false, "helper data generation failed: %v", err)
+		return
+	}
+	offer := keyex.Offer{
+		Session:    session,
+		ChipID:     init.ChipID,
+		Challenges: make([]string, len(cs)),
+		Helper:     keyex.FormatBits(helper),
+		M:          cfg.M,
+		T:          cfg.T,
+		Cipher:     cipher,
+	}
+	for i, c := range cs {
+		offer.Challenges[i] = c.String()
+	}
+	transcript := keyex.Transcript(offer)
+	keys := keyex.DeriveSession(master, transcript)
+	keyex.Zeroize(master[:])
+	s.tel.observeKeyDerive(deriveStart)
+	trace.Step("derive", time.Since(deriveStart))
+
+	rttStart := time.Now()
+	if err := fc.write(message{
+		Type: "keyex_offer", Session: session,
+		Challenges: offer.Challenges, Helper: offer.Helper,
+		BchM: cfg.M, BchT: cfg.T, Cipher: cipher,
+	}); err != nil {
+		return
+	}
+	confirm, err := fc.read("keyex_confirm")
+	s.tel.observeRTT(rttStart)
+	trace.Step("device_rtt", time.Since(rttStart))
+	if err != nil {
+		s.fail(fc, trace, CodeBadMessage, true, "bad keyex_confirm: %v", err)
+		return
+	}
+	if confirm.Session != session {
+		s.fail(fc, trace, CodeBadMessage, true, "session mismatch")
+		return
+	}
+	mac, err := hex.DecodeString(confirm.MAC)
+	if err != nil || !keyex.VerifyConfirm(keys, keyex.RoleDevice, transcript, mac) {
+		// Failed key confirmation is treated like a denied authentication:
+		// it counts toward lockout and the denial is terminal.  The server
+		// MAC is never sent, so the peer learns nothing to verify key
+		// guesses against offline.
+		if nowLocked := entry.Verdict(false, lockoutK); nowLocked {
+			s.tel.lockout()
+		}
+		s.tel.keyexReject()
+		s.fail(fc, trace, CodeKeyMismatch, false, "key confirmation failed")
+		trace.Verdict = "denied"
+		return
+	}
+	entry.Verdict(true, lockoutK)
+	srvMAC := keyex.ConfirmMAC(keys, keyex.RoleServer, transcript)
+	if err := fc.write(message{
+		Type: "keyex_accept", Session: session, MAC: hex.EncodeToString(srvMAC[:]),
+	}); err != nil {
+		return
+	}
+	s.tel.keyexEstablishedOK()
+	trace.Verdict = "key_established"
+
+	if cipher == "" {
+		return // confirm-only exchange: mutual proof, no channel
+	}
+	ch := keyex.NewChannel(readWriter{pc.r, pc.conn}, keys, transcript, false)
+	defer ch.Close()
+	s.secureLoop(&secureConn{s: s, conn: pc.conn, ch: ch}, entry, init.ChipID, trace)
+}
+
+// secureLoop serves the established encrypted session until the peer says
+// bye, the channel fails authentication, or a deadline expires.  Every
+// inner frame is the same CRC-framed JSON as protocol v1, boxed by the
+// channel's AEAD.
+func (s *Server) secureLoop(sc *secureConn, entry *registry.Entry, chipID string, trace *telemetry.SessionTrace) {
+	for {
+		m, err := sc.read("hello", "payload", "bye")
+		if err != nil {
+			return // EOF, timeout, or a forged/replayed frame: session over
+		}
+		switch m.Type {
+		case "bye":
+			_ = sc.write(message{Type: "bye"})
+			return
+		case "hello":
+			// Authentication inside the channel.  The channel is bound to
+			// the chip that established it — a hello for any other chip is
+			// a protocol violation, not a fresh admission decision — but
+			// lockout, throttle, and quarantine are re-checked so a chip
+			// cannot shelter from abuse control inside an open channel.
+			if m.ChipID != chipID {
+				s.fail(sc, trace, CodeBadMessage, false, "channel is bound to chip %q", chipID)
+				return
+			}
+			if _, ok := s.admit(sc, trace, chipID); !ok {
+				return
+			}
+			s.authExchange(sc, entry, trace)
+		case "payload":
+			data, err := base64.StdEncoding.DecodeString(m.Payload)
+			if err != nil {
+				s.fail(sc, trace, CodeBadMessage, true, "bad payload encoding: %v", err)
+				return
+			}
+			sum := sha256.Sum256(data)
+			digest := hex.EncodeToString(sum[:])
+			if m.Digest != "" && m.Digest != digest {
+				s.fail(sc, trace, CodeBadMessage, true, "payload digest mismatch")
+				return
+			}
+			s.tel.payload(len(data))
+			if err := sc.write(message{Type: "payload_ack", Session: m.Session, Digest: digest}); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -16,6 +16,12 @@
 //	netauth_device_rtt_seconds        challenges-out → responses-in
 //	netauth_select_seconds            challenge selection latency
 //	netauth_session_seconds           whole-session latency
+//	netauth_keyex_started_total       key exchanges admitted
+//	netauth_keyex_established_total   mutually key-confirmed sessions
+//	netauth_keyex_rejected_total      failed device key confirmations
+//	netauth_keyex_derive_seconds      select + BCH encode + key schedule
+//	netauth_secure_frame_bytes        encrypted-channel inner frame sizes
+//	netauth_payload_bytes             application payload sizes
 //
 // Client metric catalog (package-level, always on — a handful of atomic
 // adds per session, invisible next to a TCP round trip):
@@ -48,6 +54,13 @@ type serverMetrics struct {
 	deviceRTT         *telemetry.Histogram
 	selectSeconds     *telemetry.Histogram
 	sessionSeconds    *telemetry.Histogram
+
+	keyexStarted     *telemetry.Counter
+	keyexEstablished *telemetry.Counter
+	keyexRejected    *telemetry.Counter
+	keyexDerive      *telemetry.Histogram
+	secureFrameBytes *telemetry.Histogram
+	payloadBytes     *telemetry.Histogram
 }
 
 // knownCodes pre-registers a denial counter per structured error code, so
@@ -55,6 +68,7 @@ type serverMetrics struct {
 var knownCodes = []string{
 	CodeBadMessage, CodeUnknownChip, CodeThrottled, CodeLockedOut,
 	CodeBusy, CodeSelectionFailed, CodeQuarantined,
+	CodeKeyMismatch, CodeKeyexUnavailable,
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -74,6 +88,12 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		deviceRTT:         reg.Histogram("netauth_device_rtt_seconds", telemetry.LatencyBuckets),
 		selectSeconds:     reg.Histogram("netauth_select_seconds", telemetry.LatencyBuckets),
 		sessionSeconds:    reg.Histogram("netauth_session_seconds", telemetry.LatencyBuckets),
+		keyexStarted:      reg.Counter("netauth_keyex_started_total"),
+		keyexEstablished:  reg.Counter("netauth_keyex_established_total"),
+		keyexRejected:     reg.Counter("netauth_keyex_rejected_total"),
+		keyexDerive:       reg.Histogram("netauth_keyex_derive_seconds", telemetry.LatencyBuckets),
+		secureFrameBytes:  reg.Histogram("netauth_secure_frame_bytes", telemetry.SizeBuckets),
+		payloadBytes:      reg.Histogram("netauth_payload_bytes", telemetry.SizeBuckets),
 	}
 	for _, code := range knownCodes {
 		m.denials[code] = reg.Counter("netauth_deny_" + code + "_total")
@@ -146,6 +166,48 @@ func (m *serverMetrics) observeRTT(start time.Time) {
 		return
 	}
 	m.deviceRTT.ObserveSince(start)
+}
+
+func (m *serverMetrics) keyexStart() {
+	if m == nil {
+		return
+	}
+	m.keyexStarted.Inc()
+}
+
+func (m *serverMetrics) keyexEstablishedOK() {
+	if m == nil {
+		return
+	}
+	m.keyexEstablished.Inc()
+}
+
+func (m *serverMetrics) keyexReject() {
+	if m == nil {
+		return
+	}
+	m.keyexRejected.Inc()
+}
+
+func (m *serverMetrics) observeKeyDerive(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.keyexDerive.ObserveSince(start)
+}
+
+func (m *serverMetrics) secureFrame(n int) {
+	if m == nil {
+		return
+	}
+	m.secureFrameBytes.Observe(float64(n))
+}
+
+func (m *serverMetrics) payload(n int) {
+	if m == nil {
+		return
+	}
+	m.payloadBytes.Observe(float64(n))
 }
 
 // Client-side instruments, captured once from the Default registry.  The

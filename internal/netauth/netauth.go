@@ -67,6 +67,7 @@ import (
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/core"
 	"xorpuf/internal/health"
+	"xorpuf/internal/keyex"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/rng"
 	"xorpuf/internal/telemetry"
@@ -102,6 +103,15 @@ const (
 	// acceptance threshold is never loosened instead (a softened threshold
 	// is the side channel reliability-based modeling attacks feed on).
 	CodeQuarantined = "quarantined"
+	// CodeKeyMismatch: the peer's key-confirmation MAC did not verify — it
+	// could not reproduce the session key from the helper data, which is
+	// exactly what a modeling adversary holding a stolen chip ID looks
+	// like.  Terminal, and it counts toward lockout like a denied
+	// authentication.
+	CodeKeyMismatch = "key_mismatch"
+	// CodeKeyexUnavailable: the client asked for a key exchange but the
+	// server has none configured.  Terminal for this server.
+	CodeKeyexUnavailable = "keyex_unavailable"
 )
 
 // message is the single wire envelope; unused fields stay empty.  Approved
@@ -119,6 +129,19 @@ type message struct {
 	Message    string   `json:"message,omitempty"`
 	Code       string   `json:"code,omitempty"`
 	Retryable  bool     `json:"retryable,omitempty"`
+	// Key-exchange fields (keyex_init/offer/confirm/accept) and encrypted-
+	// session payload fields.  All omitempty: plain v1 frames are unchanged
+	// on the wire, and v1 servers reject keyex frames with a structured
+	// bad_message (DisallowUnknownFields), which clients treat as terminal
+	// capability absence.
+	Caps    []string `json:"caps,omitempty"`    // client capability list
+	Helper  string   `json:"helper,omitempty"`  // fuzzy-extractor helper bits
+	BchM    int      `json:"bch_m,omitempty"`   // BCH field degree
+	BchT    int      `json:"bch_t,omitempty"`   // BCH correction capability
+	Cipher  string   `json:"cipher,omitempty"`  // negotiated channel cipher
+	MAC     string   `json:"mac,omitempty"`     // hex key-confirmation MAC
+	Payload string   `json:"payload,omitempty"` // base64 application payload
+	Digest  string   `json:"sha256,omitempty"`  // hex payload digest
 	// CRC is an IEEE CRC32 over the frame's JSON encoding with this
 	// field zeroed.  Without it, a single flipped byte inside a JSON
 	// string can survive parsing — Go replaces invalid UTF-8 with
@@ -197,6 +220,12 @@ type Server struct {
 	drain      time.Duration
 	budget     int
 	now        func() time.Time
+
+	// keyexOn/keyexCfg enable the reverse fuzzy-extractor key exchange
+	// (SetKeyExchange); off by default, so a plain v1 server refuses
+	// keyex_init with a structured keyex_unavailable.
+	keyexOn  bool
+	keyexCfg keyex.Config
 
 	reg     *registry.Registry
 	ownReg  bool // Close also closes reg when the server created it
@@ -579,62 +608,88 @@ func (s *Server) handle(conn net.Conn) {
 			s.traceObs(trace)
 		}
 	}()
-	r := bufio.NewReader(conn)
-	fail := func(code string, retryable bool, format string, args ...interface{}) {
-		s.tel.deny(code)
-		trace.Verdict, trace.DenialCode = "error", code
-		_ = s.writeMsg(conn, message{
-			Type: "error", Code: code, Retryable: retryable,
-			Message: fmt.Sprintf(format, args...),
-		})
-	}
+	fc := &plainConn{s: s, conn: conn, r: bufio.NewReader(conn)}
 
-	hello, err := s.readMsg(conn, r, "hello")
+	// The first frame picks the session kind: "hello" runs the plain Fig 7
+	// authentication, "keyex_init" the reverse fuzzy-extractor key exchange.
+	// Both pass the same admission control first — a locked-out or
+	// quarantined chip gets no helper data either.
+	first, err := fc.read("hello", "keyex_init")
 	if err != nil {
-		fail(CodeBadMessage, true, "bad hello: %v", err)
+		s.fail(fc, &trace, CodeBadMessage, true, "bad hello: %v", err)
 		return
 	}
-	trace.ChipID = hello.ChipID
+	trace.ChipID = first.ChipID
 	trace.Step("hello", time.Since(start))
 
-	// Admission control: existence, lockout, throttle.  The per-chip state
-	// lives in the registry entry, so sessions for different chips contend
-	// only on their own entry (and shard), not a global lock.
+	entry, ok := s.admit(fc, &trace, first.ChipID)
+	if !ok {
+		return
+	}
+	if first.Type == "keyex_init" {
+		s.keyexSession(fc, entry, first, &trace)
+		return
+	}
+	s.authExchange(fc, entry, &trace)
+}
+
+// fail sends a structured wire error and records the denial.
+func (s *Server) fail(fc frameConn, trace *telemetry.SessionTrace, code string, retryable bool, format string, args ...interface{}) {
+	s.tel.deny(code)
+	trace.Verdict, trace.DenialCode = "error", code
+	_ = fc.write(message{
+		Type: "error", Code: code, Retryable: retryable,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// admit runs admission control: existence, lockout, throttle, drift
+// quarantine.  The per-chip state lives in the registry entry, so sessions
+// for different chips contend only on their own entry (and shard), not a
+// global lock.  On refusal the structured denial has already been sent.
+func (s *Server) admit(fc frameConn, trace *telemetry.SessionTrace, chipID string) (*registry.Entry, bool) {
 	s.mu.Lock()
 	lockoutK := s.lockoutK
 	throttle := s.throttle
 	now := s.now()
 	s.mu.Unlock()
-	entry := s.reg.Lookup(hello.ChipID)
+	entry := s.reg.Lookup(chipID)
 	if entry == nil {
-		fail(CodeUnknownChip, false, "unknown chip %q", hello.ChipID)
-		return
+		s.fail(fc, trace, CodeUnknownChip, false, "unknown chip %q", chipID)
+		return nil, false
 	}
 	locked, throttled := entry.Admit(now, throttle)
 	switch {
 	case locked:
-		fail(CodeLockedOut, false, "chip %q is locked out after %d consecutive denials",
-			hello.ChipID, lockoutK)
-		return
+		s.fail(fc, trace, CodeLockedOut, false,
+			"chip %q is locked out after %d consecutive denials", chipID, lockoutK)
+		return nil, false
 	case throttled:
-		fail(CodeThrottled, true, "chip %q attempting too fast", hello.ChipID)
-		return
+		s.fail(fc, trace, CodeThrottled, true, "chip %q attempting too fast", chipID)
+		return nil, false
 	}
 	// Drift quarantine: an explicit structured denial BEFORE any challenge
 	// is drawn, so a drifted chip neither burns budget nor feeds CRPs to
 	// whoever holds it.  The zero-HD acceptance criterion is never loosened
 	// for a drifting chip — re-enrollment is the only way back.
 	if entry.HealthState() == health.Quarantined {
-		fail(CodeQuarantined, false,
-			"chip %q is quarantined for drift; re-enrollment required", hello.ChipID)
-		return
+		s.fail(fc, trace, CodeQuarantined, false,
+			"chip %q is quarantined for drift; re-enrollment required", chipID)
+		return nil, false
 	}
+	return entry, true
+}
 
+// authExchange runs one challenge/response/verdict exchange over fc — the
+// plain TCP connection for v1 sessions, or the encrypted channel when an
+// authentication rides inside an established key-exchange session.
+func (s *Server) authExchange(fc frameConn, entry *registry.Entry, trace *telemetry.SessionTrace) {
 	// Select fresh, never-reused challenges and predict responses (paper
 	// Fig 7 left box, including the "Record challenge" step — Issue journals
 	// the drawn words before handing them out, so the never-reuse guarantee
 	// survives a crash mid-session).
 	s.mu.Lock()
+	lockoutK := s.lockoutK
 	session := fmt.Sprintf("%016x", s.selSrc.Uint64())
 	s.mu.Unlock()
 	trace.Session = session
@@ -643,7 +698,7 @@ func (s *Server) handle(conn net.Conn) {
 	s.tel.observeSelect(selectStart)
 	trace.Step("select", time.Since(selectStart))
 	if err != nil {
-		fail(CodeSelectionFailed, false, "challenge selection failed: %v", err)
+		s.fail(fc, trace, CodeSelectionFailed, false, "challenge selection failed: %v", err)
 		return
 	}
 	trace.Challenges = len(cs)
@@ -652,29 +707,29 @@ func (s *Server) handle(conn net.Conn) {
 		out.Challenges[i] = c.String()
 	}
 	rttStart := time.Now()
-	if err := s.writeMsg(conn, out); err != nil {
+	if err := fc.write(out); err != nil {
 		return
 	}
 
-	resp, err := s.readMsg(conn, r, "responses")
+	resp, err := fc.read("responses")
 	s.tel.observeRTT(rttStart)
 	trace.Step("device_rtt", time.Since(rttStart))
 	if err != nil {
-		fail(CodeBadMessage, true, "bad responses: %v", err)
+		s.fail(fc, trace, CodeBadMessage, true, "bad responses: %v", err)
 		return
 	}
 	if resp.Session != session {
-		fail(CodeBadMessage, true, "session mismatch")
+		s.fail(fc, trace, CodeBadMessage, true, "session mismatch")
 		return
 	}
 	if len(resp.Responses) != len(predicted) {
-		fail(CodeBadMessage, true, "expected %d responses, got %d", len(predicted), len(resp.Responses))
+		s.fail(fc, trace, CodeBadMessage, true, "expected %d responses, got %d", len(predicted), len(resp.Responses))
 		return
 	}
 	mismatches := 0
 	for i, bit := range resp.Responses {
 		if bit > 1 {
-			fail(CodeBadMessage, true, "response %d is not a bit", i)
+			s.fail(fc, trace, CodeBadMessage, true, "response %d is not a bit", i)
 			return
 		}
 		if bit != predicted[i] {
@@ -705,7 +760,7 @@ func (s *Server) handle(conn net.Conn) {
 	onHealth := s.healthHandler
 	s.mu.Unlock()
 	verdictStart := time.Now()
-	_ = s.writeMsg(conn, message{Type: "verdict", Approved: approved, Mismatches: mismatches})
+	_ = fc.write(message{Type: "verdict", Approved: approved, Mismatches: mismatches})
 	trace.Step("verdict", time.Since(verdictStart))
 	if transitioned && onHealth != nil {
 		onHealth(ev)
@@ -738,6 +793,12 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 // also reports the raw frame length (0 when the read itself failed) so
 // callers can feed frame-size telemetry.
 func readMessage(r *bufio.Reader, wantType string) (*message, int, error) {
+	return readMessageAny(r, wantType)
+}
+
+// readMessageAny is readMessage accepting any of several types — the
+// server's first-frame dispatch between "hello" and "keyex_init".
+func readMessageAny(r *bufio.Reader, wantTypes ...string) (*message, int, error) {
 	line, err := readLine(r)
 	if err != nil {
 		return nil, 0, err
@@ -746,6 +807,13 @@ func readMessage(r *bufio.Reader, wantType string) (*message, int, error) {
 	if err != nil {
 		return nil, len(line), err
 	}
+	m, err = checkMessage(m, wantTypes...)
+	return m, len(line), err
+}
+
+// checkMessage turns wire "error" frames into ProtocolError and enforces
+// the expected message type(s).
+func checkMessage(m *message, wantTypes ...string) (*message, error) {
 	if m.Type == "error" {
 		code := m.Code
 		if code == "" {
@@ -754,12 +822,17 @@ func readMessage(r *bufio.Reader, wantType string) (*message, int, error) {
 			code = CodeBadMessage
 			m.Retryable = true
 		}
-		return nil, len(line), &ProtocolError{Code: code, Message: m.Message, Retryable: m.Retryable}
+		return nil, &ProtocolError{Code: code, Message: m.Message, Retryable: m.Retryable}
 	}
-	if m.Type != wantType {
-		return nil, len(line), fmt.Errorf("unexpected message type %q, want %q", m.Type, wantType)
+	for _, want := range wantTypes {
+		if m.Type == want {
+			return m, nil
+		}
 	}
-	return m, len(line), nil
+	if len(wantTypes) == 1 {
+		return nil, fmt.Errorf("unexpected message type %q, want %q", m.Type, wantTypes[0])
+	}
+	return nil, fmt.Errorf("unexpected message type %q, want one of %q", m.Type, wantTypes)
 }
 
 // parseChallenge decodes a "0101..." bit string.

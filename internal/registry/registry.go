@@ -373,6 +373,21 @@ func (e *Entry) Admit(now time.Time, throttle time.Duration) (locked, throttled 
 // failure any partially recorded challenges are still journaled — they are
 // burned either way.
 func (e *Entry) Issue(count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
+	return e.issueBurned(recIssued, count, maxExamined)
+}
+
+// IssueKey draws challenges for a key-derivation handshake.  They burn from
+// the same never-reuse budget as authentication challenges — a chosen-
+// challenge adversary does not care which protocol carried a challenge off
+// the server — but are journaled under their own record type so the WAL
+// stays auditable by workload.
+func (e *Entry) IssueKey(count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
+	return e.issueBurned(recKeyIssued, count, maxExamined)
+}
+
+// issueBurned is the shared issuance path: select, journal under rectype,
+// quorum-commit, and only then release the challenges.
+func (e *Entry) issueBurned(rectype byte, count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
 	if e.reg.closed.Load() {
 		return nil, nil, ErrClosed
 	}
@@ -387,7 +402,7 @@ func (e *Entry) Issue(count, maxExamined int) ([]challenge.Challenge, []uint8, e
 		for _, c := range cs {
 			payload = appendU64(payload, c.Word())
 		}
-		seq, werr := e.reg.appendRecordSeq(recIssued, payload)
+		seq, werr := e.reg.appendRecordSeq(rectype, payload)
 		if werr == nil {
 			// Replication-aware issuance: when a commit waiter is attached
 			// the burned words must also be acknowledged by the follower

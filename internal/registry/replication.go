@@ -154,7 +154,7 @@ func (r *Registry) decodeReplicated(typ byte, payload []byte) (func(), error) {
 			e.tracker.Reset()
 			e.mu.Unlock()
 		}, nil
-	case recIssued:
+	case recIssued, recKeyIssued:
 		id := rd.str()
 		n := int(rd.u32())
 		if rd.err == nil && n > maxUsedWords {

@@ -80,6 +80,12 @@ const (
 	recDeregister byte = 4
 	recHealth     byte = 5
 	recReenroll   byte = 6
+	// recKeyIssued burns challenges issued for key derivation.  The payload
+	// and replay semantics are identical to recIssued — one never-reuse
+	// budget covers both workloads (chosen-challenge attacks do not care why
+	// a challenge left the server) — but the distinct type keeps the journal
+	// auditable by workload.
+	recKeyIssued byte = 7
 
 	// recHeaderLen is seq(8) + type(1) + len(4); recTrailerLen the crc.
 	recHeaderLen  = 13
@@ -473,7 +479,7 @@ func (r *Registry) applyRecord(typ byte, payload []byte) error {
 		sel.SetBudget(budget)
 		r.install(&Entry{id: id, reg: r, model: model, selector: sel,
 			tracker: health.NewTracker(r.opts.Health)})
-	case recIssued:
+	case recIssued, recKeyIssued:
 		id := rd.str()
 		n := int(rd.u32())
 		if rd.err == nil && n > maxUsedWords {

@@ -469,6 +469,11 @@ func (e *Engine) AlertsHandler() http.Handler {
 //	replication-lag-p99 p99 of repl_lag_records ≤ 512 records behind
 //	                    (inactive on deployments that never replicate —
 //	                    the gauge is only sampled once a follower runs)
+//	keyex-success-rate  99% of admitted key exchanges establish a key
+//	                    (inactive until a key exchange runs; rejected key
+//	                    confirmations are the adversary being stopped, but
+//	                    a fleet of genuine devices failing to reproduce
+//	                    keys is an ECC-margin regression worth paging on)
 //
 // Windows are minutes, not the SRE workbook's hours, because the demo
 // fleets this repo runs live for minutes; the arithmetic is identical.
@@ -521,6 +526,17 @@ func DefaultRules() []Rule {
 			},
 			LongWindow: 5 * time.Minute, ShortWindow: time.Minute,
 			Burn: 1, PendingFor: 20 * time.Second, ResolveAfter: time.Minute,
+			Severity: "page",
+		},
+		{
+			Objective: Objective{
+				Name: "keyex-success-rate", Kind: KindRatio,
+				Good:   "netauth_keyex_established_total",
+				Total:  "netauth_keyex_started_total",
+				Target: 0.99,
+			},
+			LongWindow: 5 * time.Minute, ShortWindow: time.Minute,
+			Burn: 2, PendingFor: 10 * time.Second, ResolveAfter: 30 * time.Second,
 			Severity: "page",
 		},
 	}

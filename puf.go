@@ -188,8 +188,10 @@ func NewKeySelector(model *ChipModel, seed uint64) *core.Selector {
 	return core.NewSelector(model, rng.New(seed))
 }
 
-// EnrollKey derives a 256-bit device key from the chip's XOR responses.
-func EnrollKey(chip *Chip, seed uint64, cond Condition, cfg KeyConfig) (*KeyEnrollment, error) {
+// EnrollKey derives a 256-bit device key from the chip's XOR responses.  The
+// key is returned exactly once and is not stored in the enrollment; callers
+// should hand it off and then clear their copy with keygen.ZeroizeKey.
+func EnrollKey(chip *Chip, seed uint64, cond Condition, cfg KeyConfig) (*KeyEnrollment, [32]byte, error) {
 	return keygen.Enroll(chip, chip.Stages(), rng.New(seed), cond, cfg)
 }
 
