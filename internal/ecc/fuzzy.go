@@ -4,8 +4,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
-
-	"xorpuf/internal/rng"
+	"io"
 )
 
 // FuzzyExtractor is the code-offset construction (Dodis et al.): Generate
@@ -27,15 +26,22 @@ func NewFuzzyExtractor(code *BCH) *FuzzyExtractor {
 }
 
 // Generate derives a 256-bit key from the secret bit string w (length
-// Code.N) and returns the public helper data.  src supplies the random
-// codeword choice.
-func (fe *FuzzyExtractor) Generate(src *rng.Source, w []uint8) (key [32]byte, helper []uint8, err error) {
+// Code.N) and returns the public helper data.  random supplies the codeword
+// choice; the codeword is the key material, so wherever the helper data is
+// exposed to an adversary this MUST be a cryptographic source
+// (crypto/rand.Reader) — a deterministic rng.Source is acceptable only in
+// closed simulations and benchmarks.
+func (fe *FuzzyExtractor) Generate(random io.Reader, w []uint8) (key [32]byte, helper []uint8, err error) {
 	if len(w) != fe.Code.N {
 		return key, nil, fmt.Errorf("ecc: secret length %d, want %d", len(w), fe.Code.N)
 	}
+	buf := make([]byte, (fe.Code.K+7)/8)
+	if _, err := io.ReadFull(random, buf); err != nil {
+		return key, nil, fmt.Errorf("ecc: reading codeword randomness: %w", err)
+	}
 	msg := make([]uint8, fe.Code.K)
 	for i := range msg {
-		msg[i] = src.Bit()
+		msg[i] = (buf[i/8] >> uint(i%8)) & 1
 	}
 	codeword, err := fe.Code.Encode(msg)
 	if err != nil {

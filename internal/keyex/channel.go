@@ -81,13 +81,20 @@ func (ch *Channel) WriteFrame(payload []byte) error {
 
 // ReadFrame reads and opens one frame.  The length prefix is validated
 // against MaxFrame before the frame body is allocated; any authentication
-// failure poisons the channel.
+// failure poisons the channel.  So does any I/O error after the first byte
+// of a frame has been consumed (a deadline expiring mid-frame, a short
+// read): the stream offset is then desynchronized, and letting a caller
+// retry would feed the tail of a half-read frame to the AEAD as if it were
+// a fresh one.
 func (ch *Channel) ReadFrame() ([]byte, error) {
 	if ch.broken {
 		return nil, ErrChannelAuth
 	}
 	var hdr [4]byte
-	if _, err := io.ReadFull(ch.rw, hdr[:]); err != nil {
+	if n, err := io.ReadFull(ch.rw, hdr[:]); err != nil {
+		if n > 0 {
+			ch.broken = true
+		}
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
@@ -101,6 +108,7 @@ func (ch *Channel) ReadFrame() ([]byte, error) {
 	}
 	box := make([]byte, n)
 	if _, err := io.ReadFull(ch.rw, box); err != nil {
+		ch.broken = true
 		return nil, err
 	}
 	nonce := nonceFor(ch.recvSeq)

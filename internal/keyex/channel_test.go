@@ -134,6 +134,80 @@ func TestChannelLengthLimits(t *testing.T) {
 	_ = server
 }
 
+// errTimeout stands in for a net.Conn deadline expiry mid-read.
+var errTimeout = errors.New("i/o timeout")
+
+// stutter serves wire bytes up to a cut point, returns one temporary error
+// (as an expiring read deadline would), then serves the rest.
+type stutter struct {
+	data  []byte
+	n     int
+	cut   int
+	erred bool
+}
+
+func (s *stutter) Read(p []byte) (int, error) {
+	if s.n < s.cut {
+		k := copy(p, s.data[s.n:s.cut])
+		s.n += k
+		return k, nil
+	}
+	if !s.erred {
+		s.erred = true
+		return 0, errTimeout
+	}
+	if s.n == len(s.data) {
+		return 0, io.EOF
+	}
+	k := copy(p, s.data[s.n:])
+	s.n += k
+	return k, nil
+}
+
+func (s *stutter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestChannelPoisonedByMidFrameIOError(t *testing.T) {
+	client, _, wire := testPair()
+	if err := client.WriteFrame([]byte("payload")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	frame := append([]byte(nil), wire.in.Bytes()...)
+	var master, transcript [32]byte
+	master[0], transcript[0] = 7, 9
+	keys := DeriveSession(master, transcript)
+
+	// A timeout BETWEEN frames is retryable: no bytes consumed, stream
+	// still aligned, and the retry must deliver the frame.
+	clean := &stutter{data: frame, cut: 0}
+	ch := NewChannel(clean, keys, transcript, false)
+	if _, err := ch.ReadFrame(); !errors.Is(err, errTimeout) {
+		t.Fatalf("pre-frame timeout: got %v", err)
+	}
+	if ch.Broken() {
+		t.Fatal("timeout before any frame byte poisoned the channel")
+	}
+	if got, err := ch.ReadFrame(); err != nil || string(got) != "payload" {
+		t.Fatalf("retry after clean timeout: %q, %v", got, err)
+	}
+
+	// A timeout MID-FRAME (header partially or fully consumed) leaves the
+	// stream desynchronized; the channel must refuse further reads even
+	// though the remaining bytes eventually arrive.
+	for _, cut := range []int{2, 4, 6} {
+		mid := &stutter{data: frame, cut: cut}
+		ch := NewChannel(mid, keys, transcript, false)
+		if _, err := ch.ReadFrame(); !errors.Is(err, errTimeout) {
+			t.Fatalf("cut=%d: got %v, want timeout", cut, err)
+		}
+		if !ch.Broken() {
+			t.Fatalf("cut=%d: mid-frame I/O error did not poison the channel", cut)
+		}
+		if _, err := ch.ReadFrame(); !errors.Is(err, ErrChannelAuth) {
+			t.Fatalf("cut=%d: retry got %v, want ErrChannelAuth", cut, err)
+		}
+	}
+}
+
 func TestChannelCloseZeroizes(t *testing.T) {
 	client, _, _ := testPair()
 	client.Close()

@@ -20,9 +20,9 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"xorpuf/internal/ecc"
-	"xorpuf/internal/rng"
 )
 
 // CipherChaCha20Poly1305 names the only channel cipher this package
@@ -55,7 +55,14 @@ func (c Config) N() int { return (1 << uint(c.M)) - 1 }
 // Generate is the server-side (reverse) step: bind the model-predicted
 // response bits w to a random codeword, returning the session master secret
 // and the public helper string.  len(w) must equal the code length.
-func Generate(cfg Config, src *rng.Source, w []uint8) (master [32]byte, helper []uint8, err error) {
+//
+// random supplies the codeword, which IS the session secret: the helper
+// data crosses the wire as codeword ⊕ w, so any structure or recoverable
+// state in the source hands the key (and the device's predicted responses)
+// to a passive eavesdropper.  Production callers must pass
+// crypto/rand.Reader; a deterministic rng.Source is acceptable only in
+// closed simulations and benchmarks where nothing is exposed.
+func Generate(cfg Config, random io.Reader, w []uint8) (master [32]byte, helper []uint8, err error) {
 	code, err := ecc.NewBCH(cfg.M, cfg.T)
 	if err != nil {
 		return master, nil, err
@@ -63,7 +70,7 @@ func Generate(cfg Config, src *rng.Source, w []uint8) (master [32]byte, helper [
 	if len(w) != code.N {
 		return master, nil, fmt.Errorf("keyex: %d response bits, code needs %d", len(w), code.N)
 	}
-	return ecc.NewFuzzyExtractor(code).Generate(src, w)
+	return ecc.NewFuzzyExtractor(code).Generate(random, w)
 }
 
 // Reproduce is the device-side step: recover the master secret from noisy
@@ -87,6 +94,7 @@ func Reproduce(cfg Config, wPrime, helper []uint8) (master [32]byte, corrected i
 type Offer struct {
 	Session    string   // server-assigned session ID
 	ChipID     string   // device identity the key is being derived for
+	Caps       []string // client capability list exactly as sent in keyex_init
 	Challenges []string // bit-string challenges, stage 0 first
 	Helper     string   // bit-string helper data, length 2^M−1
 	M, T       int      // BCH code parameters
@@ -95,7 +103,11 @@ type Offer struct {
 
 // Transcript hashes the offer into the value that binds the key schedule
 // and both confirmation MACs to this exact handshake.  Every field is
-// length-prefixed so no two distinct offers collide.
+// length-prefixed so no two distinct offers collide.  The client's
+// capability list is part of the transcript — the server hashes the caps it
+// received, the client the caps it sent — so an active attacker who strips
+// or rewrites keyex_init capabilities to force a cipherless (downgraded)
+// session makes the two transcripts diverge and key confirmation fail.
 func Transcript(o Offer) [32]byte {
 	h := sha256.New()
 	put := func(s string) {
@@ -104,16 +116,21 @@ func Transcript(o Offer) [32]byte {
 		h.Write(n[:])
 		h.Write([]byte(s))
 	}
+	putList := func(list []string) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(list)))
+		h.Write(n[:])
+		for _, s := range list {
+			put(s)
+		}
+	}
 	put("xorpuf-keyex-v1")
 	put(o.Session)
 	put(o.ChipID)
-	var n [4]byte
-	binary.BigEndian.PutUint32(n[:], uint32(len(o.Challenges)))
-	h.Write(n[:])
-	for _, c := range o.Challenges {
-		put(c)
-	}
+	putList(o.Caps)
+	putList(o.Challenges)
 	put(o.Helper)
+	var n [4]byte
 	binary.BigEndian.PutUint32(n[:], uint32(o.M))
 	h.Write(n[:])
 	binary.BigEndian.PutUint32(n[:], uint32(o.T))

@@ -76,6 +76,7 @@ func TestTranscriptBindsEveryField(t *testing.T) {
 	base := Offer{
 		Session:    "0011223344556677",
 		ChipID:     "chip-7",
+		Caps:       []string{CipherChaCha20Poly1305},
 		Challenges: []string{"0101", "1100"},
 		Helper:     "0110",
 		M:          8,
@@ -86,6 +87,9 @@ func TestTranscriptBindsEveryField(t *testing.T) {
 	mutations := []func(*Offer){
 		func(o *Offer) { o.Session = "0011223344556678" },
 		func(o *Offer) { o.ChipID = "chip-8" },
+		// Capability stripping (cipher downgrade) must change the transcript.
+		func(o *Offer) { o.Caps = nil },
+		func(o *Offer) { o.Caps = []string{CipherChaCha20Poly1305, "null"} },
 		func(o *Offer) { o.Challenges = []string{"0101", "1101"} },
 		func(o *Offer) { o.Challenges = []string{"0101"} },
 		func(o *Offer) { o.Helper = "0111" },
@@ -94,9 +98,12 @@ func TestTranscriptBindsEveryField(t *testing.T) {
 		func(o *Offer) { o.Cipher = "" },
 		// Field-boundary shift: same concatenated bytes, different split.
 		func(o *Offer) { o.Session = "001122334455667"; o.ChipID = "7chip-7" },
+		// List-boundary shift: a cap migrating into the challenge list.
+		func(o *Offer) { o.Caps = nil; o.Challenges = append([]string{CipherChaCha20Poly1305}, o.Challenges...) },
 	}
 	for i, mutate := range mutations {
 		o := base
+		o.Caps = append([]string(nil), base.Caps...)
 		o.Challenges = append([]string(nil), base.Challenges...)
 		mutate(&o)
 		if Transcript(o) == h0 {

@@ -83,15 +83,31 @@ func (c *Client) Establish(ctx context.Context) (*SecureSession, error) {
 func (c *Client) establish(conn net.Conn) (*SecureSession, error) {
 	pf := &clientPlainFrames{conn: conn, timeout: c.Timeout, r: bufio.NewReader(conn)}
 
+	caps := []string{keyex.CipherChaCha20Poly1305}
 	if err := pf.write(message{
-		Type: "keyex_init", ChipID: c.ChipID,
-		Caps: []string{keyex.CipherChaCha20Poly1305},
+		Type: "keyex_init", ChipID: c.ChipID, Caps: caps,
 	}); err != nil {
 		return nil, err
 	}
 	offer, err := pf.read("keyex_offer")
 	if err != nil {
 		return nil, err
+	}
+	// Downgrade check: the server must pick a cipher we actually offered.
+	// Accepting anything else — in particular cipher "" (confirm-only, no
+	// encrypted channel) — would let an active attacker who tampers with
+	// the negotiation silently strip the session's encryption.  The caps
+	// list is also bound into the transcript below, so even a tampered
+	// keyex_init that survives this check fails key confirmation.
+	offered := false
+	for _, c := range caps {
+		if offer.Cipher == c {
+			offered = true
+			break
+		}
+	}
+	if !offered {
+		return nil, fmt.Errorf("netauth: server chose cipher %q, which this client did not offer", offer.Cipher)
 	}
 	cfg := keyex.Config{M: offer.BchM, T: offer.BchT}
 	if err := cfg.Validate(); err != nil {
@@ -127,6 +143,7 @@ func (c *Client) establish(conn net.Conn) (*SecureSession, error) {
 	o := keyex.Offer{
 		Session:    offer.Session,
 		ChipID:     c.ChipID,
+		Caps:       caps,
 		Challenges: offer.Challenges,
 		Helper:     offer.Helper,
 		M:          offer.BchM,

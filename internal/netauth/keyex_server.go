@@ -35,15 +35,14 @@
 package netauth
 
 import (
+	crand "crypto/rand"
 	"crypto/sha256"
 	"encoding/base64"
 	"encoding/hex"
-	"fmt"
 	"time"
 
 	"xorpuf/internal/keyex"
 	"xorpuf/internal/registry"
-	"xorpuf/internal/rng"
 	"xorpuf/internal/telemetry"
 )
 
@@ -71,13 +70,12 @@ func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *messag
 	enabled := s.keyexOn
 	cfg := s.keyexCfg
 	lockoutK := s.lockoutK
-	session := fmt.Sprintf("%016x", s.selSrc.Uint64())
-	codewordSeed := s.selSrc.Uint64()
 	s.mu.Unlock()
 	if !enabled {
 		s.fail(fc, trace, CodeKeyexUnavailable, false, "key exchange is not enabled on this server")
 		return
 	}
+	session := newSessionID()
 	s.tel.keyexStart()
 	trace.Session = session
 
@@ -107,8 +105,11 @@ func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *messag
 
 	// Reverse fuzzy extractor: the enrolled model's predictions are the
 	// error-free enrollment reading, so Generate runs server-side and the
-	// device only ever runs Reproduce.
-	master, helper, err := keyex.Generate(cfg, rng.New(codewordSeed), predicted)
+	// device only ever runs Reproduce.  The codeword is the session secret
+	// and helper = codeword ⊕ predicted crosses the wire, so it must come
+	// from the kernel CSPRNG — never from the deterministic selection PRNG,
+	// whose state any emitted output would reveal.
+	master, helper, err := keyex.Generate(cfg, crand.Reader, predicted)
 	if err != nil {
 		s.fail(fc, trace, CodeSelectionFailed, false, "helper data generation failed: %v", err)
 		return
@@ -116,6 +117,7 @@ func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *messag
 	offer := keyex.Offer{
 		Session:    session,
 		ChipID:     init.ChipID,
+		Caps:       init.Caps,
 		Challenges: make([]string, len(cs)),
 		Helper:     keyex.FormatBits(helper),
 		M:          cfg.M,

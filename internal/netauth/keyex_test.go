@@ -6,7 +6,9 @@ import (
 	"context"
 	"encoding/hex"
 	"errors"
+	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -190,6 +192,97 @@ func TestKeyexLockoutAfterRepeatedMismatches(t *testing.T) {
 	}
 	if pe := badHandshake(); pe.Code != CodeLockedOut {
 		t.Fatalf("post-lockout code %s, want %s", pe.Code, CodeLockedOut)
+	}
+}
+
+// TestKeyexWireOutputNotSeedDeterministic guards the codeword entropy fix:
+// two servers in bit-identical state (same seed, same enrollment, same
+// deterministic challenge selection) must still emit different session IDs
+// and different helper data, because both come from the kernel CSPRNG.  If
+// the helper were a function of server state — as it was when the codeword
+// came from the invertible SplitMix64 stream whose previous output went out
+// on the wire as the session ID — an eavesdropper could reconstruct the
+// codeword and with it every session key.
+func TestKeyexWireOutputNotSeedDeterministic(t *testing.T) {
+	cfg := keyex.Config{M: 7, T: 8}
+	grab := func() (session, helper string) {
+		addr, _, _ := startKeyexServer(t, 30, cfg)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		b, err := encodeFrame(message{Type: "keyex_init", ChipID: "chip-A"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(b); err != nil {
+			t.Fatal(err)
+		}
+		offer, _, err := readMessage(bufio.NewReader(conn), "keyex_offer")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return offer.Session, offer.Helper
+	}
+	s1, h1 := grab()
+	s2, h2 := grab()
+	if s1 == s2 {
+		t.Errorf("identical-state servers issued the same session ID %q", s1)
+	}
+	if h1 == h2 {
+		t.Error("identical-state servers issued identical helper data: codeword is a function of server state")
+	}
+}
+
+// TestKeyexDowngradeStripped plays the active attacker from the cipher
+// downgrade: a MITM that strips the capability list out of keyex_init so the
+// server picks cipher "" and the session would silently complete with no
+// encrypted channel.  The client must refuse the offer — it never offered
+// a cipherless session.
+func TestKeyexDowngradeStripped(t *testing.T) {
+	addr, _, chip := startKeyexServer(t, 30, keyex.Config{M: 7, T: 8})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		cl, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer cl.Close()
+		up, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		defer up.Close()
+		r := bufio.NewReader(cl)
+		m, _, err := readMessage(r, "keyex_init")
+		if err != nil {
+			return
+		}
+		m.Caps = nil // the downgrade: re-frame the init with no capabilities
+		b, err := encodeFrame(*m)
+		if err != nil {
+			return
+		}
+		if _, err := up.Write(b); err != nil {
+			return
+		}
+		// Everything after the tampered init flows through untouched.
+		go func() { _, _ = io.Copy(cl, up) }()
+		_, _ = io.Copy(up, r)
+	}()
+
+	_, err = keyexClient(ln.Addr().String(), chip, silicon.Nominal).Establish(context.Background())
+	if err == nil {
+		t.Fatal("client accepted a capability-stripped (downgraded) handshake")
+	}
+	if !strings.Contains(err.Error(), "did not offer") {
+		t.Fatalf("downgrade rejected with %v, want the cipher-not-offered error", err)
 	}
 }
 

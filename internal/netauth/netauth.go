@@ -56,6 +56,8 @@ package netauth
 import (
 	"bufio"
 	"bytes"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -69,9 +71,22 @@ import (
 	"xorpuf/internal/health"
 	"xorpuf/internal/keyex"
 	"xorpuf/internal/registry"
-	"xorpuf/internal/rng"
 	"xorpuf/internal/telemetry"
 )
+
+// newSessionID returns a 64-bit crypto-random session identifier.  Session
+// IDs go out on the wire, so they must not be drawn from the deterministic
+// simulation PRNG: SplitMix64's output function is an invertible bijection,
+// and a single emitted output would hand an eavesdropper the stream state
+// and every subsequent draw.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// The kernel CSPRNG is unavailable: no secure session is possible.
+		panic("netauth: system random source unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // maxLineBytes caps one wire frame.  ReadBytes without a cap would let a
 // client that never sends '\n' grow the server's buffer without bound.
@@ -229,7 +244,6 @@ type Server struct {
 
 	reg     *registry.Registry
 	ownReg  bool // Close also closes reg when the server created it
-	selSrc  *rng.Source
 	ln      net.Listener
 	closed  bool
 	active  map[net.Conn]struct{}
@@ -259,8 +273,9 @@ type Server struct {
 }
 
 // NewServer creates a server with a volatile in-memory model database that
-// authenticates with numChallenges CRPs per decision.  seed drives challenge
-// selection and session IDs.  Throttling, lockout, the connection cap, and
+// authenticates with numChallenges CRPs per decision.  seed drives the
+// registry's challenge selection; session IDs and key-exchange codewords
+// come from the kernel CSPRNG.  Throttling, lockout, the connection cap, and
 // the per-chip challenge budget are off by default; enable them with the
 // setters before Serve.  For a database that survives restarts, open a
 // persistent registry.Registry and use NewServerWithRegistry.
@@ -277,7 +292,10 @@ func NewServer(numChallenges int, seed uint64) *Server {
 // NewServerWithRegistry creates a server over an existing registry —
 // typically one recovered from disk with enrollments (and issued-challenge
 // state) from a previous process lifetime, or filled by the fleet pipeline.
-// seed drives session IDs.  The caller keeps ownership of reg: Close drains
+// seed is retained for call-site compatibility and no longer feeds any
+// generator here — session IDs and key-exchange codewords come from the
+// kernel CSPRNG, never from a deterministic stream whose state wire output
+// would reveal.  The caller keeps ownership of reg: Close drains
 // connections but leaves reg open.
 func NewServerWithRegistry(numChallenges int, seed uint64, reg *registry.Registry) *Server {
 	if numChallenges <= 0 {
@@ -293,7 +311,6 @@ func NewServerWithRegistry(numChallenges int, seed uint64, reg *registry.Registr
 		now:           time.Now,
 		reg:           reg,
 		active:        make(map[net.Conn]struct{}),
-		selSrc:        rng.New(seed),
 		tel:           newServerMetrics(telemetry.Default),
 		tracer:        telemetry.NewTracer(defaultTraceCapacity),
 	}
@@ -690,8 +707,8 @@ func (s *Server) authExchange(fc frameConn, entry *registry.Entry, trace *teleme
 	// survives a crash mid-session).
 	s.mu.Lock()
 	lockoutK := s.lockoutK
-	session := fmt.Sprintf("%016x", s.selSrc.Uint64())
 	s.mu.Unlock()
+	session := newSessionID()
 	trace.Session = session
 	selectStart := time.Now()
 	cs, predicted, err := entry.Issue(s.numChallenges, 0)

@@ -103,6 +103,22 @@ func (s *Source) Bit() uint8 {
 	return uint8(s.Uint64() >> 63)
 }
 
+// Read fills p with pseudo-random bytes and never returns an error,
+// implementing io.Reader so a deterministic Source can stand in for
+// crypto/rand.Reader in simulations, tests, and benchmarks.  It must NOT be
+// used where the bytes become secrets visible to an adversary: SplitMix64's
+// output function is an invertible bijection, so emitted bytes reveal the
+// stream state.
+func (s *Source) Read(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		v := s.Uint64()
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> (8 * uint(j)))
+		}
+	}
+	return len(p), nil
+}
+
 // Norm returns a standard normal variate (mean 0, stddev 1) using the
 // Marsaglia polar method.  The polar method needs no tables and is exactly
 // reproducible across platforms because it uses only basic arithmetic and
