@@ -52,6 +52,10 @@
 //	          (status / promote subcommands; -addr, -json)
 //	gateway   consistent-hashing session gateway routing devices to shard
 //	          owners with failover re-routing (-listen, -shard, -cooldown)
+//	rebalance migrate a chip range live between serve instances and audit
+//	          the never-reuse invariant across their WAL journals
+//	          (start / status / abort / audit subcommands; the target needs
+//	          -migrate-listen)
 //	all       every experiment above (fig4 at fast scale)
 //
 // Common flags:
@@ -117,6 +121,9 @@ func main() {
 		return
 	case "gateway":
 		runGateway(os.Args[2:])
+		return
+	case "rebalance":
+		runRebalance(os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -278,6 +285,8 @@ network:     serve auth keyex gateway (run "puflab serve -h" / "puflab auth -h" 
              fault-injection knobs; "puflab serve -keyex" + "puflab keyex" establish PUF-derived session keys;
              "puflab serve -primary/-follower" replicates the registry; "puflab gateway" fronts the shards)
 replication: repl         (status / promote against a serve admin plane; promote fails over to a follower)
+rebalancing: rebalance    (live chip-range migration between serves: start / status / abort, plus an offline
+             never-reuse audit over WAL journals; the target serve needs -migrate-listen)
 fleet:       fleet        (persistent registry benchmark: enrollment throughput, lookups/s, recovery time)
 lifecycle:   health       (drift-detector report, force-quarantine, re-enrollment; "puflab health" for usage)
 observe:     metrics bench top slo ("puflab metrics" scrapes a serve -admin plane; "puflab bench" measures

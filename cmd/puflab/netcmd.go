@@ -32,6 +32,7 @@ import (
 	"xorpuf/internal/netauth"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/registry/fleet"
+	"xorpuf/internal/registry/rebalance"
 	"xorpuf/internal/registry/repl"
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
@@ -79,7 +80,7 @@ type netConfig struct {
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7410", "listen address")
-	chips := fs.Int("chips", 2, "number of simulated chips to enroll and register")
+	chips := fs.Int("chips", 2, "number of simulated chips to enroll and register (0 = none; e.g. a migration target)")
 	xorWidth := fs.Int("xor", 6, "XOR width of each chip")
 	n := fs.Int("n", 100, "challenges per authentication")
 	seed := fs.Uint64("seed", 1, "simulation seed (must match the auth side)")
@@ -103,6 +104,7 @@ func runServe(args []string) {
 	replQuorum := fs.Int("repl-quorum", 1, "follower acks required before an issued challenge leaves the server (with -primary)")
 	replStrict := fs.Bool("repl-strict", false, "fail issuance when the quorum cannot ack, instead of degrading to async (with -primary)")
 	replFault := fs.Bool("repl-fault", false, "apply the -fault-* chaos knobs to the replication link instead of the auth port")
+	migrateListen := fs.String("migrate-listen", "", "listen address for inbound chip-range migrations (empty = off; see \"puflab rebalance\")")
 	fault := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -117,6 +119,10 @@ func runServe(args []string) {
 	}
 	if *followerAddr != "" && *autoReenroll {
 		fmt.Fprintln(os.Stderr, "puflab serve: -auto-reenroll is a primary-side repair; a follower must not mutate its registry")
+		os.Exit(2)
+	}
+	if *followerAddr != "" && *migrateListen != "" {
+		fmt.Fprintln(os.Stderr, "puflab serve: -migrate-listen installs chips locally; a follower must not mutate its registry")
 		os.Exit(2)
 	}
 
@@ -153,7 +159,9 @@ func runServe(args []string) {
 
 	// A follower never enrolls: its whole registry arrives from the primary
 	// (snapshot, then the tailed log), and local mutations would fork it.
-	if *followerAddr == "" {
+	// -chips 0 also skips enrollment: a migration target starts empty and
+	// receives its whole fleet from rebalancing sources.
+	if *followerAddr == "" && *chips > 0 {
 		rep, err := fleet.Run(fleet.Config{
 			Chips:        *chips,
 			Workers:      *workers,
@@ -245,6 +253,26 @@ func runServe(args []string) {
 		fmt.Printf("replicating from %s; authentication serving deferred until promotion\n", *followerAddr)
 	}
 
+	// Rebalancing.  The acceptor serves INBOUND migrations (this process is
+	// the target: snapshot install, delta apply, cutover journal); the
+	// manager owns at most one OUTBOUND migration at a time, driven through
+	// the admin plane by `puflab rebalance`.
+	var migAcc *rebalance.Acceptor
+	if *migrateListen != "" {
+		migLn, err := net.Listen("tcp", *migrateListen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: migration listener: %v\n", err)
+			os.Exit(1)
+		}
+		migAcc = rebalance.NewAcceptor(reg, migLn, rebalance.AcceptorConfig{
+			Logf: func(format string, args ...interface{}) {
+				fmt.Printf("rebalance: "+format+"\n", args...)
+			},
+		})
+		fmt.Printf("migration acceptor on %s (inbound chip-range transfers)\n", migLn.Addr())
+	}
+	rebal := &rebalanceManager{reg: reg}
+
 	// SLO plane: a sampler snapshots the process-wide registry (runtime
 	// collector included) on every tick; the burn-rate engine and the
 	// attack-pattern anomaly detector evaluate on the same timeline.
@@ -326,6 +354,9 @@ func runServe(args []string) {
 			{Path: "/slo", Handler: engine.SLOHandler()},
 			{Path: "/alerts", Handler: engine.AlertsHandler()},
 			{Path: "/repl", Handler: replStatusHandler(prim, foll)},
+			{Path: "/rebalance", Handler: rebal.statusHandler()},
+			{Path: "/rebalance/start", Handler: rebal.startHandler()},
+			{Path: "/rebalance/abort", Handler: rebal.abortHandler()},
 		}
 		if foll != nil {
 			endpoints = append(endpoints, telemetry.Endpoint{
@@ -355,7 +386,7 @@ func runServe(args []string) {
 				fmt.Fprintf(os.Stderr, "puflab serve: admin server: %v\n", err)
 			}
 		}()
-		fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /timeseries /slo /alerts /repl /debug/pprof)\n", adminLn.Addr())
+		fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /timeseries /slo /alerts /repl /rebalance /debug/pprof)\n", adminLn.Addr())
 	}
 
 	if *followerAddr == "" {
@@ -389,6 +420,9 @@ func runServe(args []string) {
 	}
 	if follCancel != nil {
 		follCancel() // stop replicating (no-op after promotion)
+	}
+	if migAcc != nil {
+		_ = migAcc.Close() // drop inbound migration sessions (sources retry)
 	}
 	if prim != nil {
 		prim.Close() // drop follower links and detach the commit gate

@@ -8,15 +8,19 @@
 // promoted follower after failover, with no device-side reconfiguration.
 //
 // The gateway stays protocol-thin on purpose: it parses exactly one frame
-// (the hello, which it forwards verbatim) and never terminates the
-// authentication protocol, so the end-to-end CRC and error semantics between
-// device and verifier are untouched.
+// (the hello or keyex_init, which it forwards verbatim) and never terminates
+// the authentication protocol, so the end-to-end CRC and error semantics
+// between device and verifier are untouched.  The one extra frame it reads
+// is the backend's first reply: a "moved" error there means the chip's range
+// was rebalanced to another shard, and the gateway follows the redirect
+// within a per-session budget instead of bouncing the device.
 package netauth
 
 import (
 	"bufio"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
@@ -32,6 +36,8 @@ var (
 	gatewayReroutes   = telemetry.Default.Counter("gateway_reroutes_total")
 	gatewayUnroutable = telemetry.Default.Counter("gateway_unroutable_total")
 	gatewayDownMarks  = telemetry.Default.Counter("gateway_backend_down_total")
+	gatewayRedirects  = telemetry.Default.Counter("gateway_redirects_total")
+	gatewayStaleSwaps = telemetry.Default.Counter("gateway_stale_ownership_total")
 )
 
 // GatewayShard is one registry shard: a name (the hash-ring identity) and
@@ -49,12 +55,21 @@ type GatewayConfig struct {
 	VirtualNodes int
 	// DialTimeout bounds one backend dial attempt (default 2s).
 	DialTimeout time.Duration
-	// Cooldown is how long a backend that failed a dial is skipped before
-	// it is probed again (default 3s).
+	// Cooldown is the base backoff for a backend that failed a dial; each
+	// consecutive failure doubles it (with ±50% jitter so a fleet of
+	// gateways doesn't re-probe a recovering backend in lockstep) up to
+	// MaxCooldown (default 500ms).
 	Cooldown time.Duration
+	// MaxCooldown caps the down-mark backoff (default 15s).
+	MaxCooldown time.Duration
 	// HelloTimeout bounds the wait for the session's hello frame
 	// (default 5s).
 	HelloTimeout time.Duration
+	// RedirectBudget caps how many "moved" redirects one session follows
+	// before the error is handed to the device (default 3).  A budget stops
+	// a misconfigured shard pair that redirects in a cycle from pinning
+	// gateway goroutines forever.
+	RedirectBudget int
 }
 
 func (c GatewayConfig) normalized() GatewayConfig {
@@ -65,10 +80,16 @@ func (c GatewayConfig) normalized() GatewayConfig {
 		c.DialTimeout = 2 * time.Second
 	}
 	if c.Cooldown <= 0 {
-		c.Cooldown = 3 * time.Second
+		c.Cooldown = 500 * time.Millisecond
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = 15 * time.Second
 	}
 	if c.HelloTimeout <= 0 {
 		c.HelloTimeout = 5 * time.Second
+	}
+	if c.RedirectBudget <= 0 {
+		c.RedirectBudget = 3
 	}
 	return c
 }
@@ -78,14 +99,39 @@ type ringPoint struct {
 	shard int
 }
 
+// OwnershipOverride routes a contiguous chip-ID range [Lo, Hi) — compared
+// lexicographically, Hi == "" meaning unbounded — to explicit addresses,
+// bypassing the hash ring.  This is how a completed rebalance becomes
+// routing truth: the operator (or the migration driver) swaps in a table
+// whose epoch matches the cutover records on both shards.
+type OwnershipOverride struct {
+	Lo    string   `json:"lo"`
+	Hi    string   `json:"hi"`
+	Addrs []string `json:"addrs"`
+}
+
+// ownershipTable is the atomically swapped routing override set.
+type ownershipTable struct {
+	epoch     uint64
+	overrides []OwnershipOverride
+}
+
+// downState is one backend's failure streak and jittered probe-again time.
+type downState struct {
+	fails int
+	until time.Time
+}
+
 // Gateway routes authentication sessions to registry shard owners.
 type Gateway struct {
 	shards []GatewayShard
 	ring   []ringPoint
 	cfg    GatewayConfig
+	own    atomic.Pointer[ownershipTable]
 
 	mu     sync.Mutex
-	down   map[string]time.Time
+	down   map[string]downState
+	rng    *rand.Rand
 	ln     net.Listener
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -96,7 +142,8 @@ func NewGateway(shards []GatewayShard, cfg GatewayConfig) (*Gateway, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("netauth: gateway needs at least one shard")
 	}
-	g := &Gateway{shards: shards, cfg: cfg.normalized(), down: make(map[string]time.Time)}
+	g := &Gateway{shards: shards, cfg: cfg.normalized(), down: make(map[string]downState),
+		rng: rand.New(rand.NewSource(time.Now().UnixNano()))}
 	for i, s := range shards {
 		if s.Name == "" || len(s.Addrs) == 0 {
 			return nil, fmt.Errorf("netauth: gateway shard %d needs a name and at least one address", i)
@@ -115,7 +162,8 @@ func ringHash(s string) uint64 {
 	return h.Sum64()
 }
 
-// ShardFor returns the shard that owns chipID.
+// ShardFor returns the shard that owns chipID on the hash ring (ownership
+// overrides are applied on top by routeFor).
 func (g *Gateway) ShardFor(chipID string) GatewayShard {
 	h := ringHash(chipID)
 	i := sort.Search(len(g.ring), func(i int) bool { return g.ring[i].hash >= h })
@@ -123,6 +171,57 @@ func (g *Gateway) ShardFor(chipID string) GatewayShard {
 		i = 0
 	}
 	return g.shards[g.ring[i].shard]
+}
+
+// SetOwnership atomically swaps the routing-override table.  The epoch must
+// strictly advance: a stale swap — a replayed or out-of-order update from an
+// older migration — is rejected so routing can only move forward through the
+// same epoch sequence the shards' cutover records journaled.  Epoch 0 with
+// no overrides resets an unused gateway.
+func (g *Gateway) SetOwnership(epoch uint64, overrides []OwnershipOverride) error {
+	for i, o := range overrides {
+		if o.Lo == "" && o.Hi == "" {
+			return fmt.Errorf("netauth: ownership override %d covers the full keyspace", i)
+		}
+		if o.Hi != "" && o.Lo >= o.Hi {
+			return fmt.Errorf("netauth: ownership override %d has empty range [%q,%q)", i, o.Lo, o.Hi)
+		}
+		if len(o.Addrs) == 0 {
+			return fmt.Errorf("netauth: ownership override %d has no addresses", i)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cur := g.own.Load(); cur != nil && epoch <= cur.epoch {
+		gatewayStaleSwaps.Inc()
+		return fmt.Errorf("netauth: stale ownership epoch %d (current %d)", epoch, cur.epoch)
+	}
+	cp := make([]OwnershipOverride, len(overrides))
+	copy(cp, overrides)
+	g.own.Store(&ownershipTable{epoch: epoch, overrides: cp})
+	return nil
+}
+
+// OwnershipEpoch returns the current override table's epoch (0 when none).
+func (g *Gateway) OwnershipEpoch() uint64 {
+	if t := g.own.Load(); t != nil {
+		return t.epoch
+	}
+	return 0
+}
+
+// routeFor resolves chipID to candidate addresses: the first matching
+// ownership override wins, otherwise the hash-ring shard's replica list.
+func (g *Gateway) routeFor(chipID string) (addrs []string, label string) {
+	if t := g.own.Load(); t != nil {
+		for _, o := range t.overrides {
+			if chipID >= o.Lo && (o.Hi == "" || chipID < o.Hi) {
+				return o.Addrs, fmt.Sprintf("override[%q,%q)", o.Lo, o.Hi)
+			}
+		}
+	}
+	s := g.ShardFor(chipID)
+	return s.Addrs, s.Name
 }
 
 // Serve accepts device connections on ln until Close.
@@ -192,21 +291,53 @@ func (g *Gateway) handle(client net.Conn) {
 	}
 	client.SetReadDeadline(time.Time{})
 	hello, err := decodeFrame(line)
-	if err != nil || hello.Type != "hello" || hello.ChipID == "" {
-		g.refuse(client, CodeBadMessage, "gateway: first frame must be a hello", false)
+	if err != nil || (hello.Type != "hello" && hello.Type != "keyex_init") || hello.ChipID == "" {
+		g.refuse(client, CodeBadMessage, "gateway: first frame must be a hello or keyex_init", false)
 		return
 	}
 
-	shard := g.ShardFor(hello.ChipID)
-	backend := g.dialShard(shard)
-	if backend == nil {
-		gatewayUnroutable.Inc()
-		g.refuse(client, CodeBusy, fmt.Sprintf("gateway: no reachable owner for shard %s", shard.Name), true)
-		return
+	// Route, forward the opening frame, and peek the backend's first reply:
+	// a "moved" error there is a rebalanced range whose redirect the gateway
+	// follows (within budget) so the device never sees the topology change.
+	addrs, label := g.routeFor(hello.ChipID)
+	budget := g.cfg.RedirectBudget
+	var backend net.Conn
+	var bbr *bufio.Reader
+	var firstReply []byte
+	for {
+		backend = g.dialAddrs(addrs)
+		if backend == nil {
+			gatewayUnroutable.Inc()
+			g.refuse(client, CodeBusy, fmt.Sprintf("gateway: no reachable owner for %s", label), true)
+			return
+		}
+		if _, err := backend.Write(line); err != nil {
+			backend.Close()
+			g.refuse(client, CodeBusy, "gateway: shard owner dropped the session", true)
+			return
+		}
+		bbr = bufio.NewReader(backend)
+		backend.SetReadDeadline(time.Now().Add(g.cfg.HelloTimeout))
+		reply, err := readLine(bbr)
+		if err != nil {
+			backend.Close()
+			g.refuse(client, CodeBusy, "gateway: shard owner dropped the session", true)
+			return
+		}
+		backend.SetReadDeadline(time.Time{})
+		if m, derr := decodeFrame(reply); derr == nil &&
+			m.Type == "error" && m.Code == CodeMoved && m.Redirect != "" && budget > 0 {
+			budget--
+			backend.Close()
+			gatewayRedirects.Inc()
+			addrs, label = []string{m.Redirect}, "redirect "+m.Redirect
+			continue
+		}
+		firstReply = reply
+		break
 	}
 	defer backend.Close()
-	if _, err := backend.Write(line); err != nil {
-		g.refuse(client, CodeBusy, "gateway: shard owner dropped the session", true)
+	if _, err := client.Write(firstReply); err != nil {
 		return
 	}
 
@@ -220,7 +351,7 @@ func (g *Gateway) handle(client net.Conn) {
 	}()
 	go func() {
 		buf := make([]byte, 32<<10)
-		copyConn(client, backend, buf)
+		copyConn(client, bbr, buf) // bbr: it may hold bytes past the first reply
 		done <- struct{}{}
 	}()
 	<-done
@@ -245,12 +376,12 @@ func copyConn(dst net.Conn, src reader, buf []byte) {
 	}
 }
 
-// dialShard tries the shard's replicas in priority order, skipping backends
-// inside their down cooldown (unless every replica is marked down, in which
-// case all are probed).  A successful later-replica dial is a re-route.
-func (g *Gateway) dialShard(shard GatewayShard) net.Conn {
+// dialAddrs tries candidate addresses in priority order, skipping backends
+// inside their down backoff (unless every candidate is marked down, in which
+// case all are probed).  A successful later-candidate dial is a re-route.
+func (g *Gateway) dialAddrs(addrs []string) net.Conn {
 	for pass := 0; pass < 2; pass++ {
-		for i, addr := range shard.Addrs {
+		for i, addr := range addrs {
 			if pass == 0 && g.isDown(addr) {
 				continue
 			}
@@ -266,7 +397,7 @@ func (g *Gateway) dialShard(shard GatewayShard) net.Conn {
 			return conn
 		}
 		// Second pass only if the first skipped someone.
-		if !g.anyDown(shard.Addrs) {
+		if !g.anyDown(addrs) {
 			break
 		}
 	}
@@ -276,27 +407,43 @@ func (g *Gateway) dialShard(shard GatewayShard) net.Conn {
 func (g *Gateway) isDown(addr string) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	at, ok := g.down[addr]
-	return ok && time.Since(at) < g.cfg.Cooldown
+	st, ok := g.down[addr]
+	return ok && time.Now().Before(st.until)
 }
 
 func (g *Gateway) anyDown(addrs []string) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	now := time.Now()
 	for _, a := range addrs {
-		if at, ok := g.down[a]; ok && time.Since(at) < g.cfg.Cooldown {
+		if st, ok := g.down[a]; ok && now.Before(st.until) {
 			return true
 		}
 	}
 	return false
 }
 
+// markDown records a dial failure: the backoff doubles with each consecutive
+// failure up to MaxCooldown, jittered into [0.5x, 1.5x) so a fleet of
+// gateways spreads its re-probes of a recovering backend instead of
+// stampeding it at the same instant.
 func (g *Gateway) markDown(addr string) {
 	g.mu.Lock()
-	_, was := g.down[addr]
-	g.down[addr] = time.Now()
+	st := g.down[addr]
+	first := st.fails == 0
+	st.fails++
+	backoff := g.cfg.Cooldown
+	for i := 1; i < st.fails && backoff < g.cfg.MaxCooldown; i++ {
+		backoff *= 2
+	}
+	if backoff > g.cfg.MaxCooldown {
+		backoff = g.cfg.MaxCooldown
+	}
+	jittered := time.Duration(float64(backoff) * (0.5 + g.rng.Float64()))
+	st.until = time.Now().Add(jittered)
+	g.down[addr] = st
 	g.mu.Unlock()
-	if !was {
+	if first {
 		gatewayDownMarks.Inc()
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"xorpuf/internal/core"
+	"xorpuf/internal/registry"
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
 )
@@ -143,5 +144,160 @@ func TestGatewayRefusalsAreStructured(t *testing.T) {
 	}
 	if m.Type != "error" || m.Code != CodeBadMessage {
 		t.Fatalf("refusal frame %+v, want %s", m, CodeBadMessage)
+	}
+}
+
+func TestGatewayFollowsMovedRedirect(t *testing.T) {
+	chip := silicon.NewChip(rng.New(1), silicon.DefaultParams(), 4)
+	cfg := core.DefaultEnrollConfig()
+	cfg.TrainingSize = 2000
+	cfg.ValidationSize = 5000
+	enr, err := core.EnrollChip(chip, rng.New(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Source registry enrolls the chip, then its range migrates away: the
+	// target installs the snapshot and cuts over, the source journals the
+	// departure with a redirect to the target's auth listener.
+	srcReg, err := registry.Open("", registry.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstReg, err := registry.Open("", registry.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srcReg.Register("chip-A", enr.Model, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, _, err := srcReg.RangeSnapshot("chip-A", "chip-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dstReg.InstallMigrating("m1", "chip-A", "chip-B", snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dstReg.CutoverTarget("m1", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := NewServerWithRegistry(5, 3, dstReg)
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(ln2) //nolint:errcheck
+	defer srv2.Close()
+	if err := srcReg.CutoverSource("m1", 1, "chip-A", "chip-B", ln2.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServerWithRegistry(5, 3, srcReg)
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv1.Serve(ln1) //nolint:errcheck
+	defer srv1.Close()
+
+	// A direct dial at the resurrected source gets the structured moved
+	// error carrying the redirect — never an issuance.
+	_, err = Authenticate(ln1.Addr().String(), "chip-A", chip, silicon.Nominal, 5*time.Second)
+	var perr *ProtocolError
+	if !errors.As(err, &perr) || perr.Code != CodeMoved || !perr.Retryable || perr.Redirect != ln2.Addr().String() {
+		t.Fatalf("direct dial at departed source = %v, want retryable %s with redirect %s", err, CodeMoved, ln2.Addr())
+	}
+
+	// The gateway still routes to the old owner, follows the redirect, and
+	// the device sees a clean approval.
+	before := gatewayRedirects.Value()
+	_, gwAddr := startGateway(t, []GatewayShard{
+		{Name: "shard-0", Addrs: []string{ln1.Addr().String()}},
+	}, GatewayConfig{})
+	res, err := Authenticate(gwAddr, "chip-A", chip, silicon.Nominal, 10*time.Second)
+	if err != nil || !res.Approved {
+		t.Fatalf("auth through redirect: %+v, %v", res, err)
+	}
+	if gatewayRedirects.Value() != before+1 {
+		t.Fatalf("gateway followed %d redirects, want 1", gatewayRedirects.Value()-before)
+	}
+	if got := srv2.ChipStatus("chip-A").Issued; got == 0 {
+		t.Fatal("new owner served no challenges — redirect was not followed")
+	}
+}
+
+func TestGatewayOwnershipOverrides(t *testing.T) {
+	g, err := NewGateway([]GatewayShard{
+		{Name: "shard-0", Addrs: []string{"127.0.0.1:1"}},
+	}, GatewayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid overrides are rejected up front.
+	for _, bad := range [][]OwnershipOverride{
+		{{Lo: "", Hi: "", Addrs: []string{"x"}}},
+		{{Lo: "b", Hi: "a", Addrs: []string{"x"}}},
+		{{Lo: "a", Hi: "b"}},
+	} {
+		if err := g.SetOwnership(1, bad); err == nil {
+			t.Fatalf("SetOwnership accepted invalid override %+v", bad)
+		}
+	}
+	if err := g.SetOwnership(2, []OwnershipOverride{
+		{Lo: "chip-m", Hi: "chip-q", Addrs: []string{"10.0.0.9:1"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Stale and equal epochs are refused: routing only moves forward.
+	if err := g.SetOwnership(2, nil); err == nil {
+		t.Fatal("SetOwnership accepted a replayed epoch")
+	}
+	if err := g.SetOwnership(1, nil); err == nil {
+		t.Fatal("SetOwnership accepted a stale epoch")
+	}
+	if g.OwnershipEpoch() != 2 {
+		t.Fatalf("epoch %d, want 2", g.OwnershipEpoch())
+	}
+	if addrs, _ := g.routeFor("chip-n"); len(addrs) != 1 || addrs[0] != "10.0.0.9:1" {
+		t.Fatalf("override route = %v, want the override address", addrs)
+	}
+	if addrs, _ := g.routeFor("chip-z"); addrs[0] != "127.0.0.1:1" {
+		t.Fatalf("out-of-range route = %v, want the ring shard", addrs)
+	}
+}
+
+func TestGatewayDownMarkBackoffGrowsAndJitters(t *testing.T) {
+	g, err := NewGateway([]GatewayShard{
+		{Name: "shard-0", Addrs: []string{"127.0.0.1:1"}},
+	}, GatewayConfig{Cooldown: 100 * time.Millisecond, MaxCooldown: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	until := func() time.Time {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.down["b"].until
+	}
+	var waits []time.Duration
+	for i := 0; i < 6; i++ {
+		g.markDown("b")
+		waits = append(waits, time.Until(until()))
+	}
+	// Jitter is ±50%, so even the widest short backoff stays below the
+	// narrowest one three doublings later; and everything respects the cap.
+	if waits[0] > 150*time.Millisecond || waits[0] <= 0 {
+		t.Fatalf("first backoff %v outside (0, 1.5x base]", waits[0])
+	}
+	if waits[4] <= waits[0] {
+		t.Fatalf("backoff did not grow: first %v, fifth %v", waits[0], waits[4])
+	}
+	for _, w := range waits {
+		if w > 1500*time.Millisecond {
+			t.Fatalf("backoff %v exceeds jittered cap", w)
+		}
+	}
+	g.markUp("b")
+	if g.isDown("b") {
+		t.Fatal("markUp did not clear the down state")
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"crypto/sha256"
 	"encoding/base64"
 	"encoding/hex"
+	"errors"
 	"time"
 
 	"xorpuf/internal/keyex"
@@ -98,6 +99,10 @@ func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *messag
 	s.tel.observeSelect(deriveStart)
 	trace.Step("select", time.Since(deriveStart))
 	if err != nil {
+		if errors.Is(err, registry.ErrMigrating) {
+			s.fail(fc, trace, CodeMigrating, true, "chip mid-migration: %v", err)
+			return
+		}
 		s.fail(fc, trace, CodeSelectionFailed, false, "challenge selection failed: %v", err)
 		return
 	}

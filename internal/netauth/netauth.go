@@ -127,6 +127,14 @@ const (
 	// CodeKeyexUnavailable: the client asked for a key exchange but the
 	// server has none configured.  Terminal for this server.
 	CodeKeyexUnavailable = "keyex_unavailable"
+	// CodeMigrating: the chip's range is mid-handoff to another shard — the
+	// issuance fence is up, or the chip is still arriving at this server.
+	// Retryable after a short backoff; the fence window is bounded.
+	CodeMigrating = "migrating"
+	// CodeMoved: the chip's range was migrated away and this server will
+	// never issue for it again.  Retryable — at the address in the error
+	// frame's "redirect" field, not here.
+	CodeMoved = "moved"
 )
 
 // message is the single wire envelope; unused fields stay empty.  Approved
@@ -144,6 +152,9 @@ type message struct {
 	Message    string   `json:"message,omitempty"`
 	Code       string   `json:"code,omitempty"`
 	Retryable  bool     `json:"retryable,omitempty"`
+	// Redirect accompanies a "moved" error: the address now owning the
+	// chip's range.  Gateways follow it; direct clients re-dial it.
+	Redirect string `json:"redirect,omitempty"`
 	// Key-exchange fields (keyex_init/offer/confirm/accept) and encrypted-
 	// session payload fields.  All omitempty: plain v1 frames are unchanged
 	// on the wire, and v1 servers reject keyex frames with a structured
@@ -210,6 +221,10 @@ type ProtocolError struct {
 	Code      string
 	Message   string
 	Retryable bool
+	// Redirect accompanies a "moved" error: the address that now owns the
+	// chip's range.  Clients dialing shards directly should re-dial there;
+	// clients behind a gateway never see it (the gateway follows it).
+	Redirect string
 }
 
 func (e *ProtocolError) Error() string {
@@ -670,6 +685,23 @@ func (s *Server) admit(fc frameConn, trace *telemetry.SessionTrace, chipID strin
 	throttle := s.throttle
 	now := s.now()
 	s.mu.Unlock()
+	// Ownership first: a departed chip has no entry here, and reporting it
+	// as unknown would read as terminal to a client that only needs to
+	// follow the redirect.  Mid-handoff states are retryable by definition.
+	switch st, redirect := s.reg.Ownership(chipID); st {
+	case registry.OwnershipDeparted:
+		s.tel.deny(CodeMoved)
+		trace.Verdict, trace.DenialCode = "error", CodeMoved
+		_ = fc.write(message{
+			Type: "error", Code: CodeMoved, Retryable: true, Redirect: redirect,
+			Message: fmt.Sprintf("chip %q migrated to %s", chipID, redirect),
+		})
+		return nil, false
+	case registry.OwnershipFenced, registry.OwnershipArriving:
+		s.fail(fc, trace, CodeMigrating, true,
+			"chip %q is mid-migration; retry shortly", chipID)
+		return nil, false
+	}
 	entry := s.reg.Lookup(chipID)
 	if entry == nil {
 		s.fail(fc, trace, CodeUnknownChip, false, "unknown chip %q", chipID)
@@ -715,6 +747,12 @@ func (s *Server) authExchange(fc frameConn, entry *registry.Entry, trace *teleme
 	s.tel.observeSelect(selectStart)
 	trace.Step("select", time.Since(selectStart))
 	if err != nil {
+		// A fence can rise between admission and issuance; that refusal is
+		// the bounded handoff window, not a dead chip.
+		if errors.Is(err, registry.ErrMigrating) {
+			s.fail(fc, trace, CodeMigrating, true, "chip mid-migration: %v", err)
+			return
+		}
 		s.fail(fc, trace, CodeSelectionFailed, false, "challenge selection failed: %v", err)
 		return
 	}
@@ -839,7 +877,7 @@ func checkMessage(m *message, wantTypes ...string) (*message, error) {
 			code = CodeBadMessage
 			m.Retryable = true
 		}
-		return nil, &ProtocolError{Code: code, Message: m.Message, Retryable: m.Retryable}
+		return nil, &ProtocolError{Code: code, Message: m.Message, Retryable: m.Retryable, Redirect: m.Redirect}
 	}
 	for _, want := range wantTypes {
 		if m.Type == want {

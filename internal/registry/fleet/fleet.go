@@ -149,7 +149,15 @@ func Run(cfg Config, reg *registry.Registry) (Report, error) {
 			defer activeWorkers.Dec()
 			for i := range jobs {
 				id := fmt.Sprintf("%s%d", cfg.IDPrefix, i)
-				if cfg.SkipExisting && reg.Lookup(id) != nil {
+				// A chip is "existing" if it is resident here OR its range
+				// migrated away: a resurrected source must not re-enroll a
+				// departed chip, which would fork its identity (and its
+				// never-reuse history) across two owners.
+				departed := func() bool {
+					st, _ := reg.Ownership(id)
+					return st == registry.OwnershipDeparted
+				}
+				if cfg.SkipExisting && (reg.Lookup(id) != nil || departed()) {
 					skipped.Add(1)
 					skippedTotal.Inc()
 				} else {

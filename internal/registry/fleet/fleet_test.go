@@ -139,6 +139,36 @@ func TestSkipExistingResumes(t *testing.T) {
 	}
 }
 
+// TestSkipExistingSkipsDeparted: a resurrected source whose range migrated
+// away must treat departed chips as existing — re-enrolling one locally
+// would fork its identity (and its never-reuse history) across two owners.
+func TestSkipExistingSkipsDeparted(t *testing.T) {
+	r, err := registry.Open("", registry.Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if rep, err := fleet.Run(testFleetConfig(4, 2), r); err != nil || rep.Enrolled != 4 {
+		t.Fatalf("first Run: %+v, %v", rep, err)
+	}
+	// chips 1 and 2 migrate away (lexicographic range [chip-1, chip-3)).
+	if err := r.CutoverSource("m1", 1, "chip-1", "chip-3", "new-owner:1"); err != nil {
+		t.Fatalf("CutoverSource: %v", err)
+	}
+	cfg := testFleetConfig(4, 2)
+	cfg.SkipExisting = true
+	rep, err := fleet.Run(cfg, r)
+	if err != nil {
+		t.Fatalf("resumed Run over departed range: %v", err)
+	}
+	if rep.Skipped != 4 || rep.Enrolled != 0 || rep.Failed != 0 {
+		t.Fatalf("resumed report %+v, want all 4 skipped", rep)
+	}
+	if r.Lookup("chip-1") != nil {
+		t.Fatal("departed chip re-enrolled on the source")
+	}
+}
+
 func TestRunRejectsBadConfig(t *testing.T) {
 	r, err := registry.Open("", registry.Options{})
 	if err != nil {

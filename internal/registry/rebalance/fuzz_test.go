@@ -1,0 +1,140 @@
+package rebalance
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"xorpuf/internal/registry"
+	"xorpuf/internal/registry/repl"
+)
+
+// frameBytes encodes one wire frame via the shared repl codec.
+func frameBytes(f *testing.F, typ byte, payload []byte) []byte {
+	var buf bytes.Buffer
+	if err := repl.WriteFrame(&buf, typ, payload); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// seedMigrationFrames builds a corpus from a real migration's wire traffic:
+// an XPR1 range snapshot and live delta records captured from a live source
+// registry, so the decoders see realistic payloads alongside the degenerate
+// hand-rolled ones.
+func seedMigrationFrames(f *testing.F) {
+	src, err := registry.Open("", registry.Options{Seed: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer src.Close()
+	var deltas [][]byte
+	src.SetAppendObserver(func(seq uint64, typ byte, payload []byte) {
+		if registry.RecordChipID(typ, payload) != "" {
+			deltas = append(deltas, frameBytes(f, mDelta, deltaPayload(seq, typ, payload)))
+		}
+	})
+	if err := src.Register("chip-0", syntheticModel(2, 16), 64); err != nil {
+		f.Fatal(err)
+	}
+	e := src.Lookup("chip-0")
+	if _, _, err := e.Issue(3, 0); err != nil {
+		f.Fatal(err)
+	}
+	e.Verdict(false, 2)
+	snap, cutSeq, count, err := src.RangeSnapshot("chip-0", "chip-1")
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(frameBytes(f, mHello, helloPayload(1, "mig-f", "chip-0", "chip-1")))
+	f.Add(frameBytes(f, mHelloAck, helloAckPayload(helloFresh, 0)))
+	f.Add(frameBytes(f, mHelloAck, helloAckPayload(helloCutover, 3)))
+	f.Add(frameBytes(f, mSnapBegin, snapBeginPayload(cutSeq, uint64(len(snap)), uint32(count))))
+	f.Add(frameBytes(f, mSnapChunk, snap))
+	f.Add(frameBytes(f, mSnapEnd, nil))
+	f.Add(frameBytes(f, mDeltaAck, u64Payload(7)))
+	f.Add(frameBytes(f, mCutover, u64Payload(cutSeq)))
+	f.Add(frameBytes(f, mCutoverAck, u64Payload(2)))
+	f.Add(frameBytes(f, mAbort, []byte("operator abort")))
+	f.Add(frameBytes(f, mError, errorPayload(CodeApply, "wal append failed")))
+	for _, d := range deltas {
+		f.Add(d)
+	}
+	// One whole session on the wire: hello, snapshot, deltas, cutover.
+	stream := frameBytes(f, mHello, helloPayload(1, "mig-f", "chip-0", "chip-1"))
+	stream = append(stream, frameBytes(f, mSnapBegin, snapBeginPayload(cutSeq, uint64(len(snap)), uint32(count)))...)
+	stream = append(stream, frameBytes(f, mSnapChunk, snap)...)
+	stream = append(stream, frameBytes(f, mSnapEnd, nil)...)
+	for _, d := range deltas {
+		stream = append(stream, d...)
+	}
+	stream = append(stream, frameBytes(f, mCutover, u64Payload(cutSeq))...)
+	f.Add(stream)
+	// Degenerate inputs.
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add([]byte{mDelta, 0xff, 0xff, 0xff, 0x7f})
+}
+
+// FuzzRebalanceStream drives the acceptor-side decoding path — frame reader,
+// per-type payload decoders, XPR1 snapshot install, and migrated-delta apply
+// — with adversarial byte streams.  The contract mirrors the acceptor's
+// fail-closed posture: garbage must surface as an error that drops the
+// session, never a panic, a giant allocation, or arriving chips installed
+// from a snapshot that did not validate.
+func FuzzRebalanceStream(f *testing.F) {
+	seedMigrationFrames(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg, err := registry.Open("", registry.Options{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer reg.Close()
+		br := bufio.NewReader(bytes.NewReader(data))
+		migID, lo, hi := "mig-f", "chip-0", "chip-1"
+		var snap []byte
+		var snapLen uint64
+		for {
+			typ, payload, err := repl.ReadFrame(br)
+			if err != nil {
+				return // torn or corrupt stream: the session would drop here
+			}
+			switch typ {
+			case mHello:
+				if _, _, m, l, h, err := decodeHello(payload); err == nil && m != "" {
+					migID, lo, hi = m, l, h
+				}
+			case mHelloAck:
+				_, _, _ = decodeHelloAck(payload)
+			case mSnapBegin:
+				_, snapLen, _, _ = decodeSnapBegin(payload)
+				snap = nil
+			case mSnapChunk:
+				if uint64(len(snap)+len(payload)) > snapLen || len(snap)+len(payload) > 1<<22 {
+					return
+				}
+				snap = append(snap, payload...)
+			case mSnapEnd:
+				_, _ = reg.InstallMigrating(migID, lo, hi, snap) // must not panic, corrupt or not
+			case mDelta:
+				_, rectype, rec, err := decodeDelta(payload)
+				if err != nil {
+					return
+				}
+				_, _ = reg.ApplyMigrated(migID, rectype, rec)
+			case mDeltaAck, mCutoverAck:
+				_, _ = decodeU64(payload, "ack")
+			case mCutover:
+				if _, err := decodeU64(payload, "cutover"); err != nil {
+					return
+				}
+				_, _ = reg.CutoverTarget(migID, reg.OwnershipEpoch()+1)
+			case mAbort:
+				_ = reg.AbortMigrationIn(migID)
+			case mError:
+				_, _ = decodeError(payload)
+			}
+		}
+	})
+}

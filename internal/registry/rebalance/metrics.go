@@ -1,0 +1,16 @@
+package rebalance
+
+import "xorpuf/internal/telemetry"
+
+// Instruments shared by Source and Acceptor.  All land in telemetry.Default
+// so the serve admin endpoint and the SLO evaluator pick them up without
+// extra wiring; rebalance_fence_seconds feeds the migration fence-window
+// objective in the SLO catalog.
+var (
+	mActive        = telemetry.Default.Gauge("rebalance_active")
+	mChipsMigrated = telemetry.Default.Counter("rebalance_chips_migrated_total")
+	mDeltaRecords  = telemetry.Default.Counter("rebalance_delta_records_total")
+	mRestarts      = telemetry.Default.Counter("rebalance_restarts_total")
+	mFenceSeconds  = telemetry.Default.Histogram("rebalance_fence_seconds", telemetry.LatencyBuckets)
+	mDuration      = telemetry.Default.Histogram("rebalance_duration_seconds", telemetry.LatencyBuckets)
+)

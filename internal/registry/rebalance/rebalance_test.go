@@ -1,0 +1,373 @@
+package rebalance
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/registry"
+)
+
+// syntheticModel mirrors the registry tests' cheap deterministic model:
+// every challenge is predicted Stable0, so selection never stalls.
+func syntheticModel(width, stages int) *core.ChipModel {
+	m := &core.ChipModel{PUFs: make([]*core.PUFModel, width), Beta0: 1, Beta1: 1}
+	for i := range m.PUFs {
+		p := &core.PUFModel{Theta: make([]float64, stages+1), Thr0: 0.4, Thr1: 0.6}
+		for j := range p.Theta {
+			p.Theta[j] = float64((i+1)*(j+1)) * 1e-6
+		}
+		m.PUFs[i] = p
+	}
+	return m
+}
+
+func openReg(t *testing.T, dir string) *registry.Registry {
+	t.Helper()
+	reg, err := registry.Open(dir, registry.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func startAcceptor(t *testing.T, reg *registry.Registry) (*Acceptor, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAcceptor(reg, ln, AcceptorConfig{SessionTimeout: 5 * time.Second, Logf: t.Logf})
+	t.Cleanup(func() { a.Close() })
+	return a, ln.Addr().String()
+}
+
+func sourceCfg(migID, lo, hi, target string) SourceConfig {
+	return SourceConfig{
+		MigrationID:  migID,
+		Lo:           lo,
+		Hi:           hi,
+		TargetAddr:   target,
+		Redirect:     "new-owner:9000",
+		DialTimeout:  time.Second,
+		AckTimeout:   2 * time.Second,
+		RetryBackoff: 10 * time.Millisecond,
+		QueueSize:    256,
+	}
+}
+
+func TestMigrationEndToEnd(t *testing.T) {
+	src := openReg(t, "")
+	dst := openReg(t, "")
+	defer src.Close()
+	defer dst.Close()
+
+	ids := []string{"chip-a", "chip-b", "chip-c", "chip-d", "chip-e"}
+	for _, id := range ids {
+		if err := src.Register(id, syntheticModel(2, 16), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pre-migration burns must travel with the snapshot.
+	if _, _, err := src.Lookup("chip-b").Issue(7, 0); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startAcceptor(t, dst)
+
+	s, err := StartSource(src, sourceCfg("mig-1", "chip-b", "chip-e", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatalf("migration failed: %v", err)
+	}
+
+	// Source: range departed with a redirect, rest untouched.
+	for _, id := range []string{"chip-b", "chip-c", "chip-d"} {
+		st, redirect := src.Ownership(id)
+		if st != registry.OwnershipDeparted || redirect != "new-owner:9000" {
+			t.Fatalf("source ownership of %s: %v/%q, want departed/new-owner:9000", id, st, redirect)
+		}
+		if src.Lookup(id) != nil {
+			t.Fatalf("source still holds entry for departed chip %s", id)
+		}
+	}
+	for _, id := range []string{"chip-a", "chip-e"} {
+		if st, _ := src.Ownership(id); st != registry.OwnershipOwned {
+			t.Fatalf("source ownership of %s: %v, want owned", id, st)
+		}
+	}
+	if err := src.Register("chip-bb", syntheticModel(2, 16), 0); err == nil {
+		t.Fatal("source accepted registration inside a departed range")
+	}
+
+	// Target: range live and issuing, burn history intact.
+	e := dst.Lookup("chip-b")
+	if e == nil {
+		t.Fatal("chip-b missing on target")
+	}
+	if got := e.Status().Issued; got != 7 {
+		t.Fatalf("target sees %d issued words for chip-b, want 7", got)
+	}
+	if _, _, err := e.Issue(3, 0); err != nil {
+		t.Fatalf("target issuance after cutover: %v", err)
+	}
+	if dst.OwnershipEpoch() == 0 || src.OwnershipEpoch() != dst.OwnershipEpoch() {
+		t.Fatalf("epoch mismatch: source %d target %d", src.OwnershipEpoch(), dst.OwnershipEpoch())
+	}
+	if st := s.Status(); st.Phase != PhaseDone || st.Chips != 3 {
+		t.Fatalf("status %+v, want done with 3 chips", st)
+	}
+	if len(src.Fences()) != 0 {
+		t.Fatalf("fence left behind: %+v", src.Fences())
+	}
+}
+
+func TestLiveTrafficDuringMigration(t *testing.T) {
+	src := openReg(t, "")
+	dst := openReg(t, "")
+	defer src.Close()
+	defer dst.Close()
+	for _, id := range []string{"chip-a", "chip-b"} {
+		if err := src.Register(id, syntheticModel(2, 16), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, addr := startAcceptor(t, dst)
+
+	// Hammer issuance on the migrating chip while the stream runs.  Burns
+	// that race the fence must either land in the delta stream or be
+	// refused with the retryable ErrMigrating — never lost.
+	stop := make(chan struct{})
+	issued := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				issued <- n
+				return
+			default:
+			}
+			// Throttled so the synthetic model's finite stable-challenge
+			// stream outlasts the migration.
+			if e := src.Lookup("chip-a"); e != nil && n < 500 {
+				if cs, _, err := e.Issue(1, 0); err == nil {
+					n += len(cs)
+				} else if !errors.Is(err, registry.ErrMigrating) {
+					t.Errorf("unexpected issue error: %v", err)
+					issued <- n
+					return
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	s, err := StartSource(src, sourceCfg("mig-2", "chip-a", "chip-b", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatalf("migration failed: %v", err)
+	}
+	close(stop)
+	n := <-issued
+
+	e := dst.Lookup("chip-a")
+	if e == nil {
+		t.Fatal("chip-a missing on target")
+	}
+	if got := e.Status().Issued; got != n {
+		t.Fatalf("target accounts %d issued words for chip-a, source issued %d — a burn was lost or duplicated", got, n)
+	}
+}
+
+// TestTargetRestartMidStream kills the target's first session after the
+// hello and lets a fresh acceptor take over the same address: the source
+// must restart from a new snapshot and still complete exactly once.
+func TestTargetRestartMidStream(t *testing.T) {
+	src := openReg(t, "")
+	dst := openReg(t, "")
+	defer src.Close()
+	defer dst.Close()
+	for _, id := range []string{"chip-a", "chip-b"} {
+		if err := src.Register(id, syntheticModel(2, 16), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := src.Lookup("chip-a").Issue(4, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First connection: accept and slam the door mid-handshake.
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+
+	s, err := StartSource(src, sourceCfg("mig-3", "chip-a", "chip-b", ln.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-firstDone
+	// Now the real acceptor owns the listener.
+	a := NewAcceptor(dst, ln, AcceptorConfig{SessionTimeout: 5 * time.Second, Logf: t.Logf})
+	defer a.Close()
+
+	if err := s.Wait(); err != nil {
+		t.Fatalf("migration failed after target restart: %v", err)
+	}
+	if st := s.Status(); st.Restarts == 0 {
+		t.Fatalf("status %+v, want at least one restart", st)
+	}
+	e := dst.Lookup("chip-a")
+	if e == nil || e.Status().Issued != 4 {
+		t.Fatalf("chip-a burn history did not survive the restart")
+	}
+}
+
+// TestHelloResolvesCompletedCutover models a source that crashed after the
+// target journaled the cutover: the reconnecting source must finalize from
+// the target's journal, not restart the stream.
+func TestHelloResolvesCompletedCutover(t *testing.T) {
+	src := openReg(t, "")
+	dst := openReg(t, "")
+	defer src.Close()
+	defer dst.Close()
+	for _, id := range []string{"chip-a", "chip-b"} {
+		if err := src.Register(id, syntheticModel(2, 16), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seed the target with the already-cut-over state directly.
+	data, _, _, err := src.RangeSnapshot("chip-a", "chip-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.InstallMigrating("mig-4", "chip-a", "chip-b", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.CutoverTarget("mig-4", 9); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startAcceptor(t, dst)
+
+	s, err := StartSource(src, sourceCfg("mig-4", "chip-a", "chip-b", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatalf("finalize from target journal failed: %v", err)
+	}
+	if st, _ := src.Ownership("chip-a"); st != registry.OwnershipDeparted {
+		t.Fatalf("source ownership %v, want departed", st)
+	}
+	if src.OwnershipEpoch() != 9 {
+		t.Fatalf("source epoch %d, want the target's journaled 9", src.OwnershipEpoch())
+	}
+	if st := s.Status(); st.DeltaRecords != 0 && st.Phase != PhaseDone {
+		t.Fatalf("status %+v, want immediate finalize", st)
+	}
+}
+
+func TestAbortPreCutover(t *testing.T) {
+	src := openReg(t, "")
+	defer src.Close()
+	if err := src.Register("chip-a", syntheticModel(2, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	// A listener that accepts but never speaks: the source hangs in the
+	// hello and the abort must cut through on the next attempt boundary.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	cfg := sourceCfg("mig-5", "chip-a", "", ln.Addr().String())
+	cfg.AckTimeout = 100 * time.Millisecond
+	s, err := StartSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := s.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Wait = %v, want ErrAborted", err)
+	}
+	if len(src.Fences()) != 0 {
+		t.Fatalf("abort left a fence: %+v", src.Fences())
+	}
+	if _, _, err := src.Lookup("chip-a").Issue(1, 0); err != nil {
+		t.Fatalf("issuance after abort: %v", err)
+	}
+}
+
+func TestSourceConfigValidation(t *testing.T) {
+	src := openReg(t, "")
+	defer src.Close()
+	for _, cfg := range []SourceConfig{
+		{Lo: "a", Hi: "b", TargetAddr: "x"},                   // no migration ID
+		{MigrationID: "m", TargetAddr: "x"},                   // full keyspace
+		{MigrationID: "m", Lo: "b", Hi: "a", TargetAddr: "x"}, // empty range
+		{MigrationID: "m", Lo: "a", Hi: "b"},                  // no target
+	} {
+		if _, err := StartSource(src, cfg); err == nil {
+			t.Fatalf("StartSource accepted invalid config %+v", cfg)
+		}
+	}
+}
+
+// TestDualOwnerInstallRefused drives a migration at a target that already
+// owns a chip in the range: the install must fail closed and the source
+// must not cut over.
+func TestDualOwnerInstallRefused(t *testing.T) {
+	src := openReg(t, "")
+	dst := openReg(t, "")
+	defer src.Close()
+	defer dst.Close()
+	if err := src.Register("chip-a", syntheticModel(2, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Register("chip-a", syntheticModel(2, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startAcceptor(t, dst)
+	cfg := sourceCfg("mig-6", "chip-a", "chip-b", addr)
+	cfg.MaxAttempts = 2
+	s, err := StartSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(); err == nil {
+		t.Fatal("migration into a dual-owner range succeeded")
+	}
+	if st, _ := src.Ownership("chip-a"); st != registry.OwnershipOwned {
+		t.Fatalf("source gave up ownership on a refused install: %v", st)
+	}
+	if _, _, err := src.Lookup("chip-a").Issue(1, 0); err != nil {
+		t.Fatalf("source issuance after refused migration: %v", err)
+	}
+}

@@ -117,11 +117,20 @@ type Registry struct {
 	closeDone chan struct{}
 	closeErr  error
 
-	// Replication hooks (nil when the registry is not replicated).  Stored
-	// as atomic pointers so a replication layer can attach and detach while
-	// traffic is live.
-	appendObs  atomic.Pointer[AppendObserver]
+	// Replication hooks (nil when the registry is not replicated).  The
+	// observer list is copy-on-write behind an atomic pointer so the append
+	// path never takes obsMu: a replication primary and a live migration
+	// source can tap the journal simultaneously while traffic is hot.
+	obsMu      sync.Mutex
+	obsSeq     uint64
+	obsSlots   map[uint64]AppendObserver
+	appendObs  atomic.Pointer[[]AppendObserver]
 	commitWait atomic.Pointer[CommitWaiter]
+
+	// Migration/ownership state (see migrate.go).  ownMu is a leaf lock:
+	// taken under opmu/shard/entry locks, never holding them or pmu.
+	ownMu sync.Mutex
+	own   ownState
 }
 
 // Open creates or recovers a registry.  dir == "" yields a volatile
@@ -130,6 +139,8 @@ type Registry struct {
 // WAL tail is replayed over it.
 func Open(dir string, opts Options) (*Registry, error) {
 	r := &Registry{opts: opts.normalized(), dir: dir, closeDone: make(chan struct{})}
+	r.own.init()
+	r.obsSlots = make(map[uint64]AppendObserver)
 	r.shards = make([]shard, r.opts.Shards)
 	r.mask = uint64(r.opts.Shards - 1)
 	for i := range r.shards {
@@ -181,6 +192,18 @@ func (r *Registry) Register(id string, model *core.ChipModel, budget int) error 
 	}
 	r.opmu.RLock()
 	defer r.opmu.RUnlock()
+	// Under opmu.R so the check cannot race SetRangeFence/CutoverSource,
+	// which hold opmu.W.
+	switch st, redirect := r.Ownership(id); st {
+	case OwnershipDeparted:
+		// The range was migrated away; registering here would create a
+		// second owner for the ID.  Enroll at the current owner instead.
+		return fmt.Errorf("registry: chip %q is in a range migrated to %s", id, redirect)
+	case OwnershipFenced:
+		// Mid-handoff: a registration journaled now would land after the
+		// migration's final delta drain and never reach the new owner.
+		return ErrMigrating
+	}
 	sel := r.newSelector(id, model)
 	sel.SetBudget(budget)
 	e := &Entry{id: id, reg: r, model: model, selector: sel,
@@ -316,6 +339,10 @@ type Entry struct {
 	lastAttempt time.Time
 	denials     int
 	locked      bool
+	// arriving is the migration ID while this chip is streaming in from a
+	// rebalance source ("" once live).  An arriving chip refuses issuance —
+	// the source is still authoritative until cutover.
+	arriving string
 }
 
 // ID returns the chip identifier.
@@ -395,6 +422,13 @@ func (e *Entry) issueBurned(rectype byte, count, maxExamined int) ([]challenge.C
 	defer e.reg.opmu.RUnlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Migration fail-closed check, re-done under opmu.R and the entry lock
+	// so it cannot race a fence being set (SetRangeFence holds opmu.W):
+	// a fenced or still-arriving chip gets a structured retryable refusal,
+	// never a challenge that the other owner might also issue.
+	if err := e.reg.issueAllowed(e.id, e.arriving); err != nil {
+		return nil, nil, err
+	}
 	cs, bits, err := e.selector.Next(count, maxExamined)
 	if len(cs) > 0 {
 		payload := appendString(nil, e.id)

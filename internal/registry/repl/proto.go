@@ -99,6 +99,19 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
+// WriteFrame exposes the frame codec to sibling packages that ride the same
+// framing — the rebalance engine ships migration traffic in repl frames
+// (with its own type space) so there is exactly one framed-TCP dialect to
+// fuzz and audit.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	return writeFrame(w, typ, payload)
+}
+
+// ReadFrame is the exported read side of WriteFrame.
+func ReadFrame(br *bufio.Reader) (byte, []byte, error) {
+	return readFrame(br)
+}
+
 // readFrame reads and integrity-checks one frame.
 func readFrame(br *bufio.Reader) (byte, []byte, error) {
 	var hdr [5]byte

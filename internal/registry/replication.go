@@ -19,6 +19,7 @@ package registry
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"xorpuf/internal/health"
 )
@@ -38,13 +39,63 @@ type AppendObserver func(seq uint64, typ byte, payload []byte)
 // challenges unless it returns nil.
 type CommitWaiter func(seq uint64) error
 
-// SetAppendObserver attaches (or, with nil, detaches) the append observer.
+// primaryObsSlot is the reserved slot ID for SetAppendObserver, which keeps
+// its replace-the-one-observer semantics for the replication primary while
+// AddAppendObserver multiplexes additional taps (a live migration source).
+const primaryObsSlot = 0
+
+// SetAppendObserver attaches (or, with nil, detaches) the replication
+// primary's append observer.  Additional observers registered with
+// AddAppendObserver are unaffected.
 func (r *Registry) SetAppendObserver(fn AppendObserver) {
+	r.obsMu.Lock()
+	defer r.obsMu.Unlock()
 	if fn == nil {
+		delete(r.obsSlots, primaryObsSlot)
+	} else {
+		r.obsSlots[primaryObsSlot] = fn
+	}
+	r.rebuildObsLocked()
+}
+
+// AddAppendObserver registers an additional append observer — the hook a
+// migration source uses to tail the live WAL for its range while a
+// replication primary keeps shipping the full log.  The returned function
+// removes it.  Observers run under the journal lock in registration order;
+// like SetAppendObserver's, they must be fast and copy retained payloads.
+func (r *Registry) AddAppendObserver(fn AppendObserver) (remove func()) {
+	r.obsMu.Lock()
+	r.obsSeq++
+	id := r.obsSeq
+	r.obsSlots[id] = fn
+	r.rebuildObsLocked()
+	r.obsMu.Unlock()
+	return func() {
+		r.obsMu.Lock()
+		delete(r.obsSlots, id)
+		r.rebuildObsLocked()
+		r.obsMu.Unlock()
+	}
+}
+
+// rebuildObsLocked republishes the copy-on-write observer list (obsMu held).
+// The primary slot (0) always runs first; additional taps follow in
+// registration order.
+func (r *Registry) rebuildObsLocked() {
+	if len(r.obsSlots) == 0 {
 		r.appendObs.Store(nil)
 		return
 	}
-	r.appendObs.Store(&fn)
+	ids := make([]uint64, 0, len(r.obsSlots))
+	for id := range r.obsSlots {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	list := make([]AppendObserver, 0, len(ids))
+	for _, id := range ids {
+		list = append(list, r.obsSlots[id])
+	}
+	r.appendObs.Store(&list)
 }
 
 // SetCommitWaiter attaches (or, with nil, detaches) the issuance commit
@@ -63,6 +114,13 @@ func (r *Registry) waitCommitted(seq uint64) error {
 	}
 	return nil
 }
+
+// WaitCommitted blocks until the attached commit waiter (the replication
+// quorum) acknowledges seq, or returns immediately when no waiter is
+// attached.  The migration acceptor gates its cutover acknowledgement on
+// this, so an ownership transfer is quorum-safe on the target before the
+// source drops the range.
+func (r *Registry) WaitCommitted(seq uint64) error { return r.waitCommitted(seq) }
 
 // Seq returns the sequence number of the last record in the local log.
 func (r *Registry) Seq() uint64 {
@@ -219,6 +277,81 @@ func (r *Registry) decodeReplicated(typ byte, payload []byte) (func(), error) {
 				e.mu.Unlock()
 			}
 		}, nil
+	case recMigratedBurn:
+		id := rd.str()
+		n := int(rd.u32())
+		if rd.err == nil && n > maxUsedWords {
+			rd.fail("implausible issued count %d", n)
+		}
+		if rd.err != nil {
+			return nil, fmt.Errorf("migrated-burn record: %w", rd.err)
+		}
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rd.u64()
+		}
+		if rd.err != nil {
+			return nil, fmt.Errorf("migrated-burn record: %w", rd.err)
+		}
+		return func() {
+			if e := r.Lookup(id); e != nil {
+				e.mu.Lock()
+				e.selector.MarkUsed(words...)
+				e.mu.Unlock()
+			}
+		}, nil
+	case recRangeFence:
+		migID, lo, hi, mode := rd.readFence()
+		if rd.err != nil {
+			return nil, fmt.Errorf("fence record: %w", rd.err)
+		}
+		return func() {
+			r.ownMu.Lock()
+			r.own.fences = deleteFence(r.own.fences, migID)
+			if mode == fenceSet {
+				r.own.fences = append(r.own.fences, MigRange{ID: migID, Lo: lo, Hi: hi})
+			}
+			r.ownMu.Unlock()
+		}, nil
+	case recMigrateIn:
+		migID := rd.str()
+		lo := rd.str()
+		hi := rd.str()
+		e := r.readEntryState(rd)
+		if rd.err != nil {
+			return nil, fmt.Errorf("migrate-in record: %w", rd.err)
+		}
+		return func() {
+			e.arriving = migID
+			r.installArriving(e)
+			r.ownMu.Lock()
+			a := r.own.arrivals[migID]
+			if a == nil {
+				a = &arrival{lo: lo, hi: hi, chips: make(map[string]struct{})}
+				r.own.arrivals[migID] = a
+			}
+			a.lo, a.hi = lo, hi
+			a.chips[e.id] = struct{}{}
+			r.ownMu.Unlock()
+		}, nil
+	case recCutover:
+		migID, epoch, lo, hi, role, redirect := rd.readCutover()
+		if rd.err != nil {
+			return nil, fmt.Errorf("cutover record: %w", rd.err)
+		}
+		return func() {
+			if role == cutoverSource {
+				r.applyCutoverSource(migID, epoch, lo, hi, redirect)
+			} else {
+				r.applyCutoverTarget(migID, epoch, lo, hi)
+			}
+		}, nil
+	case recMigrateAbort:
+		migID := rd.str()
+		if rd.err != nil {
+			return nil, fmt.Errorf("migrate-abort record: %w", rd.err)
+		}
+		return func() { r.applyMigrateAbort(migID) }, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, typ)
 	}
@@ -249,7 +382,7 @@ func (r *Registry) InstallSnapshot(data []byte) error {
 	if r.closed.Load() {
 		return ErrClosed
 	}
-	entries, seq, err := r.decodeSnapshot(data)
+	entries, own, seq, err := r.decodeSnapshot(data)
 	if err != nil {
 		return err
 	}
@@ -267,6 +400,9 @@ func (r *Registry) InstallSnapshot(data []byte) error {
 	for _, e := range entries {
 		r.install(e)
 	}
+	r.ownMu.Lock()
+	r.own = own
+	r.ownMu.Unlock()
 	r.pmu.Lock()
 	defer r.pmu.Unlock()
 	r.seq = seq

@@ -14,18 +14,22 @@
 //
 // Snapshot file ("registry.snap"):
 //
-//	magic   [4]byte  "XPS2"
+//	magic   [4]byte  "XPS3"
 //	body:
 //	  seq     uint64   every WAL record with seq ≤ this is reflected here
 //	  count   uint32   number of chips
 //	  per chip: id, budgeted selector state, model, denials, locked,
-//	            health tracker state (XPS2 only)
+//	            health tracker state (XPS2+)
+//	  ownership tail (XPS3 only): epoch, active fences, departed ranges,
+//	            in-flight arrivals with chip sets, completed migration IDs
 //	crc     uint32   IEEE CRC32 over body
 //
-// Snapshots written by pre-health builds ("XPS1", no tracker state) still
-// load: their chips recover as healthy with pristine detectors, and any
-// recHealth records in the WAL tail re-apply whatever classification the
-// old process had journaled after its last compaction.
+// Read compatibility runs two versions back: snapshots written by
+// pre-migration builds ("XPS2") load with empty ownership state, and
+// pre-health builds ("XPS1", no tracker state) additionally recover their
+// chips as healthy with pristine detectors; any recHealth records in the
+// WAL tail re-apply whatever classification the old process had journaled
+// after its last compaction.
 //
 // Recovery loads the snapshot (if any), then replays WAL records with
 // seq > snapshot seq.  Compaction writes the snapshot to a temp file,
@@ -66,7 +70,8 @@ var (
 
 var (
 	walMagic    = [4]byte{'X', 'P', 'W', '1'}
-	snapMagic   = [4]byte{'X', 'P', 'S', '2'}
+	snapMagic   = [4]byte{'X', 'P', 'S', '3'}
+	snapMagicV2 = [4]byte{'X', 'P', 'S', '2'}
 	snapMagicV1 = [4]byte{'X', 'P', 'S', '1'}
 )
 
@@ -86,6 +91,21 @@ const (
 	// a challenge left the server) — but the distinct type keeps the journal
 	// auditable by workload.
 	recKeyIssued byte = 7
+
+	// Migration record types (see migrate.go).  recRangeFence opens/closes
+	// an outbound handoff window; recMigrateIn installs one arriving chip on
+	// the target; recCutover is the two-phase ownership transfer journaled on
+	// both sides; recMigrateAbort drops an inbound migration's arriving
+	// chips.  recMigratedBurn is how the target re-journals a source's
+	// recIssued/recKeyIssued delta under its own sequence: the burn semantics
+	// are identical, but the distinct type keeps the WAL auditable — a
+	// never-reuse audit counts fresh issuance once, at the server that
+	// issued it, and recognizes migrated copies as copies.
+	recRangeFence   byte = 8
+	recMigrateIn    byte = 9
+	recCutover      byte = 10
+	recMigrateAbort byte = 11
+	recMigratedBurn byte = 12
 
 	// recHeaderLen is seq(8) + type(1) + len(4); recTrailerLen the crc.
 	recHeaderLen  = 13
@@ -171,10 +191,12 @@ func (r *Registry) appendLocked(seq uint64, typ byte, payload []byte) (needCompa
 		r.sinceSnap++
 		needCompact = r.opts.SnapshotEvery > 0 && r.sinceSnap >= r.opts.SnapshotEvery
 	}
-	if obs := r.appendObs.Load(); obs != nil {
+	if list := r.appendObs.Load(); list != nil {
 		// Called under pmu so observers see records in exact seq order.
 		// Observers must be fast and must copy payload if they retain it.
-		(*obs)(seq, typ, payload)
+		for _, obs := range *list {
+			obs(seq, typ, payload)
+		}
 	}
 	return needCompact, nil
 }
@@ -229,22 +251,86 @@ func (r *Registry) snapshotBodyLocked() []byte {
 	body = appendU32(body, uint32(count))
 	for i := range r.shards {
 		for _, e := range r.shards[i].m {
-			body = appendString(body, e.id)
-			body = appendSelectorState(body, e.selector.ExportState())
-			body = appendModel(body, e.model)
-			body = appendU32(body, uint32(e.denials))
-			if e.locked {
-				body = append(body, 1)
-			} else {
-				body = append(body, 0)
-			}
-			body = appendTrackerState(body, e.tracker.Snapshot())
+			body = appendEntryState(body, e)
 		}
 	}
-	return body
+	return appendOwnershipState(body, &r.own)
 }
 
-// encodeSnapshot frames a snapshot body in the XPS2 file format.
+// appendOwnershipState serializes the migration/ownership tail of an XPS3
+// snapshot: epoch, active fences, departed ranges, in-flight arrivals (with
+// their chip sets, so arriving flags survive a snapshot load), and completed
+// inbound migration IDs (the idempotence memory a restarted source queries).
+func appendOwnershipState(b []byte, o *ownState) []byte {
+	b = appendU64(b, o.epoch)
+	b = appendU32(b, uint32(len(o.fences)))
+	for _, f := range o.fences {
+		b = appendString(b, f.ID)
+		b = appendString(b, f.Lo)
+		b = appendString(b, f.Hi)
+	}
+	b = appendU32(b, uint32(len(o.departed)))
+	for _, d := range o.departed {
+		b = appendString(b, d.Lo)
+		b = appendString(b, d.Hi)
+		b = appendU64(b, d.Epoch)
+		b = appendString(b, d.Redirect)
+	}
+	b = appendU32(b, uint32(len(o.arrivals)))
+	for migID, a := range o.arrivals {
+		b = appendString(b, migID)
+		b = appendString(b, a.lo)
+		b = appendString(b, a.hi)
+		b = appendU64(b, a.epoch)
+		b = appendU32(b, uint32(len(a.chips)))
+		for id := range a.chips {
+			b = appendString(b, id)
+		}
+	}
+	b = appendU32(b, uint32(len(o.completed)))
+	for migID, epoch := range o.completed {
+		b = appendString(b, migID)
+		b = appendU64(b, epoch)
+	}
+	return b
+}
+
+// readOwnershipState decodes the XPS3 ownership tail.
+func (rd *reader) readOwnershipState() ownState {
+	var o ownState
+	o.init()
+	o.epoch = rd.u64()
+	nf := int(rd.u32())
+	for i := 0; i < nf && rd.err == nil; i++ {
+		o.fences = append(o.fences, MigRange{ID: rd.str(), Lo: rd.str(), Hi: rd.str()})
+	}
+	nd := int(rd.u32())
+	for i := 0; i < nd && rd.err == nil; i++ {
+		o.departed = append(o.departed, DepartedRange{
+			Lo: rd.str(), Hi: rd.str(), Epoch: rd.u64(), Redirect: rd.str()})
+	}
+	na := int(rd.u32())
+	for i := 0; i < na && rd.err == nil; i++ {
+		migID := rd.str()
+		a := &arrival{lo: rd.str(), hi: rd.str(), epoch: rd.u64(), chips: make(map[string]struct{})}
+		nc := int(rd.u32())
+		if rd.err == nil && nc > maxUsedWords {
+			rd.fail("implausible arrival chip count %d", nc)
+		}
+		for j := 0; j < nc && rd.err == nil; j++ {
+			a.chips[rd.str()] = struct{}{}
+		}
+		o.arrivals[migID] = a
+	}
+	ncp := int(rd.u32())
+	for i := 0; i < ncp && rd.err == nil; i++ {
+		id := rd.str()
+		o.completed[id] = rd.u64()
+	}
+	return o
+}
+
+// encodeSnapshot frames a snapshot body in the XPS3 file format.
 func encodeSnapshot(body []byte) []byte {
 	buf := make([]byte, 0, 4+len(body)+4)
 	buf = append(buf, snapMagic[:]...)
@@ -315,8 +401,8 @@ func (r *Registry) recover() error {
 	return nil
 }
 
-// loadSnapshot installs all entries from the snapshot file, returning its
-// sequence cut (0 when no snapshot exists).
+// loadSnapshot installs all entries (and the ownership state) from the
+// snapshot file, returning its sequence cut (0 when no snapshot exists).
 func (r *Registry) loadSnapshot() (uint64, error) {
 	data, err := os.ReadFile(r.snapPath())
 	if errors.Is(err, fs.ErrNotExist) {
@@ -325,60 +411,80 @@ func (r *Registry) loadSnapshot() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	entries, seq, err := r.decodeSnapshot(data)
+	entries, own, seq, err := r.decodeSnapshot(data)
 	if err != nil {
 		return 0, err
 	}
 	for _, e := range entries {
 		r.install(e)
 	}
+	r.own = own
 	return seq, nil
 }
 
-// decodeSnapshot validates an XPS1/XPS2-framed snapshot and materializes its
-// entries without installing them, so callers can reject a corrupt snapshot
-// before touching live state.
-func (r *Registry) decodeSnapshot(data []byte) ([]*Entry, uint64, error) {
+// decodeSnapshot validates an XPS1/XPS2/XPS3-framed snapshot and
+// materializes its entries and ownership state without installing them, so
+// callers can reject a corrupt snapshot before touching live state.
+// Pre-migration snapshots (XPS1/XPS2) decode with empty ownership state, and
+// XPS1 additionally recovers its chips with pristine drift detectors.
+func (r *Registry) decodeSnapshot(data []byte) ([]*Entry, ownState, uint64, error) {
+	var own ownState
+	own.init()
 	if len(data) < 4+8+4+4 {
-		return nil, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+		return nil, own, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
 	magic := [4]byte(data[:4])
-	if magic != snapMagic && magic != snapMagicV1 {
-		return nil, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	if magic != snapMagic && magic != snapMagicV2 && magic != snapMagicV1 {
+		return nil, own, 0, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
 	}
-	hasHealth := magic == snapMagic
+	hasHealth := magic != snapMagicV1
+	hasOwnership := magic == snapMagic
 	body, trailer := data[4:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
-		return nil, 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+		return nil, own, 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
 	}
 	rd := &reader{b: body}
 	seq := rd.u64()
 	count := int(rd.u32())
 	var entries []*Entry
 	for i := 0; i < count && rd.err == nil; i++ {
-		id := rd.str()
-		st := rd.readSelectorState()
-		model := rd.readModel()
-		denials := int(rd.u32())
-		locked := rd.u8() == 1
-		tracker := health.NewTracker(r.opts.Health)
+		var e *Entry
 		if hasHealth {
-			tracker.Restore(rd.readTrackerState())
+			e = r.readEntryState(rd)
+		} else {
+			id := rd.str()
+			st := rd.readSelectorState()
+			model := rd.readModel()
+			denials := int(rd.u32())
+			locked := rd.u8() == 1
+			if rd.err != nil {
+				break
+			}
+			sel := r.newSelector(id, model)
+			sel.ImportState(st)
+			e = &Entry{id: id, reg: r, model: model, selector: sel,
+				denials: denials, locked: locked,
+				tracker: health.NewTracker(r.opts.Health)}
 		}
-		if rd.err != nil {
-			break
+		if e != nil {
+			entries = append(entries, e)
 		}
-		sel := r.newSelector(id, model)
-		sel.ImportState(st)
-		entries = append(entries, &Entry{
-			id: id, reg: r, model: model, selector: sel,
-			denials: denials, locked: locked, tracker: tracker,
-		})
+	}
+	if rd.err == nil && hasOwnership {
+		own = rd.readOwnershipState()
 	}
 	if rd.err != nil {
-		return nil, 0, fmt.Errorf("snapshot entry decode: %w", rd.err)
+		return nil, own, 0, fmt.Errorf("snapshot entry decode: %w", rd.err)
 	}
-	return entries, seq, nil
+	// Re-flag arriving chips from the persisted arrival sets.
+	for migID, a := range own.arrivals {
+		for _, e := range entries {
+			if _, ok := a.chips[e.id]; ok {
+				e.arriving = migID
+			}
+		}
+	}
+	return entries, own, seq, nil
 }
 
 // replayWAL applies records with seq > snapSeq, truncates any torn tail, and
@@ -553,6 +659,71 @@ func (r *Registry) applyRecord(typ byte, payload []byte) error {
 		e.model, e.selector = model, sel
 		e.denials, e.locked = 0, false
 		e.tracker.Reset()
+	case recMigratedBurn:
+		id := rd.str()
+		n := int(rd.u32())
+		if rd.err == nil && n > maxUsedWords {
+			rd.fail("implausible issued count %d", n)
+		}
+		if rd.err != nil {
+			return fmt.Errorf("migrated-burn record: %w", rd.err)
+		}
+		words := make([]uint64, n)
+		for i := range words {
+			words[i] = rd.u64()
+		}
+		if rd.err != nil {
+			return fmt.Errorf("migrated-burn record: %w", rd.err)
+		}
+		if e := r.Lookup(id); e != nil {
+			e.selector.MarkUsed(words...)
+		}
+	case recRangeFence:
+		migID, lo, hi, mode := rd.readFence()
+		if rd.err != nil {
+			return fmt.Errorf("fence record: %w", rd.err)
+		}
+		r.ownMu.Lock()
+		r.own.fences = deleteFence(r.own.fences, migID)
+		if mode == fenceSet {
+			r.own.fences = append(r.own.fences, MigRange{ID: migID, Lo: lo, Hi: hi})
+		}
+		r.ownMu.Unlock()
+	case recMigrateIn:
+		migID := rd.str()
+		lo := rd.str()
+		hi := rd.str()
+		e := r.readEntryState(rd)
+		if rd.err != nil {
+			return fmt.Errorf("migrate-in record: %w", rd.err)
+		}
+		e.arriving = migID
+		r.installArriving(e)
+		r.ownMu.Lock()
+		a := r.own.arrivals[migID]
+		if a == nil {
+			a = &arrival{lo: lo, hi: hi, chips: make(map[string]struct{})}
+			r.own.arrivals[migID] = a
+		}
+		a.lo, a.hi = lo, hi
+		a.chips[e.id] = struct{}{}
+		r.ownMu.Unlock()
+	case recCutover:
+		migID, epoch, lo, hi, role, redirect := rd.readCutover()
+		if rd.err != nil {
+			return fmt.Errorf("cutover record: %w", rd.err)
+		}
+		if role == cutoverSource {
+			r.applyCutoverSource(migID, epoch, lo, hi, redirect)
+		} else {
+			r.applyCutoverTarget(migID, epoch, lo, hi)
+		}
+	case recMigrateAbort:
+		migID := rd.str()
+		if rd.err != nil {
+			return fmt.Errorf("migrate-abort record: %w", rd.err)
+		}
+		r.applyMigrateAbort(migID)
 	default:
 		return fmt.Errorf("%w: unknown record type %d", ErrCorrupt, typ)
 	}

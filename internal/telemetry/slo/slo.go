@@ -474,6 +474,11 @@ func (e *Engine) AlertsHandler() http.Handler {
 //	                    confirmations are the adversary being stopped, but
 //	                    a fleet of genuine devices failing to reproduce
 //	                    keys is an ECC-margin regression worth paging on)
+//	rebalance-fence-p99 p99 of rebalance_fence_seconds ≤ 500 ms — the
+//	                    fence is the only window in a live migration when
+//	                    a chip's issuance pauses, so a slow fence IS the
+//	                    downtime a "zero-downtime" migration promised away
+//	                    (inactive until a migration runs)
 //
 // Windows are minutes, not the SRE workbook's hours, because the demo
 // fleets this repo runs live for minutes; the arithmetic is identical.
@@ -537,6 +542,15 @@ func DefaultRules() []Rule {
 			},
 			LongWindow: 5 * time.Minute, ShortWindow: time.Minute,
 			Burn: 2, PendingFor: 10 * time.Second, ResolveAfter: 30 * time.Second,
+			Severity: "page",
+		},
+		{
+			Objective: Objective{
+				Name: "rebalance-fence-p99", Kind: KindLatency,
+				Histogram: "rebalance_fence_seconds", Quantile: 0.99, Threshold: 0.5,
+			},
+			LongWindow: 5 * time.Minute, ShortWindow: time.Minute,
+			Burn: 1, PendingFor: 10 * time.Second, ResolveAfter: 30 * time.Second,
 			Severity: "page",
 		},
 	}

@@ -397,11 +397,11 @@ func TestEventLogAndHandlers(t *testing.T) {
 // names a real metric family and carries sane windows.
 func TestDefaultRulesCatalog(t *testing.T) {
 	rules := DefaultRules()
-	if len(rules) != 6 {
+	if len(rules) != 7 {
 		t.Fatalf("DefaultRules count = %d", len(rules))
 	}
-	if rules[len(rules)-1].Objective.Name != "keyex-success-rate" {
-		t.Fatalf("last rule = %q, want keyex-success-rate", rules[len(rules)-1].Objective.Name)
+	if rules[len(rules)-1].Objective.Name != "rebalance-fence-p99" {
+		t.Fatalf("last rule = %q, want rebalance-fence-p99", rules[len(rules)-1].Objective.Name)
 	}
 	seen := map[string]bool{}
 	for _, r := range rules {
