@@ -15,6 +15,7 @@ package challenge
 
 import (
 	"fmt"
+	"math"
 
 	"xorpuf/internal/linalg"
 	"xorpuf/internal/rng"
@@ -135,9 +136,10 @@ func FeaturesInto(c Challenge, dst []float64) {
 	dst[k] = 1
 	acc := 1.0
 	for i := k - 1; i >= 0; i-- {
-		if c[i] == 1 {
-			acc = -acc
-		}
+		// Branchless sign flip: challenge bits are effectively random, so
+		// a compare here mispredicts half the time on the issuance hot
+		// path.  XORing the sign bit negates exactly (±1 stays exact).
+		acc = math.Float64frombits(math.Float64bits(acc) ^ uint64(c[i]&1)<<63)
 		dst[i] = acc
 	}
 }

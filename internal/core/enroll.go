@@ -122,6 +122,22 @@ func (cm *ChipModel) PredictXOR(c challenge.Challenge) (bit uint8, stable bool) 
 	return bit, true
 }
 
+// PredictXORFeatures is PredictXOR over a precomputed feature vector
+// Φ(c) (see challenge.FeaturesInto).  The feature transform is O(stages)
+// and identical for every member PUF, so hot paths that evaluate the
+// whole XOR model — challenge selection, synthetic devices — compute it
+// once and pay only a dot product per member.
+func (cm *ChipModel) PredictXORFeatures(phi []float64) (bit uint8, stable bool) {
+	for _, m := range cm.PUFs {
+		cat := m.Classify(m.PredictSoftFeatures(phi), cm.Beta0, cm.Beta1)
+		if cat == Unstable {
+			return 0, false
+		}
+		bit ^= cat.PredictBit()
+	}
+	return bit, true
+}
+
 // EnrollPUF measures TrainingSize soft responses of PUF pufIdx through the
 // chip's counters (fuses must be intact) and fits its model.  Challenges are
 // drawn from challengeSrc.

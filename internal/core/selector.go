@@ -20,7 +20,8 @@ type Selector struct {
 	model  *ChipModel
 	src    *rng.Source
 	used   map[uint64]struct{}
-	budget int // lifetime cap on issued challenges; 0 = unlimited
+	budget int       // lifetime cap on issued challenges; 0 = unlimited
+	phi    []float64 // scratch feature vector shared across candidates
 }
 
 // NewSelector creates a selector for an enrolled chip model.  src drives
@@ -133,6 +134,9 @@ func (s *Selector) Next(count, maxExamined int) ([]challenge.Challenge, []uint8,
 	}
 	cs := make([]challenge.Challenge, 0, count)
 	bits := make([]uint8, 0, count)
+	if len(s.phi) != challenge.FeatureDim(s.model.Stages()) {
+		s.phi = make([]float64, challenge.FeatureDim(s.model.Stages()))
+	}
 	examined := 0
 	for len(cs) < count && examined < maxExamined {
 		c := challenge.Random(s.src, s.model.Stages())
@@ -144,7 +148,8 @@ func (s *Selector) Next(count, maxExamined int) ([]challenge.Challenge, []uint8,
 		if _, dup := s.used[key]; dup {
 			continue
 		}
-		bit, stable := s.model.PredictXOR(c)
+		challenge.FeaturesInto(c, s.phi)
+		bit, stable := s.model.PredictXORFeatures(s.phi)
 		if !stable {
 			continue
 		}

@@ -1,0 +1,492 @@
+package netauth
+
+// Differential v1/v2 conformance suite: every decision the server can
+// reach — approve, deny, throttle, lockout, quarantine, migrating, moved,
+// key exchange success and key mismatch — is driven twice, through the
+// JSON protocol and through the binary protocol, against two servers
+// built from identical seeds.  The observable outcomes (verdicts, denial
+// codes, retryability, mismatch counts), the challenge-burn accounting,
+// and the byte-exact WAL append streams must agree.  The wire format is
+// allowed to change; the authentication semantics are not.
+
+import (
+	"bufio"
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/keyex"
+	"xorpuf/internal/registry"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/wire"
+)
+
+// walRec is one captured WAL append.
+type walRec struct {
+	typ     byte
+	payload string
+}
+
+// walCapture tails a registry's append stream.
+type walCapture struct {
+	mu   sync.Mutex
+	recs []walRec
+}
+
+func (w *walCapture) observe(_ uint64, typ byte, payload []byte) {
+	w.mu.Lock()
+	w.recs = append(w.recs, walRec{typ: typ, payload: string(payload)})
+	w.mu.Unlock()
+}
+
+func (w *walCapture) snapshot() []walRec {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]walRec(nil), w.recs...)
+}
+
+// confFixture is one server under test, with its WAL tap.
+type confFixture struct {
+	addr  string
+	srv   *Server
+	model *core.ChipModel
+	wal   *walCapture
+}
+
+const confChip = "chip-A"
+
+// newConfFixture builds a deterministic server: synthetic model (no
+// silicon, no randomness beyond the fixed seeds), seeded registry, WAL
+// tap attached before any session traffic.
+func newConfFixture(t *testing.T, numChallenges int) *confFixture {
+	t.Helper()
+	model := benchChipModel(7, 4, 64)
+	reg, err := registry.Open("", registry.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	if err := reg.Register(confChip, model, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWithRegistry(numChallenges, 7, reg)
+	wal := &walCapture{}
+	reg.AddAppendObserver(wal.observe)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(srv.Close)
+	return &confFixture{addr: ln.Addr().String(), srv: srv, model: model, wal: wal}
+}
+
+// confOutcome is the protocol-independent shape of one session's result.
+type confOutcome struct {
+	kind        string // "approved", "denied", "error"
+	code        string
+	retryable   bool
+	hasRedirect bool
+	mismatches  int
+	challenges  int
+}
+
+func outcomeOf(res Result, err error) confOutcome {
+	if err != nil {
+		o := confOutcome{kind: "error"}
+		var pe *ProtocolError
+		if errors.As(err, &pe) {
+			o.code = pe.Code
+			o.retryable = pe.Retryable
+			o.hasRedirect = pe.Redirect != ""
+		}
+		return o
+	}
+	o := confOutcome{mismatches: res.Mismatches, challenges: res.Challenges}
+	if res.Approved {
+		o.kind = "approved"
+	} else {
+		o.kind = "denied"
+	}
+	return o
+}
+
+// confDriver runs sessions in one protocol version.
+type confDriver struct {
+	name string
+	// auth runs one authentication session for dev against the fixture.
+	auth func(t *testing.T, f *confFixture, dev core.Device) confOutcome
+	// keyexZeroMAC runs a raw handshake that answers the offer with an
+	// all-zero confirmation MAC and returns the structured denial.
+	keyexZeroMAC func(t *testing.T, f *confFixture) confOutcome
+	// establish runs a full key exchange and one encrypted auth inside it.
+	establish func(t *testing.T, f *confFixture, dev core.Device) (confOutcome, confOutcome)
+}
+
+func v1Driver() confDriver {
+	mk := func(f *confFixture, dev core.Device) *Client {
+		return &Client{Addr: f.addr, ChipID: confChip, Device: dev,
+			Cond: silicon.Nominal, Policy: RetryPolicy{MaxAttempts: 1}}
+	}
+	return confDriver{
+		name: "v1",
+		auth: func(t *testing.T, f *confFixture, dev core.Device) confOutcome {
+			res, err := mk(f, dev).Authenticate(context.Background())
+			return outcomeOf(res, err)
+		},
+		keyexZeroMAC: func(t *testing.T, f *confFixture) confOutcome {
+			t.Helper()
+			conn, err := net.Dial("tcp", f.addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			send := func(m message) {
+				b, err := encodeFrame(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := conn.Write(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			send(message{Type: "keyex_init", ChipID: confChip,
+				Caps: []string{keyex.CipherChaCha20Poly1305}})
+			offer, _, err := readMessage(r, "keyex_offer")
+			if err != nil {
+				return outcomeOf(Result{}, err)
+			}
+			send(message{Type: "keyex_confirm", Session: offer.Session,
+				MAC: hex.EncodeToString(make([]byte, 32))})
+			_, _, err = readMessage(r, "keyex_accept")
+			return outcomeOf(Result{}, err)
+		},
+		establish: func(t *testing.T, f *confFixture, dev core.Device) (confOutcome, confOutcome) {
+			t.Helper()
+			c := mk(f, dev)
+			c.Timeout = 10 * time.Second
+			ss, err := c.Establish(context.Background())
+			if err != nil {
+				return outcomeOf(Result{}, err), confOutcome{}
+			}
+			defer ss.Close()
+			est := confOutcome{kind: "key_established", challenges: ss.Result.Challenges}
+			res, err := ss.Authenticate()
+			return est, outcomeOf(res, err)
+		},
+	}
+}
+
+func v2Driver() confDriver {
+	mk := func(f *confFixture, dev core.Device) *V2Client {
+		return &V2Client{Addr: f.addr, ChipID: confChip, Device: dev,
+			Cond: silicon.Nominal, Policy: RetryPolicy{MaxAttempts: 1}, RequireV2: true}
+	}
+	return confDriver{
+		name: "v2",
+		auth: func(t *testing.T, f *confFixture, dev core.Device) confOutcome {
+			c := mk(f, dev)
+			defer c.Close()
+			res, err := c.Authenticate(context.Background())
+			return outcomeOf(res, err)
+		},
+		keyexZeroMAC: func(t *testing.T, f *confFixture) confOutcome {
+			t.Helper()
+			conn, err := net.Dial("tcp", f.addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			send := func(m *wire.Msg) {
+				b := wire.AppendFrame(nil, m)
+				if _, err := conn.Write(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			read := func() (*wire.Msg, error) {
+				raw, err := wire.ReadRawFrame(br)
+				if err != nil {
+					return nil, err
+				}
+				var m wire.Msg
+				if err := wire.Decode(raw, &m); err != nil {
+					return nil, err
+				}
+				if m.Type == wire.TError {
+					return nil, &ProtocolError{Code: codeFromByte(m.Code),
+						Message: m.ErrMsg, Retryable: m.Retryable, Redirect: m.Redirect}
+				}
+				return &m, nil
+			}
+			send(&wire.Msg{Type: wire.TKeyexInit, ChipID: confChip,
+				Caps: wire.CapChaCha20Poly1305})
+			offer, err := read()
+			if err != nil {
+				return outcomeOf(Result{}, err)
+			}
+			send(&wire.Msg{Type: wire.TKeyexConfirm,
+				Session: append([]byte(nil), offer.Session...),
+				MAC:     make([]byte, wire.MACLen)})
+			_, err = read()
+			return outcomeOf(Result{}, err)
+		},
+		establish: func(t *testing.T, f *confFixture, dev core.Device) (confOutcome, confOutcome) {
+			t.Helper()
+			c := mk(f, dev)
+			c.Timeout = 10 * time.Second
+			defer c.Close()
+			ss, err := c.Establish(context.Background())
+			if err != nil {
+				return outcomeOf(Result{}, err), confOutcome{}
+			}
+			defer ss.Close()
+			est := confOutcome{kind: "key_established", challenges: ss.Result.Challenges}
+			res, err := ss.Authenticate()
+			return est, outcomeOf(res, err)
+		},
+	}
+}
+
+// confScenario drives one decision path and returns its outcome script.
+type confScenario struct {
+	name string
+	prep func(t *testing.T, f *confFixture)
+	run  func(t *testing.T, f *confFixture, d confDriver) []confOutcome
+}
+
+func confScenarios() []confScenario {
+	genuine := func(f *confFixture) core.Device { return modelAnswerDevice{m: f.model} }
+	return []confScenario{
+		{
+			name: "approve",
+			run: func(t *testing.T, f *confFixture, d confDriver) []confOutcome {
+				return []confOutcome{d.auth(t, f, genuine(f))}
+			},
+		},
+		{
+			name: "deny_then_lockout",
+			prep: func(t *testing.T, f *confFixture) { f.srv.SetLockout(2) },
+			run: func(t *testing.T, f *confFixture, d confDriver) []confOutcome {
+				return []confOutcome{
+					d.auth(t, f, oneDevice{}),
+					d.auth(t, f, oneDevice{}),
+					d.auth(t, f, oneDevice{}), // locked out, terminal, burns nothing
+				}
+			},
+		},
+		{
+			name: "throttle",
+			prep: func(t *testing.T, f *confFixture) { f.srv.SetThrottle(time.Hour) },
+			run: func(t *testing.T, f *confFixture, d confDriver) []confOutcome {
+				return []confOutcome{
+					d.auth(t, f, genuine(f)),
+					d.auth(t, f, genuine(f)), // inside the throttle window
+				}
+			},
+		},
+		{
+			name: "quarantine",
+			run: func(t *testing.T, f *confFixture, d confDriver) []confOutcome {
+				var out []confOutcome
+				// Sustained drift quarantines the chip; the script captures
+				// the denials, the first quarantined refusal, and a probe
+				// confirming the refusal is stable.
+				for i := 0; i < 40; i++ {
+					o := d.auth(t, f, oneDevice{})
+					out = append(out, o)
+					if o.code == CodeQuarantined {
+						break
+					}
+				}
+				out = append(out, d.auth(t, f, genuine(f)))
+				return out
+			},
+		},
+		{
+			name: "migrating",
+			prep: func(t *testing.T, f *confFixture) {
+				if _, err := f.srv.Registry().SetRangeFence("m1", confChip, confChip+"~"); err != nil {
+					t.Fatal(err)
+				}
+			},
+			run: func(t *testing.T, f *confFixture, d confDriver) []confOutcome {
+				return []confOutcome{d.auth(t, f, genuine(f))}
+			},
+		},
+		{
+			name: "moved",
+			prep: func(t *testing.T, f *confFixture) {
+				reg := f.srv.Registry()
+				if _, _, _, err := reg.RangeSnapshot(confChip, confChip+"~"); err != nil {
+					t.Fatal(err)
+				}
+				if err := reg.CutoverSource("m1", 1, confChip, confChip+"~", "203.0.113.9:7"); err != nil {
+					t.Fatal(err)
+				}
+			},
+			run: func(t *testing.T, f *confFixture, d confDriver) []confOutcome {
+				return []confOutcome{d.auth(t, f, genuine(f))}
+			},
+		},
+		{
+			name: "keyex_ok",
+			prep: func(t *testing.T, f *confFixture) {
+				if err := f.srv.SetKeyExchange(keyex.Config{M: 7, T: 8}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			run: func(t *testing.T, f *confFixture, d confDriver) []confOutcome {
+				est, auth := d.establish(t, f, genuine(f))
+				return []confOutcome{est, auth}
+			},
+		},
+		{
+			name: "keyex_mismatch",
+			prep: func(t *testing.T, f *confFixture) {
+				if err := f.srv.SetKeyExchange(keyex.Config{M: 7, T: 8}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			run: func(t *testing.T, f *confFixture, d confDriver) []confOutcome {
+				return []confOutcome{d.keyexZeroMAC(t, f)}
+			},
+		},
+	}
+}
+
+// TestConformanceV1V2 is the differential matrix: identical seeded
+// scenario scripts through both protocol versions must produce identical
+// outcome scripts, identical challenge-burn accounting, identical verdict
+// statistics, and byte-identical WAL append streams.
+func TestConformanceV1V2(t *testing.T) {
+	for _, sc := range confScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			type arm struct {
+				f   *confFixture
+				out []confOutcome
+			}
+			run := func(d confDriver) arm {
+				f := newConfFixture(t, 16)
+				if sc.prep != nil {
+					sc.prep(t, f)
+				}
+				return arm{f: f, out: sc.run(t, f, d)}
+			}
+			a1 := run(v1Driver())
+			a2 := run(v2Driver())
+
+			if len(a1.out) != len(a2.out) {
+				t.Fatalf("script lengths differ: v1=%d v2=%d\nv1=%+v\nv2=%+v",
+					len(a1.out), len(a2.out), a1.out, a2.out)
+			}
+			for i := range a1.out {
+				if a1.out[i] != a2.out[i] {
+					t.Errorf("step %d: v1=%+v v2=%+v", i, a1.out[i], a2.out[i])
+				}
+			}
+
+			s1, s2 := a1.f.srv.ChipStatus(confChip), a2.f.srv.ChipStatus(confChip)
+			if s1.Issued != s2.Issued {
+				t.Errorf("issued challenges: v1=%d v2=%d", s1.Issued, s2.Issued)
+			}
+			if s1.Locked != s2.Locked || s1.ConsecutiveDenials != s2.ConsecutiveDenials {
+				t.Errorf("abuse state: v1={locked=%v denials=%d} v2={locked=%v denials=%d}",
+					s1.Locked, s1.ConsecutiveDenials, s2.Locked, s2.ConsecutiveDenials)
+			}
+			if s1.Health != s2.Health {
+				t.Errorf("health: v1=%v v2=%v", s1.Health, s2.Health)
+			}
+			ap1, de1 := a1.f.srv.Stats()
+			ap2, de2 := a2.f.srv.Stats()
+			if ap1 != ap2 || de1 != de2 {
+				t.Errorf("stats: v1=%d/%d v2=%d/%d", ap1, de1, ap2, de2)
+			}
+
+			w1, w2 := a1.f.wal.snapshot(), a2.f.wal.snapshot()
+			if len(w1) != len(w2) {
+				t.Fatalf("WAL lengths differ: v1=%d v2=%d (types v1=%v v2=%v)",
+					len(w1), len(w2), walTypes(w1), walTypes(w2))
+			}
+			for i := range w1 {
+				if w1[i].typ != w2[i].typ {
+					t.Fatalf("WAL record %d type: v1=%d v2=%d", i, w1[i].typ, w2[i].typ)
+				}
+				if w1[i].payload != w2[i].payload {
+					t.Errorf("WAL record %d (type %d) payloads differ:\nv1=%s\nv2=%s",
+						i, w1[i].typ, hex.EncodeToString([]byte(w1[i].payload)),
+						hex.EncodeToString([]byte(w2[i].payload)))
+				}
+			}
+		})
+	}
+}
+
+func walTypes(recs []walRec) []int {
+	out := make([]int, len(recs))
+	for i, r := range recs {
+		out[i] = int(r.typ)
+	}
+	return out
+}
+
+// TestConformanceBatchedBurn pins the one intentional WAL-shape
+// difference: a v2 batch of k sessions burns k×N challenges through ONE
+// issuance record (one quorum wait, one fsync), where v1 writes k.  The
+// union of burned challenge words must still be identical — batching
+// changes durability granularity, never the never-reuse guarantee.
+func TestConformanceBatchedBurn(t *testing.T) {
+	fv1 := newConfFixture(t, 16)
+	fv2 := newConfFixture(t, 16)
+	const k = 5
+
+	for i := 0; i < k; i++ {
+		c := &Client{Addr: fv1.addr, ChipID: confChip,
+			Device: modelAnswerDevice{m: fv1.model}, Cond: silicon.Nominal,
+			Policy: RetryPolicy{MaxAttempts: 1}}
+		if res, err := c.Authenticate(context.Background()); err != nil || !res.Approved {
+			t.Fatalf("v1 session %d: %+v %v", i, res, err)
+		}
+	}
+	c2 := &V2Client{Addr: fv2.addr, ChipID: confChip,
+		Device: modelAnswerDevice{m: fv2.model}, Cond: silicon.Nominal, RequireV2: true}
+	defer c2.Close()
+	res, err := c2.AuthenticateBatch(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !r.Approved {
+			t.Fatalf("v2 stream %d denied", i)
+		}
+	}
+
+	if s1, s2 := fv1.srv.ChipStatus(confChip).Issued, fv2.srv.ChipStatus(confChip).Issued; s1 != s2 {
+		t.Errorf("issued: v1=%d v2=%d", s1, s2)
+	}
+	issued := func(recs []walRec) int {
+		n := 0
+		for _, r := range recs {
+			if r.typ == 2 { // recIssued
+				n++
+			}
+		}
+		return n
+	}
+	if got := issued(fv1.wal.snapshot()); got != k {
+		t.Errorf("v1 wrote %d issuance records, want %d", got, k)
+	}
+	if got := issued(fv2.wal.snapshot()); got != 1 {
+		t.Errorf("v2 batch wrote %d issuance records, want 1", got)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported if assertions above change

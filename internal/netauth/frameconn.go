@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"xorpuf/internal/keyex"
+	"xorpuf/internal/wire"
 )
 
 type frameConn interface {
@@ -56,19 +57,33 @@ func (p *plainConn) read(wantTypes ...string) (*message, error) {
 // secureConn sends the same frames inside keyex.Channel AEAD boxes.  The
 // per-message deadline is applied to the underlying connection before each
 // channel operation, so a stalled peer cannot hold a session open forever.
+// With v2 set, the inner framing is the binary wire codec instead of
+// CRC-framed JSON — a session established over protocol v2 keeps its
+// compact encoding inside the channel too.
 type secureConn struct {
 	s    *Server
 	conn net.Conn
 	ch   *keyex.Channel
+	v2   bool
 }
 
 func (c *secureConn) write(m message) error {
 	c.s.mu.Lock()
 	d := c.s.msgTimeout
 	c.s.mu.Unlock()
-	b, err := encodeFrame(m)
-	if err != nil {
-		return err
+	var b []byte
+	if c.v2 {
+		var w wire.Msg
+		if err := messageToWire(m, &w); err != nil {
+			return err
+		}
+		b = wire.AppendFrame(nil, &w)
+	} else {
+		var err error
+		b, err = encodeFrame(m)
+		if err != nil {
+			return err
+		}
 	}
 	c.s.tel.secureFrame(len(b))
 	_ = c.conn.SetWriteDeadline(time.Now().Add(d))
@@ -85,9 +100,19 @@ func (c *secureConn) read(wantTypes ...string) (*message, error) {
 		return nil, err
 	}
 	c.s.tel.secureFrame(len(payload))
-	m, err := decodeFrame(payload)
-	if err != nil {
-		return nil, err
+	var m *message
+	if c.v2 {
+		var w wire.Msg
+		if err := wire.Decode(payload, &w); err != nil {
+			return nil, err
+		}
+		if m, err = wireToMessage(&w); err != nil {
+			return nil, err
+		}
+	} else {
+		if m, err = decodeFrame(payload); err != nil {
+			return nil, err
+		}
 	}
 	return checkMessage(m, wantTypes...)
 }

@@ -1,0 +1,114 @@
+package netauth
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"xorpuf/internal/wire"
+)
+
+// FuzzV2Negotiate throws arbitrary opening bytes at a live dual-protocol
+// server over real TCP.  Whatever the first bytes are — a v2 frame, a v1
+// JSON line, a torn prefix, a lying length field — the server must (a)
+// never hold the connection open once the client's write side closes,
+// and (b) answer, if it answers at all, in exactly one protocol: a
+// stream of CRC-valid v2 frames or newline-terminated JSON lines.
+func FuzzV2Negotiate(f *testing.F) {
+	srv := NewServer(4, 3)
+	if err := srv.Register("chip-A", benchChipModel(7, 4, 64)); err != nil {
+		f.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	f.Cleanup(srv.Close)
+	addr := ln.Addr().String()
+
+	hello := wire.AppendFrame(nil, &wire.Msg{Type: wire.THello, Stream: 0,
+		ChipID: "chip-A", Batch: 2, Caps: wire.CapChaCha20Poly1305})
+	f.Add(append(append([]byte(nil), hello...), wire.Guard))
+	unknown := wire.AppendFrame(nil, &wire.Msg{Type: wire.THello, ChipID: "ghost", Batch: 1})
+	f.Add(append(append([]byte(nil), unknown...), wire.Guard))
+	keyex := wire.AppendFrame(nil, &wire.Msg{Type: wire.TKeyexInit, ChipID: "chip-A",
+		Caps: wire.CapChaCha20Poly1305})
+	f.Add(append(append([]byte(nil), keyex...), wire.Guard))
+	if b, err := encodeFrame(message{Type: "hello", ChipID: "chip-A"}); err == nil {
+		f.Add(b)
+	}
+	f.Add(hello[:3])                                              // torn negotiation frame
+	f.Add([]byte{wire.Magic, 0x01, 0x00, 0xFF, 0xFF, 0xFF, 0xFF}) // lying length field
+	f.Add([]byte{wire.Guard})                                     // bare guard byte
+	f.Add([]byte("{\"type\":\"hello\""))                          // unterminated JSON
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})                         // garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Skip("dial:", err)
+		}
+		defer conn.Close()
+		_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+		_, _ = conn.Write(data)
+		// Closing the write side hands the server a clean EOF: from here
+		// it must finish up and close — a read past the deadline means it
+		// hung on a phantom continuation of the client's bytes.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		reply, err := io.ReadAll(conn)
+		if err != nil {
+			t.Fatalf("server held the connection open on %q: %v", data, err)
+		}
+		if len(reply) == 0 {
+			return // silent close: a legitimate answer to garbage
+		}
+		if reply[0] == wire.Magic {
+			if err := validV2Stream(reply); err != nil {
+				t.Fatalf("malformed v2 reply to %q: %v (reply %x)", data, err, reply)
+			}
+			return
+		}
+		if err := validV1Lines(reply); err != nil {
+			t.Fatalf("malformed v1 reply to %q: %v (reply %q)", data, err, reply)
+		}
+	})
+}
+
+// validV2Stream checks the reply parses as complete, CRC-valid v2 frames.
+func validV2Stream(data []byte) error {
+	r := wire.NewReader(bufio.NewReader(bytes.NewReader(data)))
+	defer r.Release()
+	var m wire.Msg
+	for {
+		if _, err := r.Next(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// validV1Lines checks the reply splits into newline-terminated lines that
+// each decode as a v1 JSON message.
+func validV1Lines(data []byte) error {
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			return fmt.Errorf("unterminated trailing line %q", data)
+		}
+		if _, err := decodeFrame(data[:i+1]); err != nil {
+			return fmt.Errorf("line %q: %w", data[:i+1], err)
+		}
+		data = data[i+1:]
+	}
+	return nil
+}

@@ -14,6 +14,12 @@
 // is the backend's first reply: a "moved" error there means the chip's range
 // was rebalanced to another shard, and the gateway follows the redirect
 // within a per-session budget instead of bouncing the device.
+//
+// Both wire protocols route through the same code: the first byte of the
+// opening frame says which one the device speaks (0xF2 is the v2 magic and
+// can never begin v1 JSON), the chip ID is lifted from either encoding,
+// and refusals go back in the format the device used — so a v2 device
+// never mistakes a gateway "busy" for a v1-only downgrade signal.
 package netauth
 
 import (
@@ -28,10 +34,12 @@ import (
 	"time"
 
 	"xorpuf/internal/telemetry"
+	"xorpuf/internal/wire"
 )
 
 var (
 	gatewaySessions   = telemetry.Default.Counter("gateway_sessions_total")
+	gatewaySessionsV2 = telemetry.Default.Counter("gateway_sessions_v2_total")
 	gatewayActive     = telemetry.Default.Gauge("gateway_active_sessions")
 	gatewayReroutes   = telemetry.Default.Counter("gateway_reroutes_total")
 	gatewayUnroutable = telemetry.Default.Counter("gateway_unroutable_total")
@@ -285,21 +293,24 @@ func (g *Gateway) handle(client net.Conn) {
 
 	br := bufio.NewReader(client)
 	client.SetReadDeadline(time.Now().Add(g.cfg.HelloTimeout))
-	line, err := readLine(br)
+	first, err := br.Peek(1)
 	if err != nil {
 		return
 	}
-	client.SetReadDeadline(time.Time{})
-	hello, err := decodeFrame(line)
-	if err != nil || (hello.Type != "hello" && hello.Type != "keyex_init") || hello.ChipID == "" {
-		g.refuse(client, CodeBadMessage, "gateway: first frame must be a hello or keyex_init", false)
+	v2 := first[0] == wire.Magic
+	line, chipID, ok := g.readOpening(client, br, v2)
+	if !ok {
 		return
+	}
+	client.SetReadDeadline(time.Time{})
+	if v2 {
+		gatewaySessionsV2.Inc()
 	}
 
 	// Route, forward the opening frame, and peek the backend's first reply:
 	// a "moved" error there is a rebalanced range whose redirect the gateway
 	// follows (within budget) so the device never sees the topology change.
-	addrs, label := g.routeFor(hello.ChipID)
+	addrs, label := g.routeFor(chipID)
 	budget := g.cfg.RedirectBudget
 	var backend net.Conn
 	var bbr *bufio.Reader
@@ -308,29 +319,28 @@ func (g *Gateway) handle(client net.Conn) {
 		backend = g.dialAddrs(addrs)
 		if backend == nil {
 			gatewayUnroutable.Inc()
-			g.refuse(client, CodeBusy, fmt.Sprintf("gateway: no reachable owner for %s", label), true)
+			g.refuse(client, v2, CodeBusy, fmt.Sprintf("gateway: no reachable owner for %s", label), true)
 			return
 		}
 		if _, err := backend.Write(line); err != nil {
 			backend.Close()
-			g.refuse(client, CodeBusy, "gateway: shard owner dropped the session", true)
+			g.refuse(client, v2, CodeBusy, "gateway: shard owner dropped the session", true)
 			return
 		}
 		bbr = bufio.NewReader(backend)
 		backend.SetReadDeadline(time.Now().Add(g.cfg.HelloTimeout))
-		reply, err := readLine(bbr)
+		reply, moved, redirect, err := g.readReply(bbr, v2)
 		if err != nil {
 			backend.Close()
-			g.refuse(client, CodeBusy, "gateway: shard owner dropped the session", true)
+			g.refuse(client, v2, CodeBusy, "gateway: shard owner dropped the session", true)
 			return
 		}
 		backend.SetReadDeadline(time.Time{})
-		if m, derr := decodeFrame(reply); derr == nil &&
-			m.Type == "error" && m.Code == CodeMoved && m.Redirect != "" && budget > 0 {
+		if moved && redirect != "" && budget > 0 {
 			budget--
 			backend.Close()
 			gatewayRedirects.Inc()
-			addrs, label = []string{m.Redirect}, "redirect "+m.Redirect
+			addrs, label = []string{redirect}, "redirect "+redirect
 			continue
 		}
 		firstReply = reply
@@ -358,6 +368,72 @@ func (g *Gateway) handle(client net.Conn) {
 	client.Close()
 	backend.Close()
 	<-done
+}
+
+// readOpening reads the device's opening frame in whichever protocol the
+// first byte announced, returning the verbatim bytes to forward (for v2,
+// including the negotiation guard byte, which each fresh backend also
+// expects) and the chip ID to route on.
+func (g *Gateway) readOpening(client net.Conn, br *bufio.Reader, v2 bool) (line []byte, chipID string, ok bool) {
+	if v2 {
+		raw, err := wire.ReadRawFrame(br)
+		if err != nil {
+			g.refuse(client, true, CodeBadMessage, "gateway: bad v2 opening frame", false)
+			return nil, "", false
+		}
+		var m wire.Msg
+		if err := wire.Decode(raw, &m); err != nil ||
+			(m.Type != wire.THello && m.Type != wire.TKeyexInit) || m.ChipID == "" {
+			g.refuse(client, true, CodeBadMessage, "gateway: first frame must be a hello or keyex_init", false)
+			return nil, "", false
+		}
+		// Forward the negotiation guard byte when it arrived with the
+		// frame.  Only already-buffered bytes are examined — a straggling
+		// guard reaches the backend through the splice, and both backend
+		// protocols tolerate it there (v2 skips it, v1 line-reads it).
+		if br.Buffered() > 0 {
+			if b, err := br.Peek(1); err == nil && b[0] == wire.Guard {
+				br.Discard(1) //nolint:errcheck
+				raw = append(raw, wire.Guard)
+			}
+		}
+		return raw, m.ChipID, true
+	}
+	raw, err := readLine(br)
+	if err != nil {
+		return nil, "", false
+	}
+	hello, err := decodeFrame(raw)
+	if err != nil || (hello.Type != "hello" && hello.Type != "keyex_init") || hello.ChipID == "" {
+		g.refuse(client, false, CodeBadMessage, "gateway: first frame must be a hello or keyex_init", false)
+		return nil, "", false
+	}
+	return raw, hello.ChipID, true
+}
+
+// readReply reads the backend's first reply in the session's protocol and
+// reports whether it is a follow-able "moved" redirect.
+func (g *Gateway) readReply(bbr *bufio.Reader, v2 bool) (reply []byte, moved bool, redirect string, err error) {
+	if v2 {
+		raw, err := wire.ReadRawFrame(bbr)
+		if err != nil {
+			return nil, false, "", err
+		}
+		var m wire.Msg
+		if derr := wire.Decode(raw, &m); derr == nil &&
+			m.Type == wire.TError && codeFromByte(m.Code) == CodeMoved {
+			return raw, true, m.Redirect, nil
+		}
+		return raw, false, "", nil
+	}
+	raw, err := readLine(bbr)
+	if err != nil {
+		return nil, false, "", err
+	}
+	if m, derr := decodeFrame(raw); derr == nil && m.Type == "error" && m.Code == CodeMoved {
+		return raw, true, m.Redirect, nil
+	}
+	return raw, false, "", nil
 }
 
 type reader interface{ Read([]byte) (int, error) }
@@ -454,11 +530,20 @@ func (g *Gateway) markUp(addr string) {
 	g.mu.Unlock()
 }
 
-// refuse sends one structured error frame and closes.
-func (g *Gateway) refuse(conn net.Conn, code, msg string, retryable bool) {
-	frame, err := encodeFrame(message{Type: "error", Code: code, Message: msg, Retryable: retryable})
-	if err != nil {
-		return
+// refuse sends one structured error frame, in the protocol the device
+// spoke, and closes.
+func (g *Gateway) refuse(conn net.Conn, v2 bool, code, msg string, retryable bool) {
+	var frame []byte
+	if v2 {
+		frame = wire.AppendFrame(nil, &wire.Msg{
+			Type: wire.TError, Code: codeToByte(code), ErrMsg: msg, Retryable: retryable,
+		})
+	} else {
+		var err error
+		frame, err = encodeFrame(message{Type: "error", Code: code, Message: msg, Retryable: retryable})
+		if err != nil {
+			return
+		}
 	}
 	conn.SetWriteDeadline(time.Now().Add(g.cfg.HelloTimeout))
 	conn.Write(frame) //nolint:errcheck

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"xorpuf/internal/keyex"
+	"xorpuf/internal/wire"
 )
 
 // KeyexResult describes an established key-exchange session.
@@ -43,6 +44,7 @@ type SecureSession struct {
 	conn net.Conn
 	ch   *keyex.Channel // nil when no cipher was negotiated
 	stop func() bool    // cancels the context watchdog on the conn
+	bin  bool           // inner frames use the binary v2 codec
 }
 
 // Establish dials the server and runs the key exchange: it requests helper
@@ -259,14 +261,25 @@ func (s *SecureSession) Close() error {
 	return s.conn.Close()
 }
 
-// write sends one CRC-framed message through the encrypted channel.
+// write sends one message through the encrypted channel — CRC-framed JSON
+// for a session established over protocol v1, a binary frame for v2.
 func (s *SecureSession) write(m message) error {
 	if s.ch == nil {
 		return errors.New("netauth: no encrypted channel was negotiated")
 	}
-	b, err := encodeFrame(m)
-	if err != nil {
-		return err
+	var b []byte
+	if s.bin {
+		var w wire.Msg
+		if err := messageToWire(m, &w); err != nil {
+			return err
+		}
+		b = wire.AppendFrame(nil, &w)
+	} else {
+		var err error
+		b, err = encodeFrame(m)
+		if err != nil {
+			return err
+		}
 	}
 	_ = s.conn.SetWriteDeadline(time.Now().Add(s.c.Timeout))
 	return s.ch.WriteFrame(b)
@@ -282,9 +295,19 @@ func (s *SecureSession) read(wantTypes ...string) (*message, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := decodeFrame(payload)
-	if err != nil {
-		return nil, err
+	var m *message
+	if s.bin {
+		var w wire.Msg
+		if err := wire.Decode(payload, &w); err != nil {
+			return nil, err
+		}
+		if m, err = wireToMessage(&w); err != nil {
+			return nil, err
+		}
+	} else {
+		if m, err = decodeFrame(payload); err != nil {
+			return nil, err
+		}
 	}
 	return checkMessage(m, wantTypes...)
 }

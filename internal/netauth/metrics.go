@@ -22,6 +22,10 @@
 //	netauth_keyex_derive_seconds      select + BCH encode + key schedule
 //	netauth_secure_frame_bytes        encrypted-channel inner frame sizes
 //	netauth_payload_bytes             application payload sizes
+//	netauth_sessions_v1_total         sessions carried over JSON protocol v1
+//	netauth_sessions_v2_total         sessions carried over binary protocol v2
+//	netauth_frame_bytes_v2            v2 frame sizes, both directions
+//	netauth_v2_batches_total          multiplexed v2 hello batches
 //
 // Client metric catalog (package-level, always on — a handful of atomic
 // adds per session, invisible next to a TCP round trip):
@@ -61,6 +65,15 @@ type serverMetrics struct {
 	keyexDerive      *telemetry.Histogram
 	secureFrameBytes *telemetry.Histogram
 	payloadBytes     *telemetry.Histogram
+
+	// Per-protocol-version session accounting and the v2 frame-size
+	// distribution (v1 frames land in frameBytes; v2 frames in
+	// frameBytesV2 — comparing the two histograms is the wire-shrink
+	// evidence).
+	sessionsV1   *telemetry.Counter
+	sessionsV2   *telemetry.Counter
+	frameBytesV2 *telemetry.Histogram
+	batchesV2    *telemetry.Counter
 }
 
 // knownCodes pre-registers a denial counter per structured error code, so
@@ -94,6 +107,10 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		keyexDerive:       reg.Histogram("netauth_keyex_derive_seconds", telemetry.LatencyBuckets),
 		secureFrameBytes:  reg.Histogram("netauth_secure_frame_bytes", telemetry.SizeBuckets),
 		payloadBytes:      reg.Histogram("netauth_payload_bytes", telemetry.SizeBuckets),
+		sessionsV1:        reg.Counter("netauth_sessions_v1_total"),
+		sessionsV2:        reg.Counter("netauth_sessions_v2_total"),
+		frameBytesV2:      reg.Histogram("netauth_frame_bytes_v2", telemetry.SizeBuckets),
+		batchesV2:         reg.Counter("netauth_v2_batches_total"),
 	}
 	for _, code := range knownCodes {
 		m.denials[code] = reg.Counter("netauth_deny_" + code + "_total")
@@ -152,6 +169,34 @@ func (m *serverMetrics) frame(n int) {
 		return
 	}
 	m.frameBytes.Observe(float64(n))
+}
+
+// sessionVersion counts one session under its protocol version.
+func (m *serverMetrics) sessionVersion(v int) {
+	if m == nil {
+		return
+	}
+	if v == 2 {
+		m.sessionsV2.Inc()
+	} else {
+		m.sessionsV1.Inc()
+	}
+}
+
+// frameV2 feeds the v2 frame-size histogram, both directions.
+func (m *serverMetrics) frameV2(n int) {
+	if m == nil {
+		return
+	}
+	m.frameBytesV2.Observe(float64(n))
+}
+
+// batchV2 counts one multiplexed hello batch.
+func (m *serverMetrics) batchV2() {
+	if m == nil {
+		return
+	}
+	m.batchesV2.Inc()
 }
 
 func (m *serverMetrics) observeSelect(start time.Time) {

@@ -72,6 +72,7 @@ import (
 	"xorpuf/internal/keyex"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/telemetry"
+	"xorpuf/internal/wire"
 )
 
 // newSessionID returns a 64-bit crypto-random session identifier.  Session
@@ -257,6 +258,19 @@ type Server struct {
 	keyexOn  bool
 	keyexCfg keyex.Config
 
+	// v2Off disables the binary protocol v2 listener path (SetV2),
+	// emulating an older v1-only server: binary first frames then fall
+	// through to the JSON line reader, which answers them with a
+	// retryable bad_message — exactly the downgrade signal v2 clients
+	// negotiate on.
+	v2Off bool
+	// v2conns tracks live v2 connections.  Unlike a v1 connection (one
+	// session, naturally short-lived), a v2 connection multiplexes many
+	// sessions and idles between batches, so Close force-closes these
+	// immediately instead of waiting out the drain window; v2 clients
+	// own the retry.
+	v2conns map[net.Conn]struct{}
+
 	reg     *registry.Registry
 	ownReg  bool // Close also closes reg when the server created it
 	ln      net.Listener
@@ -376,6 +390,18 @@ func (s *Server) ForceLockout(chipID string) bool {
 
 // Registry exposes the backing model database (for operator tooling).
 func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// SetV2 enables or disables the binary wire protocol v2 (enabled by
+// default).  Disabling it makes the server behave exactly like a v1-only
+// build: a binary negotiation frame is line-read as JSON, fails to
+// parse, and earns a retryable bad_message — which is what v2 clients
+// treat as "downgrade to v1".  Tests use this to stand up a v1-only
+// server; operators can use it to pin a fleet to JSON during a rollout.
+func (s *Server) SetV2(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.v2Off = !on
+}
 
 // SetTimeout changes the per-message I/O deadline (default 10 s).  Unlike a
 // per-connection deadline, a slow client cannot bank unused time from one
@@ -579,6 +605,14 @@ func (s *Server) Close() {
 	if ln != nil {
 		ln.Close()
 	}
+	// v2 connections are long-lived and multiplexed — one may sit idle
+	// between batches for longer than any drain window.  Close them now;
+	// their in-flight sessions fail fast and the clients retry elsewhere.
+	s.mu.Lock()
+	for conn := range s.v2conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.serving.Wait()
@@ -629,18 +663,35 @@ func (s *Server) readMsg(conn net.Conn, r *bufio.Reader, wantType string) (*mess
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	// One deadline-guarded peek routes the connection to the right
+	// protocol decoder: every v2 frame begins with wire.Magic (0xF2),
+	// which no JSON frame — those all start with '{' — can.
+	br := bufio.NewReader(conn)
+	s.mu.Lock()
+	d := s.msgTimeout
+	v2 := !s.v2Off
+	s.mu.Unlock()
+	if v2 {
+		_ = conn.SetReadDeadline(time.Now().Add(d))
+		if b, err := br.Peek(1); err == nil && b[0] == wire.Magic {
+			s.handleV2(conn, br)
+			return
+		}
+	}
+	s.handleV1(conn, br)
+}
+
+func (s *Server) handleV1(conn net.Conn, br *bufio.Reader) {
 	start := time.Now()
 	s.tel.sessionStart()
+	s.tel.sessionVersion(1)
 	trace := telemetry.SessionTrace{Start: start, Verdict: "error"}
 	defer func() {
 		trace.TotalSeconds = time.Since(start).Seconds()
 		s.tel.sessionEnd(start)
-		s.tracer.Record(trace)
-		if s.traceObs != nil {
-			s.traceObs(trace)
-		}
+		s.recordTrace(trace)
 	}()
-	fc := &plainConn{s: s, conn: conn, r: bufio.NewReader(conn)}
+	fc := &plainConn{s: s, conn: conn, r: br}
 
 	// The first frame picks the session kind: "hello" runs the plain Fig 7
 	// authentication, "keyex_init" the reverse fuzzy-extractor key exchange.
@@ -665,6 +716,15 @@ func (s *Server) handle(conn net.Conn) {
 	s.authExchange(fc, entry, &trace)
 }
 
+// recordTrace hands a finished session trace to the tracer ring and the
+// attack-pattern observer — the single sink for every protocol version.
+func (s *Server) recordTrace(trace telemetry.SessionTrace) {
+	s.tracer.Record(trace)
+	if s.traceObs != nil {
+		s.traceObs(trace)
+	}
+}
+
 // fail sends a structured wire error and records the denial.
 func (s *Server) fail(fc frameConn, trace *telemetry.SessionTrace, code string, retryable bool, format string, args ...interface{}) {
 	s.tel.deny(code)
@@ -675,11 +735,24 @@ func (s *Server) fail(fc frameConn, trace *telemetry.SessionTrace, code string, 
 	})
 }
 
-// admit runs admission control: existence, lockout, throttle, drift
-// quarantine.  The per-chip state lives in the registry entry, so sessions
-// for different chips contend only on their own entry (and shard), not a
-// global lock.  On refusal the structured denial has already been sent.
-func (s *Server) admit(fc frameConn, trace *telemetry.SessionTrace, chipID string) (*registry.Entry, bool) {
+// refusal is a structured admission or issuance denial, computed once and
+// encoded by whichever protocol version carries the session.  Keeping the
+// decision separate from the encoding is what makes the v1/v2 conformance
+// guarantee structural: both versions serialize the same refusal value.
+type refusal struct {
+	code      string
+	retryable bool
+	redirect  string
+	msg       string
+}
+
+// admitChip runs admission control — ownership, existence, lockout,
+// throttle, drift quarantine — and returns either the chip's registry
+// entry or the refusal to send.  The per-chip state lives in the registry
+// entry, so sessions for different chips contend only on their own entry
+// (and shard), not a global lock.  Shared verbatim by the v1 and v2
+// session paths.
+func (s *Server) admitChip(chipID string) (*registry.Entry, *refusal) {
 	s.mu.Lock()
 	lockoutK := s.lockoutK
 	throttle := s.throttle
@@ -690,43 +763,51 @@ func (s *Server) admit(fc frameConn, trace *telemetry.SessionTrace, chipID strin
 	// follow the redirect.  Mid-handoff states are retryable by definition.
 	switch st, redirect := s.reg.Ownership(chipID); st {
 	case registry.OwnershipDeparted:
-		s.tel.deny(CodeMoved)
-		trace.Verdict, trace.DenialCode = "error", CodeMoved
-		_ = fc.write(message{
-			Type: "error", Code: CodeMoved, Retryable: true, Redirect: redirect,
-			Message: fmt.Sprintf("chip %q migrated to %s", chipID, redirect),
-		})
-		return nil, false
+		return nil, &refusal{code: CodeMoved, retryable: true, redirect: redirect,
+			msg: fmt.Sprintf("chip %q migrated to %s", chipID, redirect)}
 	case registry.OwnershipFenced, registry.OwnershipArriving:
-		s.fail(fc, trace, CodeMigrating, true,
-			"chip %q is mid-migration; retry shortly", chipID)
-		return nil, false
+		return nil, &refusal{code: CodeMigrating, retryable: true,
+			msg: fmt.Sprintf("chip %q is mid-migration; retry shortly", chipID)}
 	}
 	entry := s.reg.Lookup(chipID)
 	if entry == nil {
-		s.fail(fc, trace, CodeUnknownChip, false, "unknown chip %q", chipID)
-		return nil, false
+		return nil, &refusal{code: CodeUnknownChip,
+			msg: fmt.Sprintf("unknown chip %q", chipID)}
 	}
 	locked, throttled := entry.Admit(now, throttle)
 	switch {
 	case locked:
-		s.fail(fc, trace, CodeLockedOut, false,
-			"chip %q is locked out after %d consecutive denials", chipID, lockoutK)
-		return nil, false
+		return nil, &refusal{code: CodeLockedOut,
+			msg: fmt.Sprintf("chip %q is locked out after %d consecutive denials", chipID, lockoutK)}
 	case throttled:
-		s.fail(fc, trace, CodeThrottled, true, "chip %q attempting too fast", chipID)
-		return nil, false
+		return nil, &refusal{code: CodeThrottled, retryable: true,
+			msg: fmt.Sprintf("chip %q attempting too fast", chipID)}
 	}
 	// Drift quarantine: an explicit structured denial BEFORE any challenge
 	// is drawn, so a drifted chip neither burns budget nor feeds CRPs to
 	// whoever holds it.  The zero-HD acceptance criterion is never loosened
 	// for a drifting chip — re-enrollment is the only way back.
 	if entry.HealthState() == health.Quarantined {
-		s.fail(fc, trace, CodeQuarantined, false,
-			"chip %q is quarantined for drift; re-enrollment required", chipID)
-		return nil, false
+		return nil, &refusal{code: CodeQuarantined,
+			msg: fmt.Sprintf("chip %q is quarantined for drift; re-enrollment required", chipID)}
 	}
-	return entry, true
+	return entry, nil
+}
+
+// admit is admitChip with v1 wire encoding: on refusal the structured JSON
+// denial has already been sent.
+func (s *Server) admit(fc frameConn, trace *telemetry.SessionTrace, chipID string) (*registry.Entry, bool) {
+	entry, ref := s.admitChip(chipID)
+	if ref == nil {
+		return entry, true
+	}
+	s.tel.deny(ref.code)
+	trace.Verdict, trace.DenialCode = "error", ref.code
+	_ = fc.write(message{
+		Type: "error", Code: ref.code, Retryable: ref.retryable,
+		Redirect: ref.redirect, Message: ref.msg,
+	})
+	return nil, false
 }
 
 // authExchange runs one challenge/response/verdict exchange over fc — the
@@ -792,20 +873,35 @@ func (s *Server) authExchange(fc frameConn, entry *registry.Entry, trace *teleme
 		}
 	}
 	approved := mismatches == 0 // the paper's zero-HD criterion
-	nowLocked := entry.Verdict(approved, lockoutK)
-	if !approved && nowLocked {
-		s.tel.lockout()
-	}
-	ev, transitioned := entry.RecordAuth(health.Outcome{
-		Approved: approved, Mismatches: mismatches, Challenges: len(predicted),
-	})
-	s.tel.verdict(approved)
+	ev, transitioned, onHealth := s.applyVerdict(entry, lockoutK, approved, mismatches, len(predicted))
 	trace.Mismatches = mismatches
 	if approved {
 		trace.Verdict = "approved"
 	} else {
 		trace.Verdict = "denied"
 	}
+	verdictStart := time.Now()
+	_ = fc.write(message{Type: "verdict", Approved: approved, Mismatches: mismatches})
+	trace.Step("verdict", time.Since(verdictStart))
+	if transitioned && onHealth != nil {
+		onHealth(ev)
+	}
+}
+
+// applyVerdict runs every side effect of one authentication verdict —
+// the lockout streak, the drift detectors, decision counters, and verdict
+// telemetry — identically for every protocol version.  The caller writes
+// the verdict frame in its own encoding and then fires the returned
+// health handler if a transition occurred.
+func (s *Server) applyVerdict(entry *registry.Entry, lockoutK int, approved bool, mismatches, nchal int) (health.Event, bool, func(health.Event)) {
+	nowLocked := entry.Verdict(approved, lockoutK)
+	if !approved && nowLocked {
+		s.tel.lockout()
+	}
+	ev, transitioned := entry.RecordAuth(health.Outcome{
+		Approved: approved, Mismatches: mismatches, Challenges: nchal,
+	})
+	s.tel.verdict(approved)
 	s.mu.Lock()
 	if approved {
 		s.decisions.approved++
@@ -814,12 +910,7 @@ func (s *Server) authExchange(fc frameConn, entry *registry.Entry, trace *teleme
 	}
 	onHealth := s.healthHandler
 	s.mu.Unlock()
-	verdictStart := time.Now()
-	_ = fc.write(message{Type: "verdict", Approved: approved, Mismatches: mismatches})
-	trace.Step("verdict", time.Since(verdictStart))
-	if transitioned && onHealth != nil {
-		onHealth(ev)
-	}
+	return ev, transitioned, onHealth
 }
 
 // errLineTooLong reports a frame over the 1 MiB cap.

@@ -17,6 +17,14 @@ import (
 // startServer enrolls a chip, registers it, and serves on a loopback
 // listener; it returns the address, the chip, and a shutdown func.
 func startServer(t *testing.T, numChallenges int) (addr string, srv *Server, chip *silicon.Chip) {
+	return startServerConfigured(t, numChallenges, nil)
+}
+
+// startServerConfigured is startServer with a hook that runs before the
+// accept loop starts — required for options like SetTelemetry that the
+// session hot path reads without a lock (and therefore must be set
+// before Serve).
+func startServerConfigured(t *testing.T, numChallenges int, configure func(*Server)) (addr string, srv *Server, chip *silicon.Chip) {
 	t.Helper()
 	chip = silicon.NewChip(rng.New(1), silicon.DefaultParams(), 4)
 	cfg := core.DefaultEnrollConfig()
@@ -29,6 +37,9 @@ func startServer(t *testing.T, numChallenges int) (addr string, srv *Server, chi
 	srv = NewServer(numChallenges, 3)
 	if err := srv.Register("chip-A", enr.Model); err != nil {
 		t.Fatal(err)
+	}
+	if configure != nil {
+		configure(srv)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

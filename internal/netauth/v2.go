@@ -1,0 +1,796 @@
+// Server side of the binary wire protocol v2 (package wire has the frame
+// layout).  One v2 connection multiplexes many authentication sessions:
+// a hello frame opens `batch` streams at consecutive stream ids, the
+// server issues every stream's challenges through ONE registry call — one
+// WAL append and one quorum wait for the whole batch — and responses may
+// come back in any order.  The event loop is single-goroutine per
+// connection, so frames are never interleaved mid-write and the per-conn
+// state needs no locking.
+//
+// Version negotiation is first-byte sniffing: every v2 frame starts with
+// wire.Magic (0xF2), every v1 JSON frame with '{'.  A v2 client follows
+// its first frame with one newline guard byte, so a v1-only server that
+// line-reads the binary frame gets a complete "line", fails to parse it,
+// and answers its usual retryable bad_message — the structured downgrade
+// signal.  A v2 server consumes the guard and proceeds in binary.
+//
+// The decision logic — admission (admitChip), issuance, the zero-HD
+// verdict and its side effects (applyVerdict) — is shared with the v1
+// path, so the two protocol versions can only differ in encoding, never
+// in judgement.  The differential conformance suite in
+// conformance_test.go holds that line.
+package netauth
+
+import (
+	"bufio"
+	"bytes"
+	crand "crypto/rand"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/keyex"
+	"xorpuf/internal/registry"
+	"xorpuf/internal/telemetry"
+	"xorpuf/internal/wire"
+)
+
+// codeToByte maps the structured error taxonomy onto v2's one-byte code
+// field.  codeFromByte is its inverse; unknown bytes decode to
+// bad_message, the code whose contract ("retry with a fresh session")
+// is safe for anything unrecognised.
+func codeToByte(code string) byte {
+	switch code {
+	case CodeBadMessage:
+		return 1
+	case CodeUnknownChip:
+		return 2
+	case CodeThrottled:
+		return 3
+	case CodeLockedOut:
+		return 4
+	case CodeBusy:
+		return 5
+	case CodeSelectionFailed:
+		return 6
+	case CodeQuarantined:
+		return 7
+	case CodeKeyMismatch:
+		return 8
+	case CodeKeyexUnavailable:
+		return 9
+	case CodeMigrating:
+		return 10
+	case CodeMoved:
+		return 11
+	}
+	return 1
+}
+
+func codeFromByte(b byte) string {
+	switch b {
+	case 1:
+		return CodeBadMessage
+	case 2:
+		return CodeUnknownChip
+	case 3:
+		return CodeThrottled
+	case 4:
+		return CodeLockedOut
+	case 5:
+		return CodeBusy
+	case 6:
+		return CodeSelectionFailed
+	case 7:
+		return CodeQuarantined
+	case 8:
+		return CodeKeyMismatch
+	case 9:
+		return CodeKeyexUnavailable
+	case 10:
+		return CodeMigrating
+	case 11:
+		return CodeMoved
+	}
+	return CodeBadMessage
+}
+
+// v2Stream is one in-flight multiplexed session: challenges are out, the
+// response frame has not arrived yet.
+type v2Stream struct {
+	id        uint64
+	session   [8]byte
+	entry     *registry.Entry
+	predicted []uint8
+	start     time.Time
+	issued    time.Time
+	trace     telemetry.SessionTrace
+}
+
+// handleV2 serves one binary-protocol connection: a single-goroutine
+// event loop multiplexing authentication streams, or (when the first
+// frame is keyex_init) one key exchange.
+func (s *Server) handleV2(conn net.Conn, br *bufio.Reader) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.v2conns == nil {
+		s.v2conns = make(map[net.Conn]struct{})
+	}
+	s.v2conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.v2conns, conn)
+		s.mu.Unlock()
+	}()
+
+	rd := wire.NewReader(br)
+	defer rd.Release()
+	wb := wire.GetBuf()
+	defer wire.PutBuf(wb)
+
+	var (
+		m       wire.Msg
+		streams []v2Stream
+		first   = true
+	)
+	defer func() {
+		// Streams the peer abandoned mid-exchange close out exactly like a
+		// v1 client vanishing after challenges: an errored session.
+		for i := range streams {
+			st := &streams[i]
+			st.trace.Verdict, st.trace.DenialCode = "error", CodeBadMessage
+			s.v2EndStream(st)
+		}
+	}()
+
+	for {
+		// Flush queued output before a read that could block.  While more
+		// input is already buffered the flush waits — that is what batches
+		// a pipelined exchange's frames into single writes.
+		if br.Buffered() == 0 {
+			if err := s.v2Flush(conn, wb); err != nil {
+				return
+			}
+		}
+		s.mu.Lock()
+		d := s.msgTimeout
+		s.mu.Unlock()
+		_ = conn.SetReadDeadline(time.Now().Add(d))
+		n, err := rd.Next(&m)
+		if n > 0 {
+			s.tel.frameV2(n)
+		}
+		if err != nil {
+			if errors.Is(err, wire.ErrFrame) {
+				// A decodable-but-malformed frame gets the structured
+				// refusal; raw I/O errors (EOF, reset, timeout) just end
+				// the connection, like v1.
+				s.tel.deny(CodeBadMessage)
+				_ = s.v2Write(conn, wb, &wire.Msg{
+					Type: wire.TError, Stream: m.Stream, Code: codeToByte(CodeBadMessage),
+					Retryable: true, ErrMsg: "bad frame",
+				})
+			}
+			return
+		}
+		// The negotiation guard byte a client appends to its first frame is
+		// skipped inside the codec's frame reader — no blocking peek here.
+		switch m.Type {
+		case wire.THello:
+			if !s.v2Hello(conn, wb, &m, &streams) {
+				return
+			}
+		case wire.TKeyexInit:
+			if !first {
+				s.v2Fail(conn, wb, m.Stream, CodeBadMessage, true,
+					"keyex_init must be the first frame of a connection")
+				return
+			}
+			s.keyexSessionV2(conn, br, rd, wb, &m)
+			return
+		case wire.TResponses:
+			if !s.v2Responses(conn, wb, &m, &streams) {
+				return
+			}
+		case wire.TBye:
+			_ = s.v2Write(conn, wb, &wire.Msg{Type: wire.TBye})
+			return
+		default:
+			s.v2Fail(conn, wb, m.Stream, CodeBadMessage, true,
+				"unexpected frame type 0x%02x", m.Type)
+			return
+		}
+		first = false
+	}
+}
+
+// v2Queue appends one encoded frame to the connection's pending write
+// buffer without touching the socket.  The event loop flushes queued
+// frames in one write just before it would block on the next read, so a
+// pipelined batch costs a handful of syscalls instead of one per frame.
+func (s *Server) v2Queue(wb *[]byte, m *wire.Msg) {
+	before := len(*wb)
+	*wb = wire.AppendFrame(*wb, m)
+	s.tel.frameV2(len(*wb) - before)
+}
+
+// v2Flush writes all queued frames under the per-message deadline.
+func (s *Server) v2Flush(conn net.Conn, wb *[]byte) error {
+	if len(*wb) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	d := s.msgTimeout
+	s.mu.Unlock()
+	_ = conn.SetWriteDeadline(time.Now().Add(d))
+	_, err := conn.Write(*wb)
+	*wb = (*wb)[:0]
+	return err
+}
+
+// v2Write queues one frame and flushes immediately — for refusals and
+// the keyex path, where the next action is closing or turn-taking.
+func (s *Server) v2Write(conn net.Conn, wb *[]byte, m *wire.Msg) error {
+	s.v2Queue(wb, m)
+	return s.v2Flush(conn, wb)
+}
+
+// v2Fail sends a structured v2 error frame and counts the denial.
+func (s *Server) v2Fail(conn net.Conn, wb *[]byte, stream uint64, code string, retryable bool, format string, args ...interface{}) {
+	s.tel.deny(code)
+	_ = s.v2Write(conn, wb, &wire.Msg{
+		Type: wire.TError, Stream: stream, Code: codeToByte(code),
+		Retryable: retryable, ErrMsg: fmt.Sprintf(format, args...),
+	})
+}
+
+// v2Refuse encodes a shared-decision refusal as a v2 error frame.
+func (s *Server) v2Refuse(conn net.Conn, wb *[]byte, stream uint64, ref *refusal) {
+	s.tel.deny(ref.code)
+	_ = s.v2Write(conn, wb, &wire.Msg{
+		Type: wire.TError, Stream: stream, Code: codeToByte(ref.code),
+		Retryable: ref.retryable, Redirect: ref.redirect, ErrMsg: ref.msg,
+	})
+}
+
+// v2RefusedTrace records the session trace of a refused hello or keyex
+// init, mirroring the v1 path's refusal traces for the attack detector.
+func (s *Server) v2RefusedTrace(chipID, code string, start time.Time) {
+	s.tel.sessionStart()
+	s.tel.sessionVersion(2)
+	s.tel.sessionEnd(start)
+	s.recordTrace(telemetry.SessionTrace{
+		Start: start, ChipID: chipID, Verdict: "error", DenialCode: code,
+		TotalSeconds: time.Since(start).Seconds(),
+	})
+}
+
+// packChallengeBits appends the concatenated bits of cs — width bits per
+// challenge, LSB-first — to dst in packed form.
+func packChallengeBits(dst []byte, cs []challenge.Challenge, width int) []byte {
+	var cur byte
+	nb := 0
+	for _, c := range cs {
+		for _, b := range c {
+			cur |= (b & 1) << nb
+			if nb++; nb == 8 {
+				dst = append(dst, cur)
+				cur, nb = 0, 0
+			}
+		}
+	}
+	if nb > 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// v2Hello opens a batch of multiplexed sessions: one admission decision,
+// one batched registry issuance, then a challenges frame per stream.
+// Returns false when the connection must close (refusal or write error);
+// the refusal frame, if any, has been sent.
+func (s *Server) v2Hello(conn net.Conn, wb *[]byte, m *wire.Msg, streams *[]v2Stream) bool {
+	batch := m.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	start := time.Now()
+	chipID := m.ChipID
+	entry, ref := s.admitChip(chipID)
+	if ref != nil {
+		s.v2RefusedTrace(chipID, ref.code, start)
+		s.v2Refuse(conn, wb, m.Stream, ref)
+		return false
+	}
+	s.tel.batchV2()
+
+	// Batched issuance: one Issue call journals (and quorum-commits, when
+	// replication is strict) the challenge words for every session in the
+	// hello — the amortization that makes pipelined v2 traffic cheap on
+	// the registry too.
+	selectStart := time.Now()
+	cs, predicted, err := entry.Issue(s.numChallenges*batch, 0)
+	s.tel.observeSelect(selectStart)
+	if err != nil {
+		code, retryable := CodeSelectionFailed, false
+		if errors.Is(err, registry.ErrMigrating) {
+			code, retryable = CodeMigrating, true
+		}
+		s.v2RefusedTrace(chipID, code, start)
+		s.v2Fail(conn, wb, m.Stream, code, retryable, "challenge selection failed: %v", err)
+		return false
+	}
+	width := len(cs[0])
+
+	// One CSPRNG read covers the whole batch's session ids.
+	ids := make([]byte, 8*batch)
+	if _, err := crand.Read(ids); err != nil {
+		panic("netauth: system random source unavailable: " + err.Error())
+	}
+
+	pb := wire.GetBuf()
+	defer wire.PutBuf(pb)
+	for i := 0; i < batch; i++ {
+		st := v2Stream{
+			id:        m.Stream + uint64(i),
+			entry:     entry,
+			predicted: predicted[i*s.numChallenges : (i+1)*s.numChallenges],
+			start:     start,
+		}
+		copy(st.session[:], ids[i*8:])
+		s.tel.sessionStart()
+		s.tel.sessionVersion(2)
+		st.trace = telemetry.SessionTrace{
+			Start: start, ChipID: chipID,
+			Session:    hex.EncodeToString(st.session[:]),
+			Challenges: s.numChallenges,
+		}
+		st.trace.Step("select", time.Since(selectStart))
+		group := cs[i*s.numChallenges : (i+1)*s.numChallenges]
+		*pb = packChallengeBits((*pb)[:0], group, width)
+		out := wire.Msg{
+			Type: wire.TChallenges, Stream: st.id, Session: st.session[:],
+			Width: width, Count: s.numChallenges, Packed: *pb,
+		}
+		// Queued, not written: the whole batch's challenge frames go out
+		// in one write when the event loop next flushes.  AppendFrame
+		// copies the packed bits, so pb is free to be reused immediately.
+		s.v2Queue(wb, &out)
+		st.issued = time.Now()
+		*streams = append(*streams, st)
+	}
+	return true
+}
+
+// v2Responses settles one stream's verdict.  Any malformed response —
+// unknown stream, session mismatch, wrong count — terminates the
+// connection with a structured retryable error, matching v1's "one bad
+// frame ends the session" posture.
+func (s *Server) v2Responses(conn net.Conn, wb *[]byte, m *wire.Msg, streams *[]v2Stream) bool {
+	idx := -1
+	for i := range *streams {
+		if (*streams)[i].id == m.Stream {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		s.v2Fail(conn, wb, m.Stream, CodeBadMessage, true, "responses for unknown stream %d", m.Stream)
+		return false
+	}
+	st := &(*streams)[idx]
+	fail := func(format string, args ...interface{}) bool {
+		st.trace.Verdict, st.trace.DenialCode = "error", CodeBadMessage
+		s.v2Fail(conn, wb, m.Stream, CodeBadMessage, true, format, args...)
+		s.v2EndStream(st)
+		s.v2DropStream(streams, idx)
+		return false
+	}
+	if !bytes.Equal(m.Session, st.session[:]) {
+		return fail("session mismatch")
+	}
+	if m.Count != len(st.predicted) {
+		return fail("expected %d responses, got %d", len(st.predicted), m.Count)
+	}
+	s.tel.observeRTT(st.issued)
+	st.trace.Step("device_rtt", time.Since(st.issued))
+	mismatches := 0
+	for i := range st.predicted {
+		if wire.Bit(m.Packed, i) != st.predicted[i]&1 {
+			mismatches++
+		}
+	}
+	approved := mismatches == 0 // the paper's zero-HD criterion
+	s.mu.Lock()
+	lockoutK := s.lockoutK
+	s.mu.Unlock()
+	ev, transitioned, onHealth := s.applyVerdict(st.entry, lockoutK, approved, mismatches, len(st.predicted))
+	st.trace.Mismatches = mismatches
+	if approved {
+		st.trace.Verdict = "approved"
+	} else {
+		st.trace.Verdict = "denied"
+	}
+	verdictStart := time.Now()
+	s.v2Queue(wb, &wire.Msg{
+		Type: wire.TVerdict, Stream: st.id, Approved: approved, Mismatches: mismatches,
+	})
+	st.trace.Step("verdict", time.Since(verdictStart))
+	if transitioned && onHealth != nil {
+		onHealth(ev)
+	}
+	s.v2EndStream(st)
+	s.v2DropStream(streams, idx)
+	return true
+}
+
+// v2EndStream closes out one stream's telemetry and trace.
+func (s *Server) v2EndStream(st *v2Stream) {
+	st.trace.TotalSeconds = time.Since(st.start).Seconds()
+	s.tel.sessionEnd(st.start)
+	s.recordTrace(st.trace)
+}
+
+// v2DropStream removes index idx, reusing the slice's capacity.
+func (s *Server) v2DropStream(streams *[]v2Stream, idx int) {
+	ss := *streams
+	last := len(ss) - 1
+	if idx != last {
+		ss[idx] = ss[last]
+	}
+	ss[last] = v2Stream{}
+	*streams = ss[:last]
+}
+
+// capsFromBits converts v2's capability bitmask to the canonical v1
+// capability list, so both protocol versions bind the identical Offer
+// into the key-exchange transcript.
+func capsFromBits(caps uint64) []string {
+	if caps&wire.CapChaCha20Poly1305 != 0 {
+		return []string{keyex.CipherChaCha20Poly1305}
+	}
+	return nil
+}
+
+// keyexSessionV2 serves one key exchange over binary framing.  The
+// exchange is byte-for-byte the same decision sequence as the v1
+// keyexSession — same burn path, same device-confirms-first order, same
+// terminal key_mismatch accounting — with the offer's challenges and
+// helper travelling as packed bits instead of JSON strings.  The
+// transcript binds the same canonical Offer strings as v1, so a key
+// derived over v2 framing is the same key v1 would have derived.
+func (s *Server) keyexSessionV2(conn net.Conn, br *bufio.Reader, rd *wire.Reader, wb *[]byte, init *wire.Msg) {
+	start := time.Now()
+	s.tel.sessionStart()
+	s.tel.sessionVersion(2)
+	trace := telemetry.SessionTrace{Start: start, ChipID: init.ChipID, Verdict: "error"}
+	defer func() {
+		trace.TotalSeconds = time.Since(start).Seconds()
+		s.tel.sessionEnd(start)
+		s.recordTrace(trace)
+	}()
+
+	entry, ref := s.admitChip(init.ChipID)
+	if ref != nil {
+		trace.DenialCode = ref.code
+		s.v2Refuse(conn, wb, init.Stream, ref)
+		return
+	}
+	s.mu.Lock()
+	enabled := s.keyexOn
+	cfg := s.keyexCfg
+	lockoutK := s.lockoutK
+	s.mu.Unlock()
+	if !enabled {
+		trace.DenialCode = CodeKeyexUnavailable
+		s.v2Fail(conn, wb, init.Stream, CodeKeyexUnavailable, false,
+			"key exchange is not enabled on this server")
+		return
+	}
+	session := newSessionID()
+	s.tel.keyexStart()
+	trace.Session = session
+	capsList := capsFromBits(init.Caps)
+	cipher := ""
+	if init.Caps&wire.CapChaCha20Poly1305 != 0 {
+		cipher = keyex.CipherChaCha20Poly1305
+	}
+
+	deriveStart := time.Now()
+	cs, predicted, err := entry.IssueKey(cfg.N(), 0)
+	s.tel.observeSelect(deriveStart)
+	trace.Step("select", time.Since(deriveStart))
+	if err != nil {
+		code, retryable := CodeSelectionFailed, false
+		if errors.Is(err, registry.ErrMigrating) {
+			code, retryable = CodeMigrating, true
+		}
+		trace.DenialCode = code
+		s.v2Fail(conn, wb, init.Stream, code, retryable, "challenge selection failed: %v", err)
+		return
+	}
+	trace.Challenges = len(cs)
+
+	master, helper, err := keyex.Generate(cfg, crand.Reader, predicted)
+	if err != nil {
+		trace.DenialCode = CodeSelectionFailed
+		s.v2Fail(conn, wb, init.Stream, CodeSelectionFailed, false,
+			"helper data generation failed: %v", err)
+		return
+	}
+	offer := keyex.Offer{
+		Session:    session,
+		ChipID:     init.ChipID,
+		Caps:       capsList,
+		Challenges: make([]string, len(cs)),
+		Helper:     keyex.FormatBits(helper),
+		M:          cfg.M,
+		T:          cfg.T,
+		Cipher:     cipher,
+	}
+	for i, c := range cs {
+		offer.Challenges[i] = c.String()
+	}
+	transcript := keyex.Transcript(offer)
+	keys := keyex.DeriveSession(master, transcript)
+	keyex.Zeroize(master[:])
+	s.tel.observeKeyDerive(deriveStart)
+	trace.Step("derive", time.Since(deriveStart))
+
+	// The v2 offer carries the session id in its 8 raw bytes and the
+	// challenges/helper as packed bits; the device reconstructs the same
+	// canonical strings for the transcript.
+	sessRaw, err := hex.DecodeString(session)
+	if err != nil || len(sessRaw) != wire.SessionLen {
+		panic("netauth: session id is not 8 hex bytes")
+	}
+	cipherByte := byte(wire.CipherNone)
+	if cipher != "" {
+		cipherByte = wire.CipherChaCha20
+	}
+	width := len(cs[0])
+	rttStart := time.Now()
+	if err := s.v2Write(conn, wb, &wire.Msg{
+		Type: wire.TKeyexOffer, Stream: init.Stream, Session: sessRaw,
+		M: cfg.M, T: cfg.T, Cipher: cipherByte,
+		Width: width, Count: len(cs),
+		Packed: packChallengeBits(nil, cs, width),
+		Helper: wire.PackBits(nil, helper),
+	}); err != nil {
+		return
+	}
+
+	var m wire.Msg
+	s.mu.Lock()
+	d := s.msgTimeout
+	s.mu.Unlock()
+	_ = conn.SetReadDeadline(time.Now().Add(d))
+	n, err := rd.Next(&m)
+	s.tel.observeRTT(rttStart)
+	trace.Step("device_rtt", time.Since(rttStart))
+	if n > 0 {
+		s.tel.frameV2(n)
+	}
+	if err != nil || m.Type != wire.TKeyexConfirm {
+		trace.DenialCode = CodeBadMessage
+		s.v2Fail(conn, wb, init.Stream, CodeBadMessage, true, "bad keyex_confirm")
+		return
+	}
+	if !bytes.Equal(m.Session, sessRaw) {
+		trace.DenialCode = CodeBadMessage
+		s.v2Fail(conn, wb, init.Stream, CodeBadMessage, true, "session mismatch")
+		return
+	}
+	if !keyex.VerifyConfirm(keys, keyex.RoleDevice, transcript, m.MAC) {
+		// Same terminal accounting as v1: the failed confirmation counts
+		// toward lockout, and the server MAC is never sent.
+		if nowLocked := entry.Verdict(false, lockoutK); nowLocked {
+			s.tel.lockout()
+		}
+		s.tel.keyexReject()
+		trace.DenialCode = CodeKeyMismatch
+		s.v2Fail(conn, wb, init.Stream, CodeKeyMismatch, false, "key confirmation failed")
+		trace.Verdict = "denied"
+		return
+	}
+	entry.Verdict(true, lockoutK)
+	srvMAC := keyex.ConfirmMAC(keys, keyex.RoleServer, transcript)
+	if err := s.v2Write(conn, wb, &wire.Msg{
+		Type: wire.TKeyexAccept, Stream: init.Stream, Session: sessRaw, MAC: srvMAC[:],
+	}); err != nil {
+		return
+	}
+	s.tel.keyexEstablishedOK()
+	trace.Verdict = "key_established"
+
+	if cipher == "" {
+		return
+	}
+	ch := keyex.NewChannel(readWriter{br, conn}, keys, transcript, false)
+	defer ch.Close()
+	// Inside the channel the inner frames are binary too (secureConn in
+	// v2 mode), but the session logic is the shared secureLoop.
+	s.secureLoop(&secureConn{s: s, conn: conn, ch: ch, v2: true}, entry, init.ChipID, &trace)
+}
+
+// messageToWire converts a v1 envelope to its v2 frame for the encrypted
+// channel's inner framing.  Only the inner-session message types are
+// supported; anything else is a programming error surfaced as
+// bad_message by the peer.
+func messageToWire(m message, w *wire.Msg) error {
+	w.Reset()
+	switch m.Type {
+	case "hello":
+		w.Type = wire.THello
+		w.ChipID = m.ChipID
+		w.Batch = 1
+	case "challenges":
+		w.Type = wire.TChallenges
+		if err := sessionToWire(m.Session, w); err != nil {
+			return err
+		}
+		w.Count = len(m.Challenges)
+		if w.Count > 0 {
+			w.Width = len(m.Challenges[0])
+			bits := make([]uint8, 0, w.Width*w.Count)
+			for _, cstr := range m.Challenges {
+				c, err := parseChallenge(cstr)
+				if err != nil {
+					return err
+				}
+				if len(c) != w.Width {
+					return errors.New("netauth: ragged challenge widths")
+				}
+				bits = append(bits, c...)
+			}
+			w.Packed = wire.PackBits(nil, bits)
+		}
+	case "responses":
+		w.Type = wire.TResponses
+		if err := sessionToWire(m.Session, w); err != nil {
+			return err
+		}
+		w.Count = len(m.Responses)
+		w.Packed = wire.PackBits(nil, m.Responses)
+	case "verdict":
+		w.Type = wire.TVerdict
+		w.Approved = m.Approved
+		w.Mismatches = m.Mismatches
+	case "error":
+		w.Type = wire.TError
+		w.Code = codeToByte(m.Code)
+		w.Retryable = m.Retryable
+		w.Redirect = m.Redirect
+		w.ErrMsg = m.Message
+	case "payload":
+		w.Type = wire.TPayload
+		if err := sessionToWire(m.Session, w); err != nil {
+			return err
+		}
+		data, err := base64decode(m.Payload)
+		if err != nil {
+			return err
+		}
+		w.Data = data
+		dig, err := hexDigest(m.Digest)
+		if err != nil {
+			return err
+		}
+		w.Digest = dig
+	case "payload_ack":
+		w.Type = wire.TPayloadAck
+		if err := sessionToWire(m.Session, w); err != nil {
+			return err
+		}
+		dig, err := hexDigest(m.Digest)
+		if err != nil {
+			return err
+		}
+		w.Digest = dig
+	case "bye":
+		w.Type = wire.TBye
+	default:
+		return fmt.Errorf("netauth: no v2 inner encoding for %q", m.Type)
+	}
+	return nil
+}
+
+// wireToMessage is messageToWire's inverse.
+func wireToMessage(w *wire.Msg) (*message, error) {
+	m := &message{}
+	switch w.Type {
+	case wire.THello:
+		m.Type = "hello"
+		m.ChipID = w.ChipID
+	case wire.TChallenges:
+		m.Type = "challenges"
+		m.Session = hex.EncodeToString(w.Session)
+		m.Challenges = make([]string, w.Count)
+		bits := wire.UnpackBits(nil, w.Packed, w.Width*w.Count)
+		for i := range m.Challenges {
+			m.Challenges[i] = challenge.Challenge(bits[i*w.Width : (i+1)*w.Width]).String()
+		}
+	case wire.TResponses:
+		m.Type = "responses"
+		m.Session = hex.EncodeToString(w.Session)
+		m.Responses = wire.UnpackBits(nil, w.Packed, w.Count)
+	case wire.TVerdict:
+		m.Type = "verdict"
+		m.Approved = w.Approved
+		m.Mismatches = w.Mismatches
+	case wire.TError:
+		m.Type = "error"
+		m.Code = codeFromByte(w.Code)
+		m.Retryable = w.Retryable
+		m.Redirect = w.Redirect
+		m.Message = w.ErrMsg
+	case wire.TPayload:
+		m.Type = "payload"
+		m.Session = hex.EncodeToString(w.Session)
+		m.Payload = base64encode(w.Data)
+		m.Digest = digestToHex(w.Digest)
+	case wire.TPayloadAck:
+		m.Type = "payload_ack"
+		m.Session = hex.EncodeToString(w.Session)
+		m.Digest = digestToHex(w.Digest)
+	case wire.TBye:
+		m.Type = "bye"
+	default:
+		return nil, fmt.Errorf("netauth: no v1 inner decoding for frame type 0x%02x", w.Type)
+	}
+	return m, nil
+}
+
+func base64decode(s string) ([]byte, error) {
+	return base64.StdEncoding.DecodeString(s)
+}
+
+func base64encode(b []byte) string {
+	return base64.StdEncoding.EncodeToString(b)
+}
+
+// hexDigest decodes a v1 hex sha256 digest.  An absent digest — v1
+// allows payloads without one — travels as 32 zero bytes; digestToHex
+// maps those back to absent.
+func hexDigest(s string) ([]byte, error) {
+	if s == "" {
+		return make([]byte, wire.DigestLen), nil
+	}
+	d, err := hex.DecodeString(s)
+	if err != nil || len(d) != wire.DigestLen {
+		return nil, errors.New("netauth: digest is not 32 hex bytes")
+	}
+	return d, nil
+}
+
+func digestToHex(d []byte) string {
+	allZero := true
+	for _, b := range d {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		return ""
+	}
+	return hex.EncodeToString(d)
+}
+
+// sessionToWire decodes the v1 hex session id into v2's 8 raw bytes.
+func sessionToWire(session string, w *wire.Msg) error {
+	raw, err := hex.DecodeString(session)
+	if err != nil || len(raw) != wire.SessionLen {
+		return fmt.Errorf("netauth: session %q is not 8 hex bytes", session)
+	}
+	w.Session = raw
+	return nil
+}

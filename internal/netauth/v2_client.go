@@ -1,0 +1,429 @@
+// Device side of the binary wire protocol v2.  Where the v1 Client dials
+// one connection per authentication, V2Client keeps a single connection
+// alive and multiplexes batches of sessions over it — the hello's batch
+// field opens k streams, and the codec's pooled buffers make the
+// steady-state exchange nearly allocation-free on both ends.
+//
+// Version negotiation: the first frame on a fresh connection is binary,
+// followed by one newline guard byte.  A v2 server answers in binary; a
+// v1-only server line-reads the frame, fails to parse it, and answers a
+// retryable JSON bad_message — which this client recognises by its '{'
+// first byte and treats as "downgrade": it redials and runs the classic
+// v1 protocol (unless RequireV2 is set).  A JSON busy refusal is NOT a
+// downgrade signal — the server never got far enough to sniff versions —
+// so it stays an ordinary transient error.
+package netauth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bufio"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/core"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/telemetry"
+	"xorpuf/internal/wire"
+)
+
+// errDowngrade marks a negotiation probe that found a v1-only server.
+var errDowngrade = errors.New("netauth: server speaks protocol v1 only")
+
+// V2Client authenticates a device over the binary protocol with session
+// pipelining and automatic v1 fallback.  Set at least Addr, ChipID, and
+// Device.  Methods serialize internally; one V2Client drives one
+// connection.
+type V2Client struct {
+	// Addr is the server's (or gateway's) TCP address.
+	Addr string
+	// ChipID identifies the enrolled chip.
+	ChipID string
+	// Device answers challenges (normally the physical chip).
+	Device core.Device
+	// Cond is the operating condition the device is evaluated at.
+	Cond silicon.Condition
+	// Timeout is the per-message I/O deadline (default 10 s).
+	Timeout time.Duration
+	// Policy bounds the retries; zero fields take DefaultRetryPolicy values.
+	Policy RetryPolicy
+	// DialContext dials the server; nil uses net.Dialer.  Tests inject
+	// faultnet.Dialer here.
+	DialContext func(ctx context.Context, network, addr string) (net.Conn, error)
+	// Jitter seeds backoff jitter; nil lazily seeds from the wall clock.
+	Jitter *rng.Source
+	// Tracer, when non-nil, records one SessionTrace per session.
+	Tracer *telemetry.Tracer
+	// RequireV2 turns the v1 fallback into a terminal error — for
+	// deployments (and tests) that must not silently downgrade.
+	RequireV2 bool
+
+	once sync.Once
+
+	mu       sync.Mutex
+	conn     net.Conn
+	br       *bufio.Reader
+	rd       *wire.Reader
+	wb       *[]byte
+	pb       *[]byte // packed-response scratch
+	scratch  challenge.Challenge
+	next     uint64
+	fresh    bool // next frame is the first on this connection
+	fellBack bool // the server negotiated down to v1
+	v1c      *Client
+}
+
+func (c *V2Client) init() {
+	c.once.Do(func() {
+		if c.Timeout <= 0 {
+			c.Timeout = 10 * time.Second
+		}
+		c.Policy = c.Policy.normalized()
+		if c.DialContext == nil {
+			var d net.Dialer
+			c.DialContext = d.DialContext
+		}
+		if c.Jitter == nil {
+			c.Jitter = rng.New(uint64(time.Now().UnixNano()))
+		}
+	})
+}
+
+// FellBack reports whether the client has negotiated down to protocol v1.
+func (c *V2Client) FellBack() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fellBack
+}
+
+// Close tears down the persistent connection (if any).  The client
+// remains usable; the next call redials.
+func (c *V2Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.teardown()
+}
+
+// teardown closes the connection and returns pooled state.  Caller holds mu.
+func (c *V2Client) teardown() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	if c.rd != nil {
+		c.rd.Release()
+		c.rd = nil
+	}
+	c.br = nil
+}
+
+// dial opens and prepares a fresh connection.  Caller holds mu.
+func (c *V2Client) dial(ctx context.Context) error {
+	dialCtx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	conn, err := c.DialContext(dialCtx, "tcp", c.Addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.rd = wire.NewReader(c.br)
+	if c.wb == nil {
+		c.wb = wire.GetBuf()
+	}
+	if c.pb == nil {
+		c.pb = wire.GetBuf()
+	}
+	c.fresh = true
+	return nil
+}
+
+// Authenticate runs one session — AuthenticateBatch of one.
+func (c *V2Client) Authenticate(ctx context.Context) (Result, error) {
+	res, err := c.AuthenticateBatch(ctx, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// AuthenticateBatch pipelines k authentication sessions over the
+// persistent connection: one hello opens k streams, the server issues
+// all their challenges through one batched (quorum-gated) registry call,
+// and the verdicts come back per stream.  Transient failures retry the
+// whole batch under the client's policy — every attempt burns fresh
+// challenges, exactly like k separate v1 sessions would.
+func (c *V2Client) AuthenticateBatch(ctx context.Context, k int) ([]Result, error) {
+	c.init()
+	if k <= 0 {
+		k = 1
+	}
+	if k > wire.MaxBatch {
+		return nil, fmt.Errorf("netauth: batch of %d exceeds protocol cap %d", k, wire.MaxBatch)
+	}
+	if err := c.Cond.Validate(); err != nil {
+		return nil, fmt.Errorf("netauth: operating condition: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	res, attempts, err := c.batchLoop(ctx, k)
+	clientSessions.Add(uint64(k))
+	clientAttempts.Add(uint64(attempts * k))
+	if attempts > 1 {
+		clientRetries.Add(uint64((attempts - 1) * k))
+	}
+	if err != nil {
+		clientFailures.Add(uint64(k))
+	}
+	clientSessionSeconds.ObserveSince(start)
+	if c.Tracer != nil {
+		c.traceBatch(start, res, attempts, err)
+	}
+	return res, err
+}
+
+func (c *V2Client) traceBatch(start time.Time, res []Result, attempts int, err error) {
+	tr := telemetry.SessionTrace{
+		ChipID: c.ChipID, Start: start, Retries: attempts - 1,
+		TotalSeconds: time.Since(start).Seconds(),
+	}
+	if err != nil {
+		tr.Verdict = "error"
+		var pe *ProtocolError
+		if errors.As(err, &pe) {
+			tr.DenialCode = pe.Code
+		}
+		c.Tracer.Record(tr)
+		return
+	}
+	for _, r := range res {
+		if r.Approved {
+			tr.Verdict = "approved"
+		} else {
+			tr.Verdict = "denied"
+		}
+		tr.Mismatches = r.Mismatches
+		tr.Challenges = r.Challenges
+		c.Tracer.Record(tr)
+	}
+}
+
+// batchLoop is the retry loop.  A downgrade probe does not consume an
+// attempt: discovering the server's protocol version is not a failure.
+func (c *V2Client) batchLoop(ctx context.Context, k int) ([]Result, int, error) {
+	var lastErr error
+	attempt := 0
+	for attempt < c.Policy.MaxAttempts {
+		if c.fellBack {
+			res, err := c.v1Batch(ctx, k)
+			return res, attempt + 1, err
+		}
+		attempt++
+		if attempt > 1 {
+			if err := sleepCtx(ctx, c.Policy.delay(attempt-1, c.Jitter)); err != nil {
+				return nil, attempt - 1, err
+			}
+		}
+		res, err := c.attemptBatch(ctx, k)
+		if err == nil {
+			for i := range res {
+				res[i].Attempts = attempt
+			}
+			return res, attempt, nil
+		}
+		c.teardown()
+		if errors.Is(err, errDowngrade) {
+			if c.RequireV2 {
+				return nil, attempt, fmt.Errorf("%w and RequireV2 is set", errDowngrade)
+			}
+			c.fellBack = true
+			attempt--
+			continue
+		}
+		lastErr = err
+		if !Transient(err) {
+			return nil, attempt, err
+		}
+	}
+	return nil, c.Policy.MaxAttempts, fmt.Errorf(
+		"netauth: giving up after %d attempts: %w", c.Policy.MaxAttempts, lastErr)
+}
+
+// v1Batch serves a batch through the classic one-connection-per-session
+// protocol after negotiation found a v1-only server.  The inner client
+// runs single attempts; retry pacing stays with the caller's policy via
+// the shared Transient classification.
+func (c *V2Client) v1Batch(ctx context.Context, k int) ([]Result, error) {
+	if c.v1c == nil {
+		c.v1c = &Client{
+			Addr: c.Addr, ChipID: c.ChipID, Device: c.Device, Cond: c.Cond,
+			Timeout: c.Timeout, Policy: c.Policy, DialContext: c.DialContext,
+			Jitter: c.Jitter,
+		}
+	}
+	out := make([]Result, 0, k)
+	for i := 0; i < k; i++ {
+		r, err := c.v1c.Authenticate(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// attemptBatch runs one pipelined batch over the live connection,
+// dialing (and negotiating) first if needed.
+func (c *V2Client) attemptBatch(ctx context.Context, k int) ([]Result, error) {
+	if c.conn == nil {
+		if err := c.dial(ctx); err != nil {
+			return nil, ctxErr(ctx, err)
+		}
+	}
+	conn := c.conn
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	base := c.next
+	c.next += uint64(k)
+	hello := wire.Msg{
+		Type: wire.THello, Stream: base, ChipID: c.ChipID,
+		Batch: k, Caps: wire.CapChaCha20Poly1305,
+	}
+	*c.wb = wire.AppendFrame((*c.wb)[:0], &hello)
+	negotiate := c.fresh
+	if negotiate {
+		// The guard byte completes a "line" for a v1-only server, whose
+		// structured parse failure is our downgrade signal.
+		*c.wb = append(*c.wb, wire.Guard)
+	}
+	if err := c.write(ctx); err != nil {
+		return nil, err
+	}
+	if negotiate {
+		if err := c.sniffVersion(ctx); err != nil {
+			return nil, err
+		}
+		c.fresh = false
+	}
+
+	results := make([]Result, k)
+	done := make([]bool, k)
+	remaining := k
+	var m wire.Msg
+	for remaining > 0 {
+		// Flush queued response frames before a read that could block;
+		// while more server frames are already buffered, keep queueing —
+		// a whole batch's responses then leave in one write.
+		if len(*c.wb) > 0 && c.br.Buffered() == 0 {
+			if err := c.write(ctx); err != nil {
+				return nil, err
+			}
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(c.Timeout))
+		if _, err := c.rd.Next(&m); err != nil {
+			return nil, ctxErr(ctx, err)
+		}
+		switch m.Type {
+		case wire.TChallenges:
+			i := int(m.Stream - base)
+			if i < 0 || i >= k || done[i] || results[i].Challenges != 0 {
+				return nil, fmt.Errorf("netauth: challenges for unexpected stream %d", m.Stream)
+			}
+			results[i].Challenges = m.Count
+			c.answer(&m)
+		case wire.TVerdict:
+			i := int(m.Stream - base)
+			if i < 0 || i >= k || done[i] {
+				return nil, fmt.Errorf("netauth: verdict for unexpected stream %d", m.Stream)
+			}
+			results[i].Approved = m.Approved
+			results[i].Mismatches = m.Mismatches
+			done[i] = true
+			remaining--
+		case wire.TError:
+			return nil, &ProtocolError{
+				Code: codeFromByte(m.Code), Message: m.ErrMsg,
+				Retryable: m.Retryable, Redirect: m.Redirect,
+			}
+		default:
+			return nil, fmt.Errorf("netauth: unexpected v2 frame type 0x%02x", m.Type)
+		}
+	}
+	return results, nil
+}
+
+// answer computes and queues the packed response vector for one
+// challenges frame.  The challenge scratch and response buffer are
+// reused across sessions — the client-side half of the zero-alloc path.
+func (c *V2Client) answer(m *wire.Msg) {
+	if cap(c.scratch) < m.Width {
+		c.scratch = make(challenge.Challenge, m.Width)
+	}
+	cc := c.scratch[:m.Width]
+	resp := wire.Msg{Type: wire.TResponses, Stream: m.Stream, Session: m.Session, Count: m.Count}
+	*c.pb = (*c.pb)[:0]
+	for i := 0; i < wire.PackedLen(m.Count); i++ {
+		*c.pb = append(*c.pb, 0)
+	}
+	for j := 0; j < m.Count; j++ {
+		for b := 0; b < m.Width; b++ {
+			cc[b] = wire.Bit(m.Packed, j*m.Width+b)
+		}
+		if c.Device.ReadXOR(cc, c.Cond)&1 == 1 {
+			(*c.pb)[j/8] |= 1 << (j % 8)
+		}
+	}
+	resp.Packed = *c.pb
+	// m.Session and resp.Packed alias live buffers; AppendFrame copies
+	// them into the write buffer before the next read reuses either.
+	// The frame is queued, not written — the batch loop flushes before
+	// it would block reading.
+	*c.wb = wire.AppendFrame(*c.wb, &resp)
+}
+
+// write flushes the queued frames under the per-message deadline.
+func (c *V2Client) write(ctx context.Context) error {
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+	if _, err := c.conn.Write(*c.wb); err != nil {
+		return ctxErr(ctx, err)
+	}
+	*c.wb = (*c.wb)[:0]
+	return nil
+}
+
+// sniffVersion inspects the first reply byte of a fresh connection.  A
+// v2 frame means proceed; JSON means a v1 peer answered — either a busy
+// refusal (transient, not a version signal) or the bad_message parse
+// failure that marks a v1-only server.
+func (c *V2Client) sniffVersion(ctx context.Context) error {
+	_ = c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
+	b, err := c.br.Peek(1)
+	if err != nil {
+		return ctxErr(ctx, err)
+	}
+	if b[0] == wire.Magic {
+		return nil
+	}
+	line, err := readLine(c.br)
+	if err != nil {
+		return ctxErr(ctx, err)
+	}
+	em, err := decodeFrame(line)
+	if err != nil {
+		return fmt.Errorf("netauth: unintelligible negotiation reply: %w", err)
+	}
+	if em.Type == "error" && em.Code == CodeBusy {
+		return &ProtocolError{Code: em.Code, Message: em.Message, Retryable: true}
+	}
+	if em.Type == "error" && em.Code == CodeMoved {
+		return &ProtocolError{Code: em.Code, Message: em.Message, Retryable: em.Retryable, Redirect: em.Redirect}
+	}
+	return errDowngrade
+}

@@ -1,0 +1,313 @@
+package netauth
+
+// Cross-version compatibility: every pairing of protocol versions across
+// client, server, and gateway must either interoperate or degrade into a
+// clean, classified error — never a hang, never a silent downgrade when
+// the caller forbade one, and never a spurious downgrade triggered by a
+// transient refusal or a corrupted negotiation reply.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/faultnet"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/telemetry"
+	"xorpuf/internal/wire"
+)
+
+// TestV1ClientAgainstV2Server: a JSON client must not notice that the
+// server grew a second protocol — the first-byte sniff routes it to the
+// v1 path and the per-version counters say so.
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	addr, _, chip := startServerConfigured(t, 30, func(s *Server) { s.SetTelemetry(tel) })
+	res, err := Authenticate(addr, "chip-A", chip, silicon.Nominal, 5*time.Second)
+	if err != nil || !res.Approved {
+		t.Fatalf("v1 client against v2-enabled server: %+v, %v", res, err)
+	}
+	snap := tel.Snapshot()
+	if snap.Counters["netauth_sessions_v1_total"] != 1 || snap.Counters["netauth_sessions_v2_total"] != 0 {
+		t.Errorf("version counters v1=%d v2=%d, want 1/0",
+			snap.Counters["netauth_sessions_v1_total"], snap.Counters["netauth_sessions_v2_total"])
+	}
+}
+
+// TestV2ClientAgainstV1OnlyServer: negotiation against a server with v2
+// disabled must fall back to the JSON protocol (without burning a retry
+// attempt on the discovery), and RequireV2 must turn the same situation
+// into a terminal error.
+func TestV2ClientAgainstV1OnlyServer(t *testing.T) {
+	tel := telemetry.NewRegistry()
+	addr, _, chip := startServerConfigured(t, 30, func(s *Server) {
+		s.SetV2(false)
+		s.SetTelemetry(tel)
+	})
+
+	c := &V2Client{Addr: addr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		Policy: RetryPolicy{MaxAttempts: 1}}
+	defer c.Close()
+	res, err := c.AuthenticateBatch(context.Background(), 2)
+	if err != nil {
+		t.Fatalf("fallback batch: %v", err)
+	}
+	if !res[0].Approved || !res[1].Approved {
+		t.Fatalf("fallback results: %+v", res)
+	}
+	if !c.FellBack() {
+		t.Fatal("client did not record the v1 fallback")
+	}
+	// A later call sticks with v1 — no renegotiation churn.
+	if _, err := c.Authenticate(context.Background()); err != nil {
+		t.Fatalf("post-fallback session: %v", err)
+	}
+	snap := tel.Snapshot()
+	if snap.Counters["netauth_sessions_v2_total"] != 0 {
+		t.Errorf("v1-only server recorded %d v2 sessions", snap.Counters["netauth_sessions_v2_total"])
+	}
+
+	strict := &V2Client{Addr: addr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		RequireV2: true, Policy: RetryPolicy{MaxAttempts: 3}}
+	defer strict.Close()
+	if _, err := strict.Authenticate(context.Background()); err == nil ||
+		!errors.Is(err, errDowngrade) {
+		t.Fatalf("RequireV2 against v1-only server: err = %v, want downgrade refusal", err)
+	}
+}
+
+// TestBusyRefusalIsNotADowngrade: a v2-capable server refusing at the
+// connection limit answers in JSON (it refused before sniffing the
+// version), and the v2 client must treat that as a transient busy — NOT
+// as evidence the server only speaks v1.
+func TestBusyRefusalIsNotADowngrade(t *testing.T) {
+	addr, srv, chip := startServer(t, 30)
+	srv.SetMaxConns(1)
+
+	// Occupy the only slot with an idle connection.
+	hog, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the server admit the hog
+
+	c := &V2Client{Addr: addr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		RequireV2: true, Policy: RetryPolicy{MaxAttempts: 1}}
+	defer c.Close()
+	_, err = c.Authenticate(context.Background())
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != CodeBusy || !pe.Retryable {
+		t.Fatalf("err = %v, want retryable busy", err)
+	}
+	if c.FellBack() {
+		t.Fatal("busy refusal triggered a v1 downgrade")
+	}
+	hog.Close()
+
+	// With the slot free, the same client's retry succeeds over v2.
+	c.Policy = RetryPolicy{MaxAttempts: 5, BaseDelay: 20 * time.Millisecond,
+		MaxDelay: 200 * time.Millisecond, Multiplier: 2, Jitter: 0.3}
+	res, err := c.Authenticate(context.Background())
+	if err != nil || !res.Approved {
+		t.Fatalf("post-busy retry: %+v, %v", res, err)
+	}
+}
+
+// TestCrossVersionThroughGateway: both protocol versions route through
+// one gateway to the same backend, each answered in its own format.
+func TestCrossVersionThroughGateway(t *testing.T) {
+	addr, _, chip := startServer(t, 20)
+	gw, err := NewGateway([]GatewayShard{{Name: "s0", Addrs: []string{addr}}}, GatewayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve(gln) //nolint:errcheck
+	defer gw.Close()
+	gaddr := gln.Addr().String()
+
+	res, err := Authenticate(gaddr, "chip-A", chip, silicon.Nominal, 5*time.Second)
+	if err != nil || !res.Approved {
+		t.Fatalf("v1 through gateway: %+v, %v", res, err)
+	}
+
+	before := gatewaySessionsV2.Value()
+	c := &V2Client{Addr: gaddr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		RequireV2: true}
+	defer c.Close()
+	batch, err := c.AuthenticateBatch(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("v2 through gateway: %v", err)
+	}
+	for i, r := range batch {
+		if !r.Approved {
+			t.Fatalf("v2 stream %d through gateway denied", i)
+		}
+	}
+	if got := gatewaySessionsV2.Value(); got != before+1 {
+		t.Errorf("gateway v2 session counter moved %d, want 1 (one connection)", got-before)
+	}
+
+	// An unroutable chip gets the gateway's own refusal in v2 format.
+	bad := &V2Client{Addr: gaddr, ChipID: "", Device: chip, Cond: silicon.Nominal,
+		RequireV2: true, Policy: RetryPolicy{MaxAttempts: 1}}
+	defer bad.Close()
+	_, err = bad.Authenticate(context.Background())
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || pe.Code != CodeBadMessage {
+		t.Fatalf("empty chip through gateway: err = %v, want v2 bad_message", err)
+	}
+	if bad.FellBack() {
+		t.Fatal("gateway refusal triggered a v1 downgrade")
+	}
+}
+
+// truncatingListener accepts one connection, reads the client's opening
+// bytes, writes a partial (or corrupted) v2 frame, and slams the
+// connection — the hostile-negotiation case.
+func serveTruncated(t *testing.T, reply []byte) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				conn.SetReadDeadline(time.Now().Add(time.Second))
+				conn.Read(buf)    //nolint:errcheck
+				conn.Write(reply) //nolint:errcheck
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestNegotiationTruncatedOrCorruptedIsRetryable: a half-delivered or
+// CRC-broken first reply must classify as transient (the device retries
+// and may reach a healthy replica) and must never read as a downgrade.
+func TestNegotiationTruncatedOrCorruptedIsRetryable(t *testing.T) {
+	hello := wire.AppendFrame(nil, &wire.Msg{Type: wire.TChallenges, Stream: 1,
+		Session: make([]byte, wire.SessionLen), Width: 4, Count: 2, Packed: []byte{0xFF}})
+	corrupted := append([]byte(nil), hello...)
+	corrupted[len(corrupted)-1] ^= 0x40 // break the CRC
+
+	cases := []struct {
+		name  string
+		reply []byte
+	}{
+		{"truncated", hello[:5]},
+		{"corrupted", corrupted},
+		{"empty_close", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := serveTruncated(t, tc.reply)
+			c := &V2Client{Addr: addr, ChipID: "chip-A", Device: zeroDevice{},
+				Cond: silicon.Nominal, Timeout: 2 * time.Second,
+				Policy: RetryPolicy{MaxAttempts: 1}}
+			defer c.Close()
+			_, err := c.Authenticate(context.Background())
+			if err == nil {
+				t.Fatal("expected an error from a mangled negotiation reply")
+			}
+			if !Transient(err) {
+				t.Fatalf("mangled negotiation reply classified terminal: %v", err)
+			}
+			if c.FellBack() {
+				t.Fatal("mangled negotiation reply read as a v1 downgrade")
+			}
+		})
+	}
+}
+
+// TestV2ThroughChaosLink drives pipelined v2 batches across a faultnet
+// transport injecting resets, stalls, and corruption.  Retries must ride
+// out the faults, corruption must never flip a verdict (the frame CRC
+// catches it first), and a fault must never masquerade as a downgrade.
+func TestV2ThroughChaosLink(t *testing.T) {
+	const (
+		rounds     = 30
+		batch      = 4
+		msgTimeout = 150 * time.Millisecond
+	)
+	baseline := runtime.NumGoroutine()
+	chip := silicon.NewChip(rng.New(1), silicon.DefaultParams(), 4)
+	cfg := core.DefaultEnrollConfig()
+	cfg.TrainingSize = 2000
+	cfg.ValidationSize = 5000
+	enr, err := core.EnrollChip(chip, rng.New(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(10, 3)
+	if err := srv.Register("chip-A", enr.Model); err != nil {
+		t.Fatal(err)
+	}
+
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := faultnet.WrapListener(ln2, faultnet.Config{
+		Seed:        11,
+		ResetProb:   0.04,
+		StallProb:   0.04,
+		Stall:       250 * time.Millisecond,
+		CorruptProb: 0.05,
+		MaxLatency:  2 * time.Millisecond,
+	})
+	go srv.Serve(fln) //nolint:errcheck
+
+	policy := RetryPolicy{MaxAttempts: 10, BaseDelay: 2 * time.Millisecond,
+		MaxDelay: 20 * time.Millisecond, Multiplier: 2, Jitter: 0.5}
+	approvedBatches, terminal := 0, 0
+	for i := 0; i < rounds; i++ {
+		c := &V2Client{Addr: ln2.Addr().String(), ChipID: "chip-A", Device: chip,
+			Cond: silicon.Nominal, Timeout: msgTimeout, Policy: policy,
+			RequireV2: true, Jitter: rng.New(uint64(5000 + i))}
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		res, err := c.AuthenticateBatch(ctx, batch)
+		cancel()
+		c.Close()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			t.Fatalf("round %d hung past the outer deadline", i)
+		case errors.Is(err, errDowngrade):
+			t.Fatalf("round %d: chaos read as downgrade: %v", i, err)
+		case err != nil:
+			terminal++
+		default:
+			for j, r := range res {
+				if !r.Approved {
+					t.Fatalf("round %d stream %d: genuine device denied (%d mismatches) — "+
+						"corruption leaked through the CRC", i, j, r.Mismatches)
+				}
+			}
+			approvedBatches++
+		}
+	}
+	if approvedBatches < rounds*8/10 {
+		t.Errorf("only %d/%d batches approved (%d terminal) — retries not riding out faults",
+			approvedBatches, rounds, terminal)
+	}
+	t.Logf("chaos v2: %d/%d batches approved, %d terminal", approvedBatches, rounds, terminal)
+
+	srv.Close()
+	waitGoroutines(t, baseline)
+}

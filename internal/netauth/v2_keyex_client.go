@@ -1,0 +1,233 @@
+// Device side of the key exchange over the binary wire protocol.  The
+// handshake is the same reverse fuzzy-extractor exchange as v1 — the
+// transcript binds the identical canonical offer strings, so both
+// versions derive byte-for-byte the same session key — but the offer's
+// challenges and helper data travel as packed bits, and the encrypted
+// channel's inner frames stay binary for the life of the session.
+package netauth
+
+import (
+	"bufio"
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"xorpuf/internal/challenge"
+	"xorpuf/internal/keyex"
+	"xorpuf/internal/wire"
+)
+
+// Establish dials a dedicated connection and runs the key exchange over
+// binary framing.  Negotiation mirrors AuthenticateBatch: against a
+// v1-only server the client redials and runs the classic JSON handshake
+// (unless RequireV2 is set).  Like the v1 Establish there is no retry
+// loop — every handshake burns fresh challenges.
+func (c *V2Client) Establish(ctx context.Context) (*SecureSession, error) {
+	c.init()
+	if c.Device == nil {
+		return nil, errors.New("netauth: client has no device")
+	}
+	if err := c.Cond.Validate(); err != nil {
+		return nil, fmt.Errorf("netauth: operating condition: %w", err)
+	}
+	c.mu.Lock()
+	fellBack := c.fellBack
+	c.mu.Unlock()
+	if !fellBack {
+		ss, err := c.establishV2(ctx)
+		if err == nil {
+			return ss, nil
+		}
+		if !errors.Is(err, errDowngrade) {
+			return nil, err
+		}
+		if c.RequireV2 {
+			return nil, fmt.Errorf("%w and RequireV2 is set", errDowngrade)
+		}
+		c.mu.Lock()
+		c.fellBack = true
+		c.mu.Unlock()
+	}
+	return c.v1Keyex().Establish(ctx)
+}
+
+// v1Keyex builds (once) the fallback v1 client used after downgrade.
+func (c *V2Client) v1Keyex() *Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.v1c == nil {
+		c.v1c = &Client{
+			Addr: c.Addr, ChipID: c.ChipID, Device: c.Device, Cond: c.Cond,
+			Timeout: c.Timeout, Policy: c.Policy, DialContext: c.DialContext,
+			Jitter: c.Jitter,
+		}
+	}
+	return c.v1c
+}
+
+// establishV2 runs the binary handshake on a fresh connection.  The
+// handshake is three frames; ReadRawFrame's fresh buffers keep the code
+// simple — key-exchange throughput is bounded by BCH math, not allocs.
+func (c *V2Client) establishV2(ctx context.Context) (*SecureSession, error) {
+	dialCtx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	conn, err := c.DialContext(dialCtx, "tcp", c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	ss, err := c.keyexFrames(conn)
+	if err != nil {
+		stop()
+		conn.Close()
+		return nil, ctxErr(ctx, err)
+	}
+	ss.stop = stop
+	return ss, nil
+}
+
+func (c *V2Client) keyexFrames(conn net.Conn) (*SecureSession, error) {
+	br := bufio.NewReader(conn)
+	init := wire.Msg{Type: wire.TKeyexInit, ChipID: c.ChipID, Caps: wire.CapChaCha20Poly1305}
+	buf := wire.AppendFrame(nil, &init)
+	buf = append(buf, wire.Guard)
+	_ = conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+	if _, err := conn.Write(buf); err != nil {
+		return nil, err
+	}
+
+	// First-reply version sniff, same discrimination as the auth path:
+	// a JSON busy or moved refusal is a structured error from a v2-capable
+	// front end, anything else in JSON is a v1-only server.
+	_ = conn.SetReadDeadline(time.Now().Add(c.Timeout))
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, err
+	}
+	if first[0] != wire.Magic {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, err
+		}
+		em, err := decodeFrame(line)
+		if err != nil {
+			return nil, fmt.Errorf("netauth: unintelligible negotiation reply: %w", err)
+		}
+		if em.Type == "error" && (em.Code == CodeBusy || em.Code == CodeMoved) {
+			return nil, &ProtocolError{Code: em.Code, Message: em.Message,
+				Retryable: em.Retryable, Redirect: em.Redirect}
+		}
+		return nil, errDowngrade
+	}
+
+	offer, err := c.readKeyexFrame(conn, br, wire.TKeyexOffer)
+	if err != nil {
+		return nil, err
+	}
+	// Downgrade check, as in v1: we offered exactly ChaCha20-Poly1305, so
+	// the server must pick it.  CipherNone here means an active attacker
+	// (or a misconfigured server) tried to strip the channel encryption.
+	if offer.Cipher != wire.CipherChaCha20 {
+		return nil, fmt.Errorf("netauth: server chose cipher %d, which this client did not offer", offer.Cipher)
+	}
+	cfg := keyex.Config{M: offer.M, T: offer.T}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("netauth: server offered bad code parameters: %w", err)
+	}
+	n := cfg.N()
+	if offer.Count != n || offer.Width <= 0 {
+		return nil, fmt.Errorf("netauth: offer carries %d challenges of width %d, code needs %d",
+			offer.Count, offer.Width, n)
+	}
+	bits := wire.UnpackBits(nil, offer.Packed, n*offer.Width)
+	if bits == nil {
+		return nil, errors.New("netauth: offer challenge bits are truncated")
+	}
+	helper := wire.UnpackBits(nil, offer.Helper, n)
+	if helper == nil {
+		return nil, errors.New("netauth: bad helper data")
+	}
+	sessRaw := append([]byte(nil), offer.Session...)
+	session := hex.EncodeToString(sessRaw)
+
+	// Reconstruct the canonical offer strings: the transcript — and hence
+	// the derived key — must match what a v1 exchange would have bound.
+	chalStrs := make([]string, n)
+	w := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		cc := challenge.Challenge(bits[i*offer.Width : (i+1)*offer.Width])
+		chalStrs[i] = cc.String()
+		w[i] = c.Device.ReadXOR(cc, c.Cond)
+	}
+	master, corrected, err := keyex.Reproduce(cfg, w, helper)
+	if err != nil {
+		return nil, fmt.Errorf("netauth: key reproduction failed: %w", err)
+	}
+	o := keyex.Offer{
+		Session:    session,
+		ChipID:     c.ChipID,
+		Caps:       []string{keyex.CipherChaCha20Poly1305},
+		Challenges: chalStrs,
+		Helper:     keyex.FormatBits(helper),
+		M:          offer.M,
+		T:          offer.T,
+		Cipher:     keyex.CipherChaCha20Poly1305,
+	}
+	transcript := keyex.Transcript(o)
+	keys := keyex.DeriveSession(master, transcript)
+	keyex.Zeroize(master[:])
+
+	devMAC := keyex.ConfirmMAC(keys, keyex.RoleDevice, transcript)
+	confirm := wire.Msg{Type: wire.TKeyexConfirm, Session: sessRaw, MAC: devMAC[:]}
+	buf = wire.AppendFrame(buf[:0], &confirm)
+	_ = conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+	if _, err := conn.Write(buf); err != nil {
+		return nil, err
+	}
+	accept, err := c.readKeyexFrame(conn, br, wire.TKeyexAccept)
+	if err != nil {
+		return nil, err // includes the structured key_mismatch denial
+	}
+	if !keyex.VerifyConfirm(keys, keyex.RoleServer, transcript, accept.MAC) {
+		return nil, errors.New("netauth: server failed key confirmation")
+	}
+
+	ss := &SecureSession{
+		Result: KeyexResult{
+			Session:    session,
+			Challenges: n,
+			Corrected:  corrected,
+			Cipher:     keyex.CipherChaCha20Poly1305,
+		},
+		c:    &Client{ChipID: c.ChipID, Device: c.Device, Cond: c.Cond, Timeout: c.Timeout},
+		conn: conn,
+		bin:  true,
+		ch:   keyex.NewChannel(readWriter{br, conn}, keys, transcript, true),
+	}
+	return ss, nil
+}
+
+// readKeyexFrame reads one handshake frame, surfacing server refusals as
+// structured ProtocolErrors.
+func (c *V2Client) readKeyexFrame(conn net.Conn, br *bufio.Reader, want byte) (*wire.Msg, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(c.Timeout))
+	raw, err := wire.ReadRawFrame(br)
+	if err != nil {
+		return nil, err
+	}
+	var m wire.Msg
+	if err := wire.Decode(raw, &m); err != nil {
+		return nil, err
+	}
+	if m.Type == wire.TError {
+		return nil, &ProtocolError{Code: codeFromByte(m.Code), Message: m.ErrMsg,
+			Retryable: m.Retryable, Redirect: m.Redirect}
+	}
+	if m.Type != want {
+		return nil, fmt.Errorf("netauth: unexpected frame type 0x%02x, want 0x%02x", m.Type, want)
+	}
+	return &m, nil
+}
