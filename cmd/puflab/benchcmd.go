@@ -22,6 +22,7 @@ import (
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
 	"xorpuf/internal/telemetry"
+	"xorpuf/internal/telemetry/dtrace"
 )
 
 // benchResult is one benchmark's outcome in the JSON report.
@@ -50,6 +51,10 @@ type benchReport struct {
 	PipelinedGOMAXPROCS int           `json:"pipelined_gomaxprocs"`
 	Benchmarks          []benchResult `json:"benchmarks"`
 	OverheadPercent     float64       `json:"auth_session_overhead_percent"`
+	// TracedOverheadPercent is the traced arm (every session carrying a
+	// distributed-trace context, the server recording a span tree per
+	// session) vs the plain instrumented arm.  Gated at -trace-tolerance.
+	TracedOverheadPercent float64 `json:"traced_session_overhead_percent"`
 }
 
 func runBench(args []string) {
@@ -62,6 +67,7 @@ func runBench(args []string) {
 	n := fs.Int("n", 16, "challenges per benchmarked authentication session")
 	seed := fs.Uint64("seed", 1, "model seed")
 	best := fs.Int("best", 3, "repetitions per benchmark; the fastest is reported")
+	traceTolerance := fs.Float64("trace-tolerance", 5, "max %% traced-vs-untraced session overhead before failing")
 	procs := fs.Int("procs", 0, "GOMAXPROCS for the pipelined v2 throughput benchmark (0 = max(2, NumCPU)); serial benchmarks keep the ambient setting")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -161,15 +167,26 @@ func runBench(args []string) {
 	}))
 
 	// Macro: full client↔server sessions over loopback TCP, instrumented
-	// (Default registry + tracer) vs bare (telemetry disabled).
+	// (Default registry + tracer) vs bare (telemetry disabled), plus the
+	// traced arm: same instrumented server, but every hello carries a
+	// distributed-trace context so the server records the full span tree
+	// (session, select, device_rtt) per session.  The traced-vs-untraced
+	// delta is the cost of tracing itself and gates at -trace-tolerance.
 	e2e := add("auth_session_e2e", bestOf(func() testing.BenchmarkResult {
-		return benchAuthSession(*n, *seed, true)
+		return benchAuthSession(*n, *seed, true, "")
 	}))
 	bare := add("auth_session_e2e_bare", bestOf(func() testing.BenchmarkResult {
-		return benchAuthSession(*n, *seed, false)
+		return benchAuthSession(*n, *seed, false, "")
 	}))
 	if bare.NsPerOp > 0 {
 		report.OverheadPercent = (e2e.NsPerOp - bare.NsPerOp) / bare.NsPerOp * 100
+	}
+	benchTrace := dtrace.Context{Trace: dtrace.NewTraceID(), Span: dtrace.NewSpanID()}.String()
+	traced := add("auth_session_traced", bestOf(func() testing.BenchmarkResult {
+		return benchAuthSession(*n, *seed, true, benchTrace)
+	}))
+	if e2e.NsPerOp > 0 {
+		report.TracedOverheadPercent = (traced.NsPerOp - e2e.NsPerOp) / e2e.NsPerOp * 100
 	}
 
 	// Macro: the same session over binary wire protocol v2 — first a single
@@ -222,6 +239,12 @@ func runBench(args []string) {
 			fmt.Println()
 		}
 		fmt.Printf("\nauth session overhead (instrumented vs bare): %+.2f%%\n", report.OverheadPercent)
+		fmt.Printf("traced session overhead (traced vs untraced): %+.2f%%\n", report.TracedOverheadPercent)
+	}
+	if report.TracedOverheadPercent > *traceTolerance {
+		fmt.Fprintf(os.Stderr, "puflab bench: traced session overhead %.2f%% exceeds %.0f%% tolerance\n",
+			report.TracedOverheadPercent, *traceTolerance)
+		os.Exit(1)
 	}
 	if *baseline != "" {
 		if err := compareBaseline(report, *baseline, *tolerance); err != nil {
@@ -475,8 +498,10 @@ func benchAuthSessionV2(n int, seed uint64, pipelined bool) testing.BenchmarkRes
 }
 
 // benchAuthSession measures one full authentication session per iteration
-// against a loopback server, with telemetry either wired or disabled.
-func benchAuthSession(n int, seed uint64, instrumented bool) testing.BenchmarkResult {
+// against a loopback server, with telemetry either wired or disabled.  A
+// non-empty trace is sent as each session's distributed-trace context, so
+// the server records the full per-session span tree.
+func benchAuthSession(n int, seed uint64, instrumented bool, trace string) testing.BenchmarkResult {
 	model := benchModel(seed, 4, 64)
 	reg, err := registry.Open("", registry.Options{Seed: seed})
 	if err != nil {
@@ -508,6 +533,7 @@ func benchAuthSession(n int, seed uint64, instrumented bool) testing.BenchmarkRe
 		Device: modelDevice{m: model},
 		Cond:   silicon.Nominal,
 		Policy: netauth.RetryPolicy{MaxAttempts: 1},
+		Trace:  trace,
 	}
 	ctx := context.Background()
 	return testing.Benchmark(func(b *testing.B) {

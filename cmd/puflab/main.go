@@ -48,6 +48,10 @@
 //	          -count, -window)
 //	slo       one-shot SLO evaluation against a serve admin plane; exits
 //	          nonzero while any alert is firing (-addr, -json, -events)
+//	trace     collect distributed-trace spans from several admin planes and
+//	          render one session's cross-process span tree (collect / show
+//	          subcommands; -admin, -o, -in, -min-procs; "puflab auth -trace"
+//	          mints the trace ID)
 //	repl      inspect or drive registry replication via a serve admin plane
 //	          (status / promote subcommands; -addr, -json)
 //	gateway   consistent-hashing session gateway routing devices to shard
@@ -124,6 +128,9 @@ func main() {
 		return
 	case "rebalance":
 		runRebalance(os.Args[2:])
+		return
+	case "trace":
+		runTrace(os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -289,6 +296,7 @@ rebalancing: rebalance    (live chip-range migration between serves: start / sta
              never-reuse audit over WAL journals; the target serve needs -migrate-listen)
 fleet:       fleet        (persistent registry benchmark: enrollment throughput, lookups/s, recovery time)
 lifecycle:   health       (drift-detector report, force-quarantine, re-enrollment; "puflab health" for usage)
-observe:     metrics bench top slo ("puflab metrics" scrapes a serve -admin plane; "puflab bench" measures
-             hot-path overhead; "puflab top" is a live dashboard; "puflab slo" gates on firing alerts)`)
+observe:     metrics bench top slo trace ("puflab metrics" scrapes a serve -admin plane; "puflab bench"
+             measures hot-path overhead; "puflab top" is a live dashboard; "puflab slo" gates on firing
+             alerts; "puflab trace" renders one session's span tree across gateway, shard, and follower)`)
 }

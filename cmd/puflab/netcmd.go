@@ -37,6 +37,7 @@ import (
 	"xorpuf/internal/rng"
 	"xorpuf/internal/silicon"
 	"xorpuf/internal/telemetry"
+	"xorpuf/internal/telemetry/dtrace"
 	"xorpuf/internal/telemetry/history"
 	"xorpuf/internal/telemetry/slo"
 )
@@ -125,6 +126,15 @@ func runServe(args []string) {
 	if *followerAddr != "" && *migrateListen != "" {
 		fmt.Fprintln(os.Stderr, "puflab serve: -migrate-listen installs chips locally; a follower must not mutate its registry")
 		os.Exit(2)
+	}
+
+	// Tag every span this process records with its role and auth address,
+	// so `puflab trace collect` can tell the shard apart from the follower
+	// it fails over to.
+	if *followerAddr != "" {
+		dtrace.SetService("follower@" + *addr)
+	} else {
+		dtrace.SetService("shard@" + *addr)
 	}
 
 	// The model database lives in a registry keyed by *seed+1 (selector
@@ -285,6 +295,14 @@ func runServe(args []string) {
 		Collectors: []func(){telemetry.RuntimeCollector(telemetry.Default, time.Now)},
 	})
 	engine := slo.NewEngine(sampler, slo.DefaultRules())
+	// Latency alerts carry a concrete offending trace ID: the engine pulls
+	// each rule's histogram exemplar on every evaluation.
+	engine.SetExemplarSource(func(hist string) (string, float64) {
+		if h := telemetry.Default.FindHistogram(hist); h != nil {
+			return h.Exemplar()
+		}
+		return "", 0
+	})
 	detector := slo.NewAnomalyDetector(slo.AnomalyConfig{}, sampler.Now)
 	engine.Attach(detector)
 	srv.SetTraceObserver(func(tr telemetry.SessionTrace) {
@@ -355,6 +373,7 @@ func runServe(args []string) {
 			os.Exit(1)
 		}
 		endpoints := []telemetry.Endpoint{
+			{Path: "/trace/spans", Handler: dtrace.Handler(dtrace.Default)},
 			{Path: "/timeseries", Handler: sampler.Handler()},
 			{Path: "/slo", Handler: engine.SLOHandler()},
 			{Path: "/alerts", Handler: engine.AlertsHandler()},
@@ -391,7 +410,7 @@ func runServe(args []string) {
 				fmt.Fprintf(os.Stderr, "puflab serve: admin server: %v\n", err)
 			}
 		}()
-		fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /timeseries /slo /alerts /repl /rebalance /debug/pprof)\n", adminLn.Addr())
+		fmt.Printf("admin plane on http://%s (/metrics /healthz /traces /trace/spans /timeseries /slo /alerts /repl /rebalance /debug/pprof)\n", adminLn.Addr())
 	}
 
 	if *followerAddr == "" {
@@ -457,6 +476,9 @@ func runServe(args []string) {
 		if err := writeFinalSLO(*state, engine); err != nil {
 			fmt.Fprintf(os.Stderr, "puflab serve: final SLO snapshot: %v\n", err)
 		}
+		if err := writeFinalSpans(*state); err != nil {
+			fmt.Fprintf(os.Stderr, "puflab serve: final span snapshot: %v\n", err)
+		}
 	}
 	// Flush explicitly so shutdown compacts the WAL into a snapshot; the
 	// deferred Close is then a no-op.
@@ -496,6 +518,21 @@ func writeFinalSLO(stateDir string, engine *slo.Engine) error {
 		return err
 	}
 	fmt.Printf("final SLO snapshot written to %s\n", path)
+	return nil
+}
+
+// writeFinalSpans persists the closing distributed-trace span ring beside
+// metrics_final.json, so `puflab trace show -in` works on a stopped server.
+func writeFinalSpans(stateDir string) error {
+	b, err := dtrace.Default.MarshalJSONIndent()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(stateDir, "spans_final.json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("final span snapshot written to %s\n", path)
 	return nil
 }
 
@@ -571,6 +608,7 @@ func runAuth(args []string) {
 	encrypt := fs.Bool("encrypt", false, "establish a PUF-derived session key first and authenticate inside the encrypted channel (server must run -keyex)")
 	proto := fs.String("proto", "auto", "wire protocol: auto (binary v2, fall back to JSON), 1 (JSON only), 2 (binary only, no fallback)")
 	batch := fs.Int("batch", 1, "sessions pipelined per round trip over one v2 connection (ignored with -proto 1 or -encrypt)")
+	traced := fs.Bool("trace", false, "mint a distributed-trace context, propagate it to the server, and print the trace ID")
 	fault := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -593,6 +631,15 @@ func runAuth(args []string) {
 		Timeout: *timeout,
 		Policy:  policy,
 	}
+	if *traced {
+		// The device is the trace root: every server-side span nests under
+		// this context, and the printed ID is what `puflab trace show`
+		// takes.  All -sessions share one trace — each session is a
+		// separate subtree under it.
+		tc := dtrace.Context{Trace: dtrace.NewTraceID(), Span: dtrace.NewSpanID()}
+		client.Trace = tc.String()
+		fmt.Printf("trace ID: %s\n", tc.Trace)
+	}
 	var v2c *netauth.V2Client
 	switch *proto {
 	case "1":
@@ -605,6 +652,7 @@ func runAuth(args []string) {
 			Timeout:   *timeout,
 			Policy:    policy,
 			RequireV2: *proto == "2",
+			Trace:     client.Trace,
 		}
 		defer v2c.Close()
 	default:

@@ -21,6 +21,8 @@ import (
 
 	"xorpuf/internal/netauth"
 	"xorpuf/internal/registry/repl"
+	"xorpuf/internal/telemetry"
+	"xorpuf/internal/telemetry/dtrace"
 )
 
 func runRepl(args []string) {
@@ -102,6 +104,7 @@ follower to stop replicating and start serving authentication (failover).
 func runGateway(args []string) {
 	fs := flag.NewFlagSet("gateway", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7400", "device-facing listen address")
+	admin := fs.String("admin", "", "admin HTTP address serving /metrics and /trace/spans (empty = off)")
 	virtual := fs.Int("virtual-nodes", 64, "ring points per shard")
 	dialTimeout := fs.Duration("dial-timeout", 2*time.Second, "backend dial timeout")
 	cooldown := fs.Duration("cooldown", 3*time.Second, "down-mark cooldown before a failed backend is re-probed")
@@ -141,6 +144,29 @@ func runGateway(args []string) {
 	}
 	fmt.Printf("session gateway on %s (%d shards, %d ring points each)\n", ln.Addr(), len(shards), *virtual)
 
+	// Observability plane: the gateway's routing counters (reroutes,
+	// redirects, down-marks) in /metrics and its gateway.session /
+	// gateway.hop spans in /trace/spans, so `puflab trace collect` can fold
+	// the gateway hop into the cross-process tree.
+	dtrace.SetService("gateway@" + *listen)
+	var adminLn net.Listener
+	if *admin != "" {
+		adminLn, err = net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab gateway: admin listener: %v\n", err)
+			os.Exit(1)
+		}
+		mux := telemetry.AdminMux(telemetry.Default, nil, nil, telemetry.Endpoint{
+			Path: "/trace/spans", Handler: dtrace.Handler(dtrace.Default),
+		})
+		go func() {
+			if err := http.Serve(adminLn, mux); err != nil && !isClosedErr(err) {
+				fmt.Fprintf(os.Stderr, "puflab gateway: admin server: %v\n", err)
+			}
+		}()
+		fmt.Printf("admin plane on http://%s (/metrics /trace/spans)\n", adminLn.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
@@ -155,5 +181,8 @@ func runGateway(args []string) {
 			fmt.Fprintf(os.Stderr, "puflab gateway: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if adminLn != nil {
+		_ = adminLn.Close()
 	}
 }

@@ -1,0 +1,285 @@
+// trace: assemble one session's distributed span tree from several
+// processes' admin planes.
+//
+//	puflab trace collect -admin a1,a2,... [-o spans.json] [-trace ID]
+//	puflab trace show <trace-id> [-in spans.json | -admin a1,a2,...]
+//
+// Each serve instance (and a gateway run with -admin) exposes its span ring
+// on /trace/spans; "collect" scrapes several of those planes and merges the
+// dumps, "show" renders the parent/child tree of one trace ID across all of
+// them — gateway hop, shard session, quorum-follower ack, one indented tree.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"xorpuf/internal/telemetry/dtrace"
+)
+
+func runTrace(args []string) {
+	if len(args) < 1 || (args[0] != "collect" && args[0] != "show") {
+		fmt.Fprintln(os.Stderr, `puflab trace — cross-process distributed span trees
+
+usage: puflab trace collect -admin HOST:PORT[,HOST:PORT...] [-o FILE] [-trace ID]
+       puflab trace show <trace-id> [-in FILE] [-admin HOST:PORT,...] [-min-procs N]
+
+"collect" scrapes /trace/spans from each admin plane (serve -admin,
+gateway -admin) and merges the dumps into one JSON document; "show"
+renders one trace's span tree, from that document or scraped live, and
+exits nonzero unless the tree spans at least -min-procs processes.`)
+		os.Exit(2)
+	}
+	if args[0] == "collect" {
+		runTraceCollect(args[1:])
+		return
+	}
+	runTraceShow(args[1:])
+}
+
+// traceDump is the merged multi-process document "collect" writes and
+// "show -in" reads.  A single process's /trace/spans or spans_final.json
+// (dtrace.Dump) unmarshals into it too — both carry a "spans" array — so
+// every span source in the system is accepted interchangeably.
+type traceDump struct {
+	Services []string      `json:"services,omitempty"`
+	Count    int           `json:"count"`
+	Spans    []dtrace.View `json:"spans"`
+}
+
+func runTraceCollect(args []string) {
+	fs := flag.NewFlagSet("trace collect", flag.ExitOnError)
+	admins := fs.String("admin", "127.0.0.1:7411", "comma-separated admin plane addresses to scrape")
+	out := fs.String("o", "", "output path for the merged JSON document (empty = stdout)")
+	traceID := fs.String("trace", "", "keep only spans of this trace ID (32 hex chars)")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-scrape request timeout")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	merged, errs := collectSpans(splitAddrs(*admins), *traceID, *timeout)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "puflab trace collect: %v\n", e)
+	}
+	if len(merged.Spans) == 0 && len(errs) > 0 {
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "puflab trace collect: %v\n", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+	} else {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "puflab trace collect: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d spans from %d process(es) written to %s\n",
+			len(merged.Spans), len(merged.Services), *out)
+	}
+}
+
+func runTraceShow(args []string) {
+	fs := flag.NewFlagSet("trace show", flag.ExitOnError)
+	in := fs.String("in", "", "read spans from a collected JSON document instead of scraping")
+	admins := fs.String("admin", "", "comma-separated admin plane addresses to scrape (when -in is unset)")
+	minProcs := fs.Int("min-procs", 0, "fail unless the tree spans at least this many processes")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-scrape request timeout")
+	// flag.Parse stops at the first non-flag token, so accept the trace ID
+	// either before the flags (the documented form) or after them.
+	var idArg string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		idArg, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	switch {
+	case idArg == "" && fs.NArg() == 1:
+		idArg = fs.Arg(0)
+	case idArg != "" && fs.NArg() == 0:
+	default:
+		fmt.Fprintln(os.Stderr, "puflab trace show: exactly one trace ID argument required")
+		os.Exit(2)
+	}
+	tid, ok := dtrace.ParseTraceID(idArg)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "puflab trace show: %q is not a trace ID (32 hex chars)\n", idArg)
+		os.Exit(2)
+	}
+
+	var dump traceDump
+	switch {
+	case *in != "":
+		b, err := os.ReadFile(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "puflab trace show: %v\n", err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(b, &dump); err != nil {
+			fmt.Fprintf(os.Stderr, "puflab trace show: decoding %s: %v\n", *in, err)
+			os.Exit(1)
+		}
+	case *admins != "":
+		var errs []error
+		dump, errs = collectSpans(splitAddrs(*admins), tid.String(), *timeout)
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "puflab trace show: %v\n", e)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "puflab trace show: need -in FILE or -admin addresses")
+		os.Exit(2)
+	}
+
+	var spans []dtrace.View
+	for _, v := range dump.Spans {
+		if v.TraceID == tid.String() {
+			spans = append(spans, v)
+		}
+	}
+	if len(spans) == 0 {
+		fmt.Fprintf(os.Stderr, "puflab trace show: no spans recorded for trace %s\n", tid)
+		os.Exit(1)
+	}
+	procs := renderTree(os.Stdout, spans)
+	fmt.Printf("%d spans across %d process(es)\n", len(spans), procs)
+	if *minProcs > 0 && procs < *minProcs {
+		fmt.Fprintf(os.Stderr, "puflab trace show: tree spans %d process(es), want ≥ %d\n", procs, *minProcs)
+		os.Exit(1)
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// collectSpans scrapes /trace/spans from each admin plane and merges the
+// dumps, deduplicating by span ID (re-scraping the same plane twice is
+// harmless).  Unreachable planes become errors, not a failed merge — a
+// collected trace with one process missing is still worth rendering.
+func collectSpans(addrs []string, traceID string, timeout time.Duration) (traceDump, []error) {
+	client := &http.Client{Timeout: timeout}
+	merged := traceDump{Spans: []dtrace.View{}}
+	seen := make(map[string]bool)
+	var errs []error
+	for _, addr := range addrs {
+		u := "http://" + addr + "/trace/spans"
+		if traceID != "" {
+			u += "?trace=" + url.QueryEscape(traceID)
+		}
+		resp, err := client.Get(u)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			errs = append(errs, fmt.Errorf("%s: %s", u, resp.Status))
+			continue
+		}
+		var d dtrace.Dump
+		if err := json.Unmarshal(body, &d); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %v", u, err))
+			continue
+		}
+		merged.Services = append(merged.Services, d.Service)
+		for _, v := range d.Spans {
+			if !seen[v.SpanID] {
+				seen[v.SpanID] = true
+				merged.Spans = append(merged.Spans, v)
+			}
+		}
+	}
+	merged.Count = len(merged.Spans)
+	return merged, errs
+}
+
+// renderTree prints the spans as an indented parent/child tree and returns
+// the number of distinct services (≈ processes) in it.  A span whose parent
+// is not among the collected spans renders as a root: the device's own root
+// span lives in the device process, which has no admin plane to scrape, so
+// the gateway's session span is routinely an "orphan" — that is the normal
+// shape, not an error.
+func renderTree(w io.Writer, spans []dtrace.View) int {
+	byID := make(map[string]dtrace.View, len(spans))
+	children := make(map[string][]dtrace.View)
+	services := make(map[string]bool)
+	for _, v := range spans {
+		byID[v.SpanID] = v
+		services[v.Service] = true
+	}
+	var roots []dtrace.View
+	for _, v := range spans {
+		if v.ParentID != "" {
+			if _, ok := byID[v.ParentID]; ok {
+				children[v.ParentID] = append(children[v.ParentID], v)
+				continue
+			}
+		}
+		roots = append(roots, v)
+	}
+	byStart := func(vs []dtrace.View) {
+		sort.Slice(vs, func(i, j int) bool {
+			if !vs[i].Start.Equal(vs[j].Start) {
+				return vs[i].Start.Before(vs[j].Start)
+			}
+			return vs[i].SpanID < vs[j].SpanID
+		})
+	}
+	byStart(roots)
+	for _, vs := range children {
+		byStart(vs)
+	}
+	var walk func(v dtrace.View, depth int)
+	walk = func(v dtrace.View, depth int) {
+		fmt.Fprintf(w, "%s%s\n", strings.Repeat("  ", depth), formatSpan(v))
+		for _, c := range children[v.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	if len(roots) > 0 {
+		fmt.Fprintf(w, "trace %s\n", roots[0].TraceID)
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+	return len(services)
+}
+
+func formatSpan(v dtrace.View) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", v.Name)
+	fmt.Fprintf(&b, " %9.3fms", v.Seconds*1e3)
+	fmt.Fprintf(&b, "  [%s]", v.Service)
+	if v.Status != "" {
+		fmt.Fprintf(&b, "  %s", v.Status)
+	}
+	if len(v.Attrs) > 0 {
+		keys := make([]string, 0, len(v.Attrs))
+		for k := range v.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%s", k, v.Attrs[k])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xorpuf/internal/telemetry/dtrace"
+)
+
+// fakePlane serves one process's /trace/spans dump, as a serve or gateway
+// admin plane would.
+func fakePlane(t *testing.T, d dtrace.Dump) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/trace/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestCollectSpansMergesAndDedups(t *testing.T) {
+	tid := "00112233445566778899aabbccddeeff"
+	gw := dtrace.View{TraceID: tid, SpanID: "1111111111111111", Service: "gateway@a", Name: "gateway.session"}
+	shard := dtrace.View{TraceID: tid, SpanID: "2222222222222222", ParentID: "1111111111111111",
+		Service: "shard@b", Name: "netauth.session"}
+	a := fakePlane(t, dtrace.Dump{Service: "gateway@a", Count: 1, Spans: []dtrace.View{gw}})
+	// The shard's plane also returns the gateway span (say, after a re-scrape
+	// of a merged file): the duplicate must collapse.
+	b := fakePlane(t, dtrace.Dump{Service: "shard@b", Count: 2, Spans: []dtrace.View{shard, gw}})
+
+	merged, errs := collectSpans([]string{a, b}, "", 5*time.Second)
+	if len(errs) != 0 {
+		t.Fatalf("collect errors: %v", errs)
+	}
+	if len(merged.Spans) != 2 || merged.Count != 2 {
+		t.Fatalf("merged %d spans, want 2: %+v", len(merged.Spans), merged.Spans)
+	}
+	if len(merged.Services) != 2 {
+		t.Fatalf("services = %v, want both planes", merged.Services)
+	}
+
+	// An unreachable plane is an error, not a failed merge.
+	merged, errs = collectSpans([]string{a, "127.0.0.1:1"}, "", 200*time.Millisecond)
+	if len(errs) != 1 || len(merged.Spans) != 1 {
+		t.Fatalf("partial collect: %d spans, errs %v", len(merged.Spans), errs)
+	}
+}
+
+func TestRenderTreeCrossProcess(t *testing.T) {
+	tid := "00112233445566778899aabbccddeeff"
+	now := time.Now()
+	spans := []dtrace.View{
+		// The device root was never collected: gateway.session's parent is
+		// unknown and it must render as the tree root.
+		{TraceID: tid, SpanID: "aaaaaaaaaaaaaaaa", ParentID: "ffffffffffffffff",
+			Service: "gateway@gw", Name: "gateway.session", Start: now, Status: "ok"},
+		{TraceID: tid, SpanID: "bbbbbbbbbbbbbbbb", ParentID: "aaaaaaaaaaaaaaaa",
+			Service: "gateway@gw", Name: "gateway.hop", Start: now.Add(time.Millisecond), Status: "ok",
+			Attrs: map[string]string{"backend": "127.0.0.1:7410"}},
+		{TraceID: tid, SpanID: "cccccccccccccccc", ParentID: "aaaaaaaaaaaaaaaa",
+			Service: "shard@s1", Name: "netauth.session", Start: now.Add(2 * time.Millisecond), Status: "ok"},
+		{TraceID: tid, SpanID: "dddddddddddddddd", ParentID: "cccccccccccccccc",
+			Service: "shard@s1", Name: "repl.quorum_wait", Start: now.Add(3 * time.Millisecond)},
+		{TraceID: tid, SpanID: "eeeeeeeeeeeeeeee", ParentID: "dddddddddddddddd",
+			Service: "follower@f1", Name: "repl.apply_ack", Start: now.Add(4 * time.Millisecond)},
+	}
+	var b strings.Builder
+	procs := renderTree(&b, spans)
+	if procs != 3 {
+		t.Fatalf("renderTree counted %d processes, want 3 (gateway, shard, follower)", procs)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines, want header + 5 spans:\n%s", len(lines), out)
+	}
+	// Indentation encodes the parent chain: each level nests two spaces
+	// deeper than its parent.
+	depth := func(line string) int {
+		return (len(line) - len(strings.TrimLeft(line, " "))) / 2
+	}
+	wantDepth := map[string]int{
+		"gateway.session":  1,
+		"gateway.hop":      2,
+		"netauth.session":  2,
+		"repl.quorum_wait": 3,
+		"repl.apply_ack":   4,
+	}
+	for name, want := range wantDepth {
+		found := false
+		for _, line := range lines[1:] {
+			if strings.Contains(line, name) {
+				found = true
+				if got := depth(line); got != want {
+					t.Errorf("%s rendered at depth %d, want %d:\n%s", name, got, want, out)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s missing from rendering:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "backend=127.0.0.1:7410") {
+		t.Errorf("hop attrs not rendered:\n%s", out)
+	}
+}

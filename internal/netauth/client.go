@@ -113,6 +113,11 @@ type Client struct {
 	// Tracer, when non-nil, records one SessionTrace per Authenticate
 	// call (verdict, denial code, retry count, total latency).
 	Tracer *telemetry.Tracer
+	// Trace, when set, is a distributed-trace context ("32hex-16hex", see
+	// internal/telemetry/dtrace) sent in the hello frame: the server's
+	// session spans then nest under the caller's span.  The server treats
+	// a malformed value as absent — it can never fail a session.
+	Trace string
 
 	once sync.Once
 }
@@ -236,7 +241,7 @@ func (c *Client) attempt(ctx context.Context) (Result, error) {
 		return m, err
 	}
 
-	if err := writeMsg(message{Type: "hello", ChipID: c.ChipID}); err != nil {
+	if err := writeMsg(message{Type: "hello", ChipID: c.ChipID, Trace: c.Trace}); err != nil {
 		return Result{}, ctxErr(ctx, err)
 	}
 	ch, err := readMsg("challenges")

@@ -8,12 +8,20 @@
 // promoted follower after failover, with no device-side reconfiguration.
 //
 // The gateway stays protocol-thin on purpose: it parses exactly one frame
-// (the hello or keyex_init, which it forwards verbatim) and never terminates
-// the authentication protocol, so the end-to-end CRC and error semantics
-// between device and verifier are untouched.  The one extra frame it reads
-// is the backend's first reply: a "moved" error there means the chip's range
-// was rebalanced to another shard, and the gateway follows the redirect
-// within a per-session budget instead of bouncing the device.
+// (the hello or keyex_init) and never terminates the authentication
+// protocol, so the end-to-end CRC and error semantics between device and
+// verifier are untouched.  The one extra frame it reads is the backend's
+// first reply: a "moved" error there means the chip's range was rebalanced
+// to another shard, and the gateway follows the redirect within a
+// per-session budget instead of bouncing the device.
+//
+// The single change the gateway makes to the opening frame is the
+// distributed-trace context: it adopts the device's context when the hello
+// carries a usable one, mints a fresh trace otherwise, and re-encodes the
+// frame with its own "gateway.session" span as the parent — so every
+// backend span of the session nests under the gateway's, and one
+// `puflab trace show` renders the whole gateway → shard → quorum tree.
+// Everything after the opening frame is spliced verbatim.
 //
 // Both wire protocols route through the same code: the first byte of the
 // opening frame says which one the device speaks (0xF2 is the v2 magic and
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"xorpuf/internal/telemetry"
+	"xorpuf/internal/telemetry/dtrace"
 	"xorpuf/internal/wire"
 )
 
@@ -298,7 +307,7 @@ func (g *Gateway) handle(client net.Conn) {
 		return
 	}
 	v2 := first[0] == wire.Magic
-	line, chipID, ok := g.readOpening(client, br, v2)
+	line, chipID, span, ok := g.readOpening(client, br, v2)
 	if !ok {
 		return
 	}
@@ -306,24 +315,36 @@ func (g *Gateway) handle(client net.Conn) {
 	if v2 {
 		gatewaySessionsV2.Inc()
 	}
+	span.SetAttr("chip", chipID)
+	defer span.End()
 
 	// Route, forward the opening frame, and peek the backend's first reply:
 	// a "moved" error there is a rebalanced range whose redirect the gateway
 	// follows (within budget) so the device never sees the topology change.
+	// Each attempt gets its own hop span, so redirects and re-routes show up
+	// as sibling hops under the gateway session.
 	addrs, label := g.routeFor(chipID)
 	budget := g.cfg.RedirectBudget
 	var backend net.Conn
 	var bbr *bufio.Reader
 	var firstReply []byte
 	for {
+		hop := dtrace.Default.StartSpan(span.Context(), "gateway.hop")
 		backend = g.dialAddrs(addrs)
 		if backend == nil {
 			gatewayUnroutable.Inc()
+			hop.SetStatus("error:unroutable")
+			hop.End()
+			span.SetStatus("refused:" + CodeBusy)
 			g.refuse(client, v2, CodeBusy, fmt.Sprintf("gateway: no reachable owner for %s", label), true)
 			return
 		}
+		hop.SetAttr("backend", backend.RemoteAddr().String())
 		if _, err := backend.Write(line); err != nil {
 			backend.Close()
+			hop.SetStatus("error:write")
+			hop.End()
+			span.SetStatus("refused:" + CodeBusy)
 			g.refuse(client, v2, CodeBusy, "gateway: shard owner dropped the session", true)
 			return
 		}
@@ -332,6 +353,9 @@ func (g *Gateway) handle(client net.Conn) {
 		reply, moved, redirect, err := g.readReply(bbr, v2)
 		if err != nil {
 			backend.Close()
+			hop.SetStatus("error:read")
+			hop.End()
+			span.SetStatus("refused:" + CodeBusy)
 			g.refuse(client, v2, CodeBusy, "gateway: shard owner dropped the session", true)
 			return
 		}
@@ -340,12 +364,18 @@ func (g *Gateway) handle(client net.Conn) {
 			budget--
 			backend.Close()
 			gatewayRedirects.Inc()
+			hop.SetStatus("redirect")
+			hop.SetAttr("redirect", redirect)
+			hop.End()
 			addrs, label = []string{redirect}, "redirect "+redirect
 			continue
 		}
+		hop.SetStatus("ok")
+		hop.End()
 		firstReply = reply
 		break
 	}
+	span.SetStatus("ok")
 	defer backend.Close()
 	if _, err := client.Write(firstReply); err != nil {
 		return
@@ -371,22 +401,31 @@ func (g *Gateway) handle(client net.Conn) {
 }
 
 // readOpening reads the device's opening frame in whichever protocol the
-// first byte announced, returning the verbatim bytes to forward (for v2,
-// including the negotiation guard byte, which each fresh backend also
-// expects) and the chip ID to route on.
-func (g *Gateway) readOpening(client net.Conn, br *bufio.Reader, v2 bool) (line []byte, chipID string, ok bool) {
+// first byte announced, returning the bytes to forward (for v2, including
+// the negotiation guard byte, which each fresh backend also expects), the
+// chip ID to route on, and the session's gateway span.
+//
+// Trace mint-or-adopt: a device hello carrying a parseable trace context
+// makes the gateway span a child of the device's; anything else — absent,
+// malformed, oversized — mints a fresh root trace.  Either way the frame is
+// re-encoded with the gateway span's context, so downstream spans nest
+// under it.
+func (g *Gateway) readOpening(client net.Conn, br *bufio.Reader, v2 bool) (line []byte, chipID string, span *dtrace.Span, ok bool) {
 	if v2 {
 		raw, err := wire.ReadRawFrame(br)
 		if err != nil {
 			g.refuse(client, true, CodeBadMessage, "gateway: bad v2 opening frame", false)
-			return nil, "", false
+			return nil, "", nil, false
 		}
 		var m wire.Msg
 		if err := wire.Decode(raw, &m); err != nil ||
 			(m.Type != wire.THello && m.Type != wire.TKeyexInit) || m.ChipID == "" {
 			g.refuse(client, true, CodeBadMessage, "gateway: first frame must be a hello or keyex_init", false)
-			return nil, "", false
+			return nil, "", nil, false
 		}
+		span = g.sessionSpan(m.Trace)
+		m.Trace = span.Context().String()
+		raw = wire.AppendFrame(raw[:0], &m)
 		// Forward the negotiation guard byte when it arrived with the
 		// frame.  Only already-buffered bytes are examined — a straggling
 		// guard reaches the backend through the splice, and both backend
@@ -397,18 +436,33 @@ func (g *Gateway) readOpening(client net.Conn, br *bufio.Reader, v2 bool) (line 
 				raw = append(raw, wire.Guard)
 			}
 		}
-		return raw, m.ChipID, true
+		return raw, m.ChipID, span, true
 	}
 	raw, err := readLine(br)
 	if err != nil {
-		return nil, "", false
+		return nil, "", nil, false
 	}
 	hello, err := decodeFrame(raw)
 	if err != nil || (hello.Type != "hello" && hello.Type != "keyex_init") || hello.ChipID == "" {
 		g.refuse(client, false, CodeBadMessage, "gateway: first frame must be a hello or keyex_init", false)
-		return nil, "", false
+		return nil, "", nil, false
 	}
-	return raw, hello.ChipID, true
+	span = g.sessionSpan(hello.Trace)
+	hello.Trace = span.Context().String()
+	framed, err := encodeFrame(*hello)
+	if err != nil {
+		return nil, "", nil, false
+	}
+	return framed, hello.ChipID, span, true
+}
+
+// sessionSpan starts the "gateway.session" span: a child of the device's
+// context when deviceTrace parses, a fresh root trace otherwise.
+func (g *Gateway) sessionSpan(deviceTrace string) *dtrace.Span {
+	if tc, adopted := dtrace.ParseContext(deviceTrace); adopted {
+		return dtrace.Default.StartSpan(tc, "gateway.session")
+	}
+	return dtrace.Default.StartRoot("gateway.session")
 }
 
 // readReply reads the backend's first reply in the session's protocol and

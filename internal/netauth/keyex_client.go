@@ -87,7 +87,7 @@ func (c *Client) establish(conn net.Conn) (*SecureSession, error) {
 
 	caps := []string{keyex.CipherChaCha20Poly1305}
 	if err := pf.write(message{
-		Type: "keyex_init", ChipID: c.ChipID, Caps: caps,
+		Type: "keyex_init", ChipID: c.ChipID, Caps: caps, Trace: c.Trace,
 	}); err != nil {
 		return nil, err
 	}

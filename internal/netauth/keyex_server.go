@@ -35,6 +35,7 @@
 package netauth
 
 import (
+	"context"
 	crand "crypto/rand"
 	"crypto/sha256"
 	"encoding/base64"
@@ -45,6 +46,7 @@ import (
 	"xorpuf/internal/keyex"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/telemetry"
+	"xorpuf/internal/telemetry/dtrace"
 )
 
 // SetKeyExchange enables the reverse fuzzy-extractor key exchange with the
@@ -64,8 +66,11 @@ func (s *Server) SetKeyExchange(cfg keyex.Config) error {
 
 // keyexSession serves one key exchange on an admitted connection.  pc is
 // the plain frame view of the connection; the channel upgrade reuses its
-// buffered reader so no early bytes are stranded.
-func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *message, trace *telemetry.SessionTrace) {
+// buffered reader so no early bytes are stranded.  parent is the session's
+// dtrace context (invalid when untraced); key derivation runs under a
+// "keyex.derive" child span whose context carries into the quorum-gated
+// IssueKey journaling.
+func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *message, trace *telemetry.SessionTrace, parent dtrace.Context) {
 	fc := frameConn(pc)
 	s.mu.Lock()
 	enabled := s.keyexOn
@@ -95,10 +100,13 @@ func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *messag
 	// before they are released, so the never-reuse guarantee covers
 	// abandoned handshakes and crashes too.
 	deriveStart := time.Now()
-	cs, predicted, err := entry.IssueKey(cfg.N(), 0)
+	deriveSpan := s.spans.StartSpanAt(parent, "keyex.derive", deriveStart)
+	cs, predicted, err := entry.IssueKeyCtx(dtrace.Inject(context.Background(), deriveSpan.Context()), cfg.N(), 0)
 	s.tel.observeSelect(deriveStart)
 	trace.Step("select", time.Since(deriveStart))
 	if err != nil {
+		deriveSpan.SetStatus("error:" + errCode(err))
+		deriveSpan.End()
 		if errors.Is(err, registry.ErrMigrating) {
 			s.fail(fc, trace, CodeMigrating, true, "chip mid-migration: %v", err)
 			return
@@ -116,6 +124,8 @@ func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *messag
 	// whose state any emitted output would reveal.
 	master, helper, err := keyex.Generate(cfg, crand.Reader, predicted)
 	if err != nil {
+		deriveSpan.SetStatus("error:" + CodeSelectionFailed)
+		deriveSpan.End()
 		s.fail(fc, trace, CodeSelectionFailed, false, "helper data generation failed: %v", err)
 		return
 	}
@@ -137,6 +147,8 @@ func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *messag
 	keyex.Zeroize(master[:])
 	s.tel.observeKeyDerive(deriveStart)
 	trace.Step("derive", time.Since(deriveStart))
+	deriveSpan.SetStatus("ok")
+	deriveSpan.End()
 
 	rttStart := time.Now()
 	if err := fc.write(message{
@@ -186,14 +198,16 @@ func (s *Server) keyexSession(pc *plainConn, entry *registry.Entry, init *messag
 	}
 	ch := keyex.NewChannel(readWriter{pc.r, pc.conn}, keys, transcript, false)
 	defer ch.Close()
-	s.secureLoop(&secureConn{s: s, conn: pc.conn, ch: ch}, entry, init.ChipID, trace)
+	s.secureLoop(&secureConn{s: s, conn: pc.conn, ch: ch}, entry, init.ChipID, trace, parent)
 }
 
 // secureLoop serves the established encrypted session until the peer says
 // bye, the channel fails authentication, or a deadline expires.  Every
 // inner frame is the same CRC-framed JSON as protocol v1, boxed by the
-// channel's AEAD.
-func (s *Server) secureLoop(sc *secureConn, entry *registry.Entry, chipID string, trace *telemetry.SessionTrace) {
+// channel's AEAD.  parent is the enclosing key-exchange session's dtrace
+// context: inner authentications nest their select/device_rtt spans under
+// the same tree.
+func (s *Server) secureLoop(sc *secureConn, entry *registry.Entry, chipID string, trace *telemetry.SessionTrace, parent dtrace.Context) {
 	for {
 		m, err := sc.read("hello", "payload", "bye")
 		if err != nil {
@@ -213,10 +227,10 @@ func (s *Server) secureLoop(sc *secureConn, entry *registry.Entry, chipID string
 				s.fail(sc, trace, CodeBadMessage, false, "channel is bound to chip %q", chipID)
 				return
 			}
-			if _, ok := s.admit(sc, trace, chipID); !ok {
+			if _, ok := s.admit(sc, trace, nil, chipID); !ok {
 				return
 			}
-			s.authExchange(sc, entry, trace)
+			s.authExchange(sc, entry, trace, parent)
 		case "payload":
 			data, err := base64.StdEncoding.DecodeString(m.Payload)
 			if err != nil {

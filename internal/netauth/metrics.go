@@ -26,6 +26,14 @@
 //	netauth_sessions_v2_total         sessions carried over binary protocol v2
 //	netauth_frame_bytes_v2            v2 frame sizes, both directions
 //	netauth_v2_batches_total          multiplexed v2 hello batches
+//	netauth_batch_size                sessions per v2 hello batch
+//	netauth_v2_pipelined_session_seconds  per-session latency on the
+//	                                  pipelined (batch > 1) v2 path
+//
+// netauth_session_seconds and netauth_v2_pipelined_session_seconds carry a
+// distributed-trace exemplar: the most recent traced observation's trace ID
+// rides the JSON snapshot so an SLO alert can point at a concrete
+// offending session (`puflab trace show <id>`).
 //
 // Client metric catalog (package-level, always on — a handful of atomic
 // adds per session, invisible next to a TCP round trip):
@@ -74,7 +82,13 @@ type serverMetrics struct {
 	sessionsV2   *telemetry.Counter
 	frameBytesV2 *telemetry.Histogram
 	batchesV2    *telemetry.Counter
+	batchSize    *telemetry.Histogram
+	pipelined    *telemetry.Histogram
 }
+
+// batchSizeBuckets covers the v2 batch field's useful range (the protocol
+// caps a batch at wire.MaxBatch = 256) in powers of two.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // knownCodes pre-registers a denial counter per structured error code, so
 // the hot path never concatenates strings or touches the registry map.
@@ -111,6 +125,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		sessionsV2:        reg.Counter("netauth_sessions_v2_total"),
 		frameBytesV2:      reg.Histogram("netauth_frame_bytes_v2", telemetry.SizeBuckets),
 		batchesV2:         reg.Counter("netauth_v2_batches_total"),
+		batchSize:         reg.Histogram("netauth_batch_size", batchSizeBuckets),
+		pipelined:         reg.Histogram("netauth_v2_pipelined_session_seconds", telemetry.LatencyBuckets),
 	}
 	for _, code := range knownCodes {
 		m.denials[code] = reg.Counter("netauth_deny_" + code + "_total")
@@ -126,12 +142,15 @@ func (m *serverMetrics) sessionStart() {
 	m.activeSessions.Inc()
 }
 
-func (m *serverMetrics) sessionEnd(start time.Time) {
+// sessionEnd closes one session's latency accounting.  traceID (empty for
+// untraced sessions) becomes the histogram's exemplar, so a latency SLO
+// alert can name a concrete trace to pull up.
+func (m *serverMetrics) sessionEnd(start time.Time, traceID string) {
 	if m == nil {
 		return
 	}
 	m.activeSessions.Dec()
-	m.sessionSeconds.ObserveSince(start)
+	m.sessionSeconds.ObserveExemplar(time.Since(start).Seconds(), traceID)
 }
 
 func (m *serverMetrics) verdict(approvedVerdict bool) {
@@ -191,12 +210,22 @@ func (m *serverMetrics) frameV2(n int) {
 	m.frameBytesV2.Observe(float64(n))
 }
 
-// batchV2 counts one multiplexed hello batch.
-func (m *serverMetrics) batchV2() {
+// batchV2 counts one multiplexed hello batch of k sessions.
+func (m *serverMetrics) batchV2(k int) {
 	if m == nil {
 		return
 	}
 	m.batchesV2.Inc()
+	m.batchSize.Observe(float64(k))
+}
+
+// observePipelined records one pipelined (batch > 1) session's latency,
+// with its trace ID as the histogram exemplar when the session was traced.
+func (m *serverMetrics) observePipelined(start time.Time, traceID string) {
+	if m == nil {
+		return
+	}
+	m.pipelined.ObserveExemplar(time.Since(start).Seconds(), traceID)
 }
 
 func (m *serverMetrics) observeSelect(start time.Time) {

@@ -56,6 +56,7 @@ package netauth
 import (
 	"bufio"
 	"bytes"
+	"context"
 	crand "crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -72,6 +73,7 @@ import (
 	"xorpuf/internal/keyex"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/telemetry"
+	"xorpuf/internal/telemetry/dtrace"
 	"xorpuf/internal/wire"
 )
 
@@ -153,6 +155,12 @@ type message struct {
 	Message    string   `json:"message,omitempty"`
 	Code       string   `json:"code,omitempty"`
 	Retryable  bool     `json:"retryable,omitempty"`
+	// Trace is an optional distributed-trace context ("32hex-16hex", see
+	// internal/telemetry/dtrace) on hello and keyex_init frames.  It is
+	// opaque at the wire layer; the server parses it with the total
+	// ParseContext, so a malformed or hostile value costs the trace, never
+	// the session.
+	Trace string `json:"trace,omitempty"`
 	// Redirect accompanies a "moved" error: the address now owning the
 	// chip's range.  Gateways follow it; direct clients re-dial it.
 	Redirect string `json:"redirect,omitempty"`
@@ -295,6 +303,13 @@ type Server struct {
 	// so it may only be swapped before Serve.
 	traceObs func(telemetry.SessionTrace)
 
+	// spans is the distributed-trace span ring sessions record into when a
+	// hello carries a trace context (dtrace.Default unless swapped).  Read
+	// without s.mu on the hot path; swap only before Serve
+	// (SetSpanRecorder).  A session without a context executes nil checks
+	// only — the recorder is never touched.
+	spans *dtrace.Recorder
+
 	// decisions counts completed authentications, for tests/monitoring.
 	decisions struct {
 		approved, denied int
@@ -342,6 +357,7 @@ func NewServerWithRegistry(numChallenges int, seed uint64, reg *registry.Registr
 		active:        make(map[net.Conn]struct{}),
 		tel:           newServerMetrics(telemetry.Default),
 		tracer:        telemetry.NewTracer(defaultTraceCapacity),
+		spans:         dtrace.Default,
 	}
 }
 
@@ -359,6 +375,16 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 // SetTracer replaces the session trace recorder; nil disables tracing.
 // Call before Serve.
 func (s *Server) SetTracer(t *telemetry.Tracer) { s.tracer = t }
+
+// SetSpanRecorder replaces the distributed-trace span ring (default
+// dtrace.Default); nil disables span recording even for sessions that
+// carry a trace context.  Call before Serve — like tel and tracer it is
+// read without a lock on the session hot path.
+func (s *Server) SetSpanRecorder(r *dtrace.Recorder) { s.spans = r }
+
+// SpanRecorder returns the span ring (nil when disabled) — the admin
+// /trace/spans endpoint reads it.
+func (s *Server) SpanRecorder() *dtrace.Recorder { return s.spans }
 
 // Tracer returns the session trace recorder (nil when disabled) — the
 // admin /traces endpoint reads it.
@@ -686,10 +712,12 @@ func (s *Server) handleV1(conn net.Conn, br *bufio.Reader) {
 	s.tel.sessionStart()
 	s.tel.sessionVersion(1)
 	trace := telemetry.SessionTrace{Start: start, Verdict: "error"}
+	var span *dtrace.Span
 	defer func() {
 		trace.TotalSeconds = time.Since(start).Seconds()
-		s.tel.sessionEnd(start)
+		s.tel.sessionEnd(start, trace.TraceID)
 		s.recordTrace(trace)
+		s.endSessionSpan(span, &trace, "v1")
 	}()
 	fc := &plainConn{s: s, conn: conn, r: br}
 
@@ -704,16 +732,50 @@ func (s *Server) handleV1(conn net.Conn, br *bufio.Reader) {
 	}
 	trace.ChipID = first.ChipID
 	trace.Step("hello", time.Since(start))
+	// A parseable trace context makes this a traced session: every span
+	// below nests under the caller's (gateway's or device's) span.  Anything
+	// else — absent, malformed, oversized — leaves span nil and the session
+	// proceeds untraced.
+	if tc, ok := dtrace.ParseContext(first.Trace); ok {
+		name := "netauth.session"
+		if first.Type == "keyex_init" {
+			name = "netauth.keyex"
+		}
+		span = s.spans.StartSpanAt(tc, name, start)
+		trace.TraceID = tc.Trace.String()
+	}
 
-	entry, ok := s.admit(fc, &trace, first.ChipID)
+	entry, ok := s.admit(fc, &trace, span, first.ChipID)
 	if !ok {
 		return
 	}
 	if first.Type == "keyex_init" {
-		s.keyexSession(fc, entry, first, &trace)
+		s.keyexSession(fc, entry, first, &trace, span.Context())
 		return
 	}
-	s.authExchange(fc, entry, &trace)
+	s.authExchange(fc, entry, &trace, span.Context())
+}
+
+// endSessionSpan closes out a session's dtrace span from its finished
+// SessionTrace — one status vocabulary for every protocol version:
+// "ok" for approvals and established keys, "denied" for mismatch verdicts,
+// "refused:<code>" for structured refusals.  Nil-safe (untraced session).
+func (s *Server) endSessionSpan(span *dtrace.Span, trace *telemetry.SessionTrace, proto string) {
+	if span == nil {
+		return
+	}
+	span.SetAttr("chip", trace.ChipID)
+	span.SetAttr("session", trace.Session)
+	span.SetAttr("proto", proto)
+	switch trace.Verdict {
+	case "approved", "key_established":
+		span.SetStatus("ok")
+	case "denied":
+		span.SetStatus("denied")
+	default:
+		span.SetStatus("refused:" + trace.DenialCode)
+	}
+	span.End()
 }
 
 // recordTrace hands a finished session trace to the tracer ring and the
@@ -795,14 +857,16 @@ func (s *Server) admitChip(chipID string) (*registry.Entry, *refusal) {
 }
 
 // admit is admitChip with v1 wire encoding: on refusal the structured JSON
-// denial has already been sent.
-func (s *Server) admit(fc frameConn, trace *telemetry.SessionTrace, chipID string) (*registry.Entry, bool) {
+// denial has already been sent.  span (nil when untraced) picks up the
+// redirect address so a "moved" hop is visible in the session's trace tree.
+func (s *Server) admit(fc frameConn, trace *telemetry.SessionTrace, span *dtrace.Span, chipID string) (*registry.Entry, bool) {
 	entry, ref := s.admitChip(chipID)
 	if ref == nil {
 		return entry, true
 	}
 	s.tel.deny(ref.code)
 	trace.Verdict, trace.DenialCode = "error", ref.code
+	span.SetAttr("redirect", ref.redirect)
 	_ = fc.write(message{
 		Type: "error", Code: ref.code, Retryable: ref.retryable,
 		Redirect: ref.redirect, Message: ref.msg,
@@ -812,8 +876,12 @@ func (s *Server) admit(fc frameConn, trace *telemetry.SessionTrace, chipID strin
 
 // authExchange runs one challenge/response/verdict exchange over fc — the
 // plain TCP connection for v1 sessions, or the encrypted channel when an
-// authentication rides inside an established key-exchange session.
-func (s *Server) authExchange(fc frameConn, entry *registry.Entry, trace *telemetry.SessionTrace) {
+// authentication rides inside an established key-exchange session.  parent
+// is the session's dtrace context (invalid when untraced): issuance runs
+// under a "select" child span whose context rides the request context into
+// the registry, where a strict-quorum wait records its own child — the
+// cross-process link in the trace tree.
+func (s *Server) authExchange(fc frameConn, entry *registry.Entry, trace *telemetry.SessionTrace, parent dtrace.Context) {
 	// Select fresh, never-reused challenges and predict responses (paper
 	// Fig 7 left box, including the "Record challenge" step — Issue journals
 	// the drawn words before handing them out, so the never-reuse guarantee
@@ -824,9 +892,16 @@ func (s *Server) authExchange(fc frameConn, entry *registry.Entry, trace *teleme
 	session := newSessionID()
 	trace.Session = session
 	selectStart := time.Now()
-	cs, predicted, err := entry.Issue(s.numChallenges, 0)
+	selSpan := s.spans.StartSpanAt(parent, "select", selectStart)
+	cs, predicted, err := entry.IssueCtx(dtrace.Inject(context.Background(), selSpan.Context()), s.numChallenges, 0)
 	s.tel.observeSelect(selectStart)
 	trace.Step("select", time.Since(selectStart))
+	if err != nil {
+		selSpan.SetStatus("error:" + errCode(err))
+	} else {
+		selSpan.SetStatus("ok")
+	}
+	selSpan.End()
 	if err != nil {
 		// A fence can rise between admission and issuance; that refusal is
 		// the bounded handoff window, not a dead chip.
@@ -850,6 +925,14 @@ func (s *Server) authExchange(fc frameConn, entry *registry.Entry, trace *teleme
 	resp, err := fc.read("responses")
 	s.tel.observeRTT(rttStart)
 	trace.Step("device_rtt", time.Since(rttStart))
+	if rtt := s.spans.StartSpanAt(parent, "device_rtt", rttStart); rtt != nil {
+		if err != nil {
+			rtt.SetStatus("error:" + CodeBadMessage)
+		} else {
+			rtt.SetStatus("ok")
+		}
+		rtt.End()
+	}
 	if err != nil {
 		s.fail(fc, trace, CodeBadMessage, true, "bad responses: %v", err)
 		return
@@ -911,6 +994,15 @@ func (s *Server) applyVerdict(entry *registry.Entry, lockoutK int, approved bool
 	onHealth := s.healthHandler
 	s.mu.Unlock()
 	return ev, transitioned, onHealth
+}
+
+// errCode maps an issuance error to its structured refusal code — the same
+// classification every protocol path applies before encoding the refusal.
+func errCode(err error) string {
+	if errors.Is(err, registry.ErrMigrating) {
+		return CodeMigrating
+	}
+	return CodeSelectionFailed
 }
 
 // errLineTooLong reports a frame over the 1 MiB cap.

@@ -1,0 +1,414 @@
+package netauth
+
+import (
+	"context"
+	"net"
+	"strconv"
+	"testing"
+	"time"
+
+	"xorpuf/internal/core"
+	"xorpuf/internal/keyex"
+	"xorpuf/internal/registry"
+	"xorpuf/internal/rng"
+	"xorpuf/internal/silicon"
+	"xorpuf/internal/telemetry"
+	"xorpuf/internal/telemetry/dtrace"
+)
+
+// startMovedPair builds the post-migration topology of
+// TestGatewayFollowsMovedRedirect: the source serve answers chip-A with a
+// moved redirect to the destination serve, which owns the chip.  Returns
+// both auth addresses.
+func startMovedPair(t *testing.T, chip *silicon.Chip) (srcAddr, dstAddr string) {
+	t.Helper()
+	cfg := core.DefaultEnrollConfig()
+	cfg.TrainingSize = 2000
+	cfg.ValidationSize = 5000
+	enr, err := core.EnrollChip(chip, rng.New(2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcReg, err := registry.Open("", registry.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstReg, err := registry.Open("", registry.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srcReg.Register("chip-A", enr.Model, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, _, err := srcReg.RangeSnapshot("chip-A", "chip-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dstReg.InstallMigrating("m1", "chip-A", "chip-B", snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dstReg.CutoverTarget("m1", 1); err != nil {
+		t.Fatal(err)
+	}
+	srvDst := NewServerWithRegistry(5, 3, dstReg)
+	lnDst, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srvDst.Serve(lnDst) //nolint:errcheck
+	t.Cleanup(srvDst.Close)
+	if err := srcReg.CutoverSource("m1", 1, "chip-A", "chip-B", lnDst.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	srvSrc := NewServerWithRegistry(5, 3, srcReg)
+	lnSrc, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srvSrc.Serve(lnSrc) //nolint:errcheck
+	t.Cleanup(srvSrc.Close)
+	return lnSrc.Addr().String(), lnDst.Addr().String()
+}
+
+// mintTrace fabricates a device-side trace context — what `puflab auth
+// -trace` sends.  The minted span itself is never recorded anywhere (the
+// device has no recorder to scrape); the server's spans parent to it.
+func mintTrace() dtrace.Context {
+	return dtrace.Context{Trace: dtrace.NewTraceID(), Span: dtrace.NewSpanID()}
+}
+
+// waitSpans polls dtrace.Default until the trace has at least n spans or the
+// deadline passes.  The session span ends in a server-side defer that races
+// the client's verdict read, so every assertion on recorded spans polls.
+func waitSpans(t *testing.T, tid dtrace.TraceID, n int) []dtrace.Span {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		spans := dtrace.Default.ByTrace(tid)
+		if len(spans) >= n {
+			return spans
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s: %d spans recorded, want ≥ %d: %+v", tid, len(spans), n, spans)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func spanNamed(spans []dtrace.Span, name string) *dtrace.Span {
+	for i := range spans {
+		if spans[i].Name == name {
+			return &spans[i]
+		}
+	}
+	return nil
+}
+
+// TestTraceV1SessionSpans: a traced v1 session records the full server-side
+// subtree — netauth.session under the device's context, select and
+// device_rtt under the session — plus the SessionTrace cross-link and the
+// session-latency histogram exemplar.
+func TestTraceV1SessionSpans(t *testing.T) {
+	addr, srv, chip := startServer(t, 30)
+	tc := mintTrace()
+	c := &Client{
+		Addr: addr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		Timeout: 5 * time.Second, Trace: tc.String(),
+	}
+	res, err := c.Authenticate(context.Background())
+	if err != nil || !res.Approved {
+		t.Fatalf("traced session: %+v, %v", res, err)
+	}
+
+	spans := waitSpans(t, tc.Trace, 3)
+	sess := spanNamed(spans, "netauth.session")
+	if sess == nil {
+		t.Fatalf("no netauth.session span in %+v", spans)
+	}
+	if sess.Parent != tc.Span {
+		t.Errorf("session parent = %s, want the device span %s", sess.Parent, tc.Span)
+	}
+	if sess.Status != "ok" || sess.Attrs["chip"] != "chip-A" || sess.Attrs["proto"] != "v1" {
+		t.Errorf("session span status=%q attrs=%v", sess.Status, sess.Attrs)
+	}
+	for _, name := range []string{"select", "device_rtt"} {
+		child := spanNamed(spans, name)
+		if child == nil {
+			t.Fatalf("no %s span in %+v", name, spans)
+		}
+		if child.Parent != sess.ID {
+			t.Errorf("%s parent = %s, want session span %s", name, child.Parent, sess.ID)
+		}
+	}
+
+	// Cross-link: the SessionTrace carries the trace ID, so /traces rows
+	// point into /trace/spans.
+	recent := srv.Tracer().Recent(1)
+	if len(recent) != 1 || recent[0].TraceID != tc.Trace.String() {
+		t.Fatalf("SessionTrace.TraceID = %+v, want %s", recent, tc.Trace)
+	}
+
+	// Exemplar: the latency histogram names this trace.
+	h := telemetry.Default.FindHistogram("netauth_session_seconds")
+	if h == nil {
+		t.Fatal("netauth_session_seconds not registered")
+	}
+	if trace, _ := h.Exemplar(); trace != tc.Trace.String() {
+		t.Errorf("session histogram exemplar = %q, want %s", trace, tc.Trace)
+	}
+}
+
+// TestTraceV2BatchSpans: a traced pipelined batch records one select span
+// (with the batch size) and one netauth.session span per stream, all under
+// the caller's context, and feeds the pipelined histogram's exemplar.
+func TestTraceV2BatchSpans(t *testing.T) {
+	addr, _, chip := startServer(t, 10)
+	tc := mintTrace()
+	c := &V2Client{
+		Addr: addr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		Timeout: 5 * time.Second, Trace: tc.String(),
+	}
+	defer c.Close()
+	const batch = 3
+	results, err := c.AuthenticateBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if !res.Approved {
+			t.Fatalf("stream %d denied: %+v", i, res)
+		}
+	}
+
+	// batch sessions + 1 select + batch device_rtt.
+	spans := waitSpans(t, tc.Trace, 2*batch+1)
+	sel := spanNamed(spans, "select")
+	if sel == nil || sel.Parent != tc.Span || sel.Attrs["batch"] != strconv.Itoa(batch) {
+		t.Fatalf("select span %+v, want parent %s batch=%d", sel, tc.Span, batch)
+	}
+	var sessions int
+	for _, s := range spans {
+		if s.Name != "netauth.session" {
+			continue
+		}
+		sessions++
+		if s.Parent != tc.Span {
+			t.Errorf("stream session parent = %s, want %s", s.Parent, tc.Span)
+		}
+		if s.Status != "ok" || s.Attrs["proto"] != "v2" || s.Attrs["stream"] == "" {
+			t.Errorf("stream session status=%q attrs=%v", s.Status, s.Attrs)
+		}
+	}
+	if sessions != batch {
+		t.Errorf("%d netauth.session spans, want %d", sessions, batch)
+	}
+	h := telemetry.Default.FindHistogram("netauth_v2_pipelined_session_seconds")
+	if h == nil {
+		t.Fatal("netauth_v2_pipelined_session_seconds not registered")
+	}
+	if trace, _ := h.Exemplar(); trace != tc.Trace.String() {
+		t.Errorf("pipelined histogram exemplar = %q, want %s", trace, tc.Trace)
+	}
+}
+
+// TestTraceKeyexSpans: a traced key exchange records netauth.keyex with a
+// keyex.derive child covering the burn + helper generation.
+func TestTraceKeyexSpans(t *testing.T) {
+	addr, _, chip := startKeyexServer(t, 20, keyex.Config{M: 7, T: 8})
+	tc := mintTrace()
+	c := keyexClient(addr, chip, silicon.Nominal)
+	c.Trace = tc.String()
+	ss, err := c.Establish(context.Background())
+	if err != nil {
+		t.Fatalf("Establish: %v", err)
+	}
+	_ = ss.Close()
+
+	spans := waitSpans(t, tc.Trace, 2)
+	sess := spanNamed(spans, "netauth.keyex")
+	if sess == nil || sess.Parent != tc.Span {
+		t.Fatalf("netauth.keyex span %+v, want parent %s", sess, tc.Span)
+	}
+	derive := spanNamed(spans, "keyex.derive")
+	if derive == nil || derive.Parent != sess.ID {
+		t.Fatalf("keyex.derive span %+v, want parent %s", derive, sess.ID)
+	}
+	if derive.Status != "ok" {
+		t.Errorf("keyex.derive status = %q", derive.Status)
+	}
+}
+
+// TestTraceHostileV1Values: malformed and oversized trace contexts in the
+// v1 hello are dropped — the session authenticates exactly as if untraced,
+// and the server records nothing for them.  The wire-level v2 twin lives in
+// internal/wire/trace_ext_test.go.
+func TestTraceHostileV1Values(t *testing.T) {
+	addr, srv, chip := startServer(t, 20)
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = 'a'
+	}
+	cases := []struct {
+		name  string
+		trace string
+	}{
+		{"garbage", "not-a-trace"},
+		{"missing_span", "00112233445566778899aabbccddeeff"},
+		{"bad_separator", "00112233445566778899aabbccddeeff_0011223344556677"},
+		{"non_hex", "zz112233445566778899aabbccddeeff-0011223344556677"},
+		{"zero_ids", "00000000000000000000000000000000-0000000000000000"},
+		{"oversized", string(big)},
+		{"truncated", "00112233-00112233"},
+	}
+	for _, tcase := range cases {
+		t.Run(tcase.name, func(t *testing.T) {
+			c := &Client{
+				Addr: addr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+				Timeout: 5 * time.Second, Trace: tcase.trace,
+			}
+			res, err := c.Authenticate(context.Background())
+			if err != nil || !res.Approved {
+				t.Fatalf("hostile trace %q broke the session: %+v, %v", tcase.trace, res, err)
+			}
+			recent := srv.Tracer().Recent(1)
+			if len(recent) != 1 || recent[0].TraceID != "" {
+				t.Fatalf("hostile trace %q leaked into SessionTrace: %+v", tcase.trace, recent)
+			}
+		})
+	}
+}
+
+// TestGatewayTraceAdoptsDeviceContext: a traced session through the gateway
+// produces one connected tree — gateway.session under the device's span,
+// gateway.hop and the backend's netauth.session under gateway.session.
+// (Gateway and backend share dtrace.Default in-process; across real
+// processes `puflab trace collect` merges the two rings.)
+func TestGatewayTraceAdoptsDeviceContext(t *testing.T) {
+	addr, _, chip := startServer(t, 10)
+	_, gwAddr := startGateway(t, []GatewayShard{
+		{Name: "shard-0", Addrs: []string{addr}},
+	}, GatewayConfig{})
+
+	tc := mintTrace()
+	c := &Client{
+		Addr: gwAddr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		Timeout: 10 * time.Second, Trace: tc.String(),
+	}
+	res, err := c.Authenticate(context.Background())
+	if err != nil || !res.Approved {
+		t.Fatalf("traced session via gateway: %+v, %v", res, err)
+	}
+
+	// gateway.session + gateway.hop + netauth.session + select + device_rtt.
+	spans := waitSpans(t, tc.Trace, 5)
+	gw := spanNamed(spans, "gateway.session")
+	if gw == nil {
+		t.Fatalf("no gateway.session span in %+v", spans)
+	}
+	if gw.Parent != tc.Span {
+		t.Errorf("gateway.session parent = %s, want device span %s", gw.Parent, tc.Span)
+	}
+	if gw.Status != "ok" || gw.Attrs["chip"] != "chip-A" {
+		t.Errorf("gateway.session status=%q attrs=%v", gw.Status, gw.Attrs)
+	}
+	hop := spanNamed(spans, "gateway.hop")
+	if hop == nil || hop.Parent != gw.ID {
+		t.Fatalf("gateway.hop span %+v, want parent %s", hop, gw.ID)
+	}
+	if hop.Attrs["backend"] == "" {
+		t.Errorf("gateway.hop missing backend attr: %v", hop.Attrs)
+	}
+	sess := spanNamed(spans, "netauth.session")
+	if sess == nil || sess.Parent != gw.ID {
+		t.Fatalf("netauth.session %+v, want parent gateway.session %s", sess, gw.ID)
+	}
+}
+
+// TestGatewayTraceMintsRootForUntracedDevice: a device that sends no trace
+// context still gets a gateway-minted trace, so operators can find sessions
+// that devices did not instrument.
+func TestGatewayTraceMintsRootForUntracedDevice(t *testing.T) {
+	addr, _, chip := startServer(t, 10)
+	_, gwAddr := startGateway(t, []GatewayShard{
+		{Name: "shard-0", Addrs: []string{addr}},
+	}, GatewayConfig{})
+
+	begin := time.Now()
+	res, err := Authenticate(gwAddr, "chip-A", chip, silicon.Nominal, 10*time.Second)
+	if err != nil || !res.Approved {
+		t.Fatalf("untraced session via gateway: %+v, %v", res, err)
+	}
+
+	// Find the freshly minted root: the newest gateway.session span started
+	// after this test began.  It must be a root (no parent) and the
+	// backend's netauth.session must hang beneath it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var gw *dtrace.Span
+		for _, s := range dtrace.Default.Spans() {
+			if s.Name == "gateway.session" && !s.Start.Before(begin) {
+				cp := s
+				gw = &cp
+				break
+			}
+		}
+		if gw != nil {
+			if !gw.Parent.IsZero() {
+				t.Fatalf("minted gateway.session has parent %s, want root", gw.Parent)
+			}
+			spans := waitSpans(t, gw.Trace, 3)
+			sess := spanNamed(spans, "netauth.session")
+			if sess == nil || sess.Parent != gw.ID {
+				t.Fatalf("netauth.session %+v, want parent minted span %s", sess, gw.ID)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gateway never recorded a minted gateway.session span")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestGatewayTraceRedirectHop: when the backend answers moved, the gateway
+// records one hop per attempt — the first with status "redirect" and the
+// redirect target, the second against the new owner.
+func TestGatewayTraceRedirectHop(t *testing.T) {
+	chip := silicon.NewChip(rng.New(1), silicon.DefaultParams(), 4)
+	srcAddr, dstAddr := startMovedPair(t, chip)
+	_, gwAddr := startGateway(t, []GatewayShard{
+		{Name: "shard-0", Addrs: []string{srcAddr}},
+	}, GatewayConfig{})
+
+	tc := mintTrace()
+	c := &Client{
+		Addr: gwAddr, ChipID: "chip-A", Device: chip, Cond: silicon.Nominal,
+		Timeout: 10 * time.Second, Trace: tc.String(),
+	}
+	res, err := c.Authenticate(context.Background())
+	if err != nil || !res.Approved {
+		t.Fatalf("redirected session: %+v, %v", res, err)
+	}
+
+	spans := waitSpans(t, tc.Trace, 4)
+	var redirectHop, servedHop *dtrace.Span
+	for i := range spans {
+		if spans[i].Name != "gateway.hop" {
+			continue
+		}
+		if spans[i].Status == "redirect" {
+			redirectHop = &spans[i]
+		} else {
+			servedHop = &spans[i]
+		}
+	}
+	if redirectHop == nil {
+		t.Fatalf("no redirect hop in %+v", spans)
+	}
+	if redirectHop.Attrs["redirect"] != dstAddr {
+		t.Errorf("redirect hop target = %q, want %s", redirectHop.Attrs["redirect"], dstAddr)
+	}
+	if servedHop == nil || servedHop.Status != "ok" {
+		t.Fatalf("no ok hop after redirect: %+v", spans)
+	}
+}

@@ -24,18 +24,21 @@ package netauth
 import (
 	"bufio"
 	"bytes"
+	"context"
 	crand "crypto/rand"
 	"encoding/base64"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"time"
 
 	"xorpuf/internal/challenge"
 	"xorpuf/internal/keyex"
 	"xorpuf/internal/registry"
 	"xorpuf/internal/telemetry"
+	"xorpuf/internal/telemetry/dtrace"
 	"xorpuf/internal/wire"
 )
 
@@ -109,6 +112,11 @@ type v2Stream struct {
 	start     time.Time
 	issued    time.Time
 	trace     telemetry.SessionTrace
+	// span is the stream's dtrace session span (nil when the hello carried
+	// no usable trace context); batched marks streams from a batch > 1
+	// hello, whose latency feeds the pipelined histogram.
+	span    *dtrace.Span
+	batched bool
 }
 
 // handleV2 serves one binary-protocol connection: a single-goroutine
@@ -263,14 +271,26 @@ func (s *Server) v2Refuse(conn net.Conn, wb *[]byte, stream uint64, ref *refusal
 
 // v2RefusedTrace records the session trace of a refused hello or keyex
 // init, mirroring the v1 path's refusal traces for the attack detector.
-func (s *Server) v2RefusedTrace(chipID, code string, start time.Time) {
+// tc (invalid when untraced) cross-links the trace and records a refused
+// session span so even a bounced session appears in its trace tree.
+func (s *Server) v2RefusedTrace(chipID, code string, start time.Time, tc dtrace.Context) {
 	s.tel.sessionStart()
 	s.tel.sessionVersion(2)
-	s.tel.sessionEnd(start)
-	s.recordTrace(telemetry.SessionTrace{
+	tr := telemetry.SessionTrace{
 		Start: start, ChipID: chipID, Verdict: "error", DenialCode: code,
 		TotalSeconds: time.Since(start).Seconds(),
-	})
+	}
+	if tc.Valid() {
+		tr.TraceID = tc.Trace.String()
+	}
+	s.tel.sessionEnd(start, tr.TraceID)
+	s.recordTrace(tr)
+	if span := s.spans.StartSpanAt(tc, "netauth.session", start); span != nil {
+		span.SetAttr("chip", chipID)
+		span.SetAttr("proto", "v2")
+		span.SetStatus("refused:" + code)
+		span.End()
+	}
 }
 
 // packChallengeBits appends the concatenated bits of cs — width bits per
@@ -304,30 +324,40 @@ func (s *Server) v2Hello(conn net.Conn, wb *[]byte, m *wire.Msg, streams *[]v2St
 	}
 	start := time.Now()
 	chipID := m.ChipID
+	// The hello's trace context (if parseable) covers the whole batch: one
+	// "select" span for the single batched issuance, then one session span
+	// per stream, all siblings under the caller's span.
+	tc, traced := dtrace.ParseContext(m.Trace)
 	entry, ref := s.admitChip(chipID)
 	if ref != nil {
-		s.v2RefusedTrace(chipID, ref.code, start)
+		s.v2RefusedTrace(chipID, ref.code, start, tc)
 		s.v2Refuse(conn, wb, m.Stream, ref)
 		return false
 	}
-	s.tel.batchV2()
+	s.tel.batchV2(batch)
 
 	// Batched issuance: one Issue call journals (and quorum-commits, when
 	// replication is strict) the challenge words for every session in the
 	// hello — the amortization that makes pipelined v2 traffic cheap on
 	// the registry too.
 	selectStart := time.Now()
-	cs, predicted, err := entry.Issue(s.numChallenges*batch, 0)
+	selSpan := s.spans.StartSpanAt(tc, "select", selectStart)
+	selSpan.SetAttr("batch", strconv.Itoa(batch))
+	cs, predicted, err := entry.IssueCtx(dtrace.Inject(context.Background(), selSpan.Context()), s.numChallenges*batch, 0)
 	s.tel.observeSelect(selectStart)
 	if err != nil {
+		selSpan.SetStatus("error:" + errCode(err))
+		selSpan.End()
 		code, retryable := CodeSelectionFailed, false
 		if errors.Is(err, registry.ErrMigrating) {
 			code, retryable = CodeMigrating, true
 		}
-		s.v2RefusedTrace(chipID, code, start)
+		s.v2RefusedTrace(chipID, code, start, tc)
 		s.v2Fail(conn, wb, m.Stream, code, retryable, "challenge selection failed: %v", err)
 		return false
 	}
+	selSpan.SetStatus("ok")
+	selSpan.End()
 	width := len(cs[0])
 
 	// One CSPRNG read covers the whole batch's session ids.
@@ -346,6 +376,7 @@ func (s *Server) v2Hello(conn net.Conn, wb *[]byte, m *wire.Msg, streams *[]v2St
 			start:     start,
 		}
 		copy(st.session[:], ids[i*8:])
+		st.batched = batch > 1
 		s.tel.sessionStart()
 		s.tel.sessionVersion(2)
 		st.trace = telemetry.SessionTrace{
@@ -354,6 +385,11 @@ func (s *Server) v2Hello(conn net.Conn, wb *[]byte, m *wire.Msg, streams *[]v2St
 			Challenges: s.numChallenges,
 		}
 		st.trace.Step("select", time.Since(selectStart))
+		if traced {
+			st.span = s.spans.StartSpanAt(tc, "netauth.session", start)
+			st.span.SetAttr("stream", strconv.FormatUint(st.id, 10))
+			st.trace.TraceID = tc.Trace.String()
+		}
 		group := cs[i*s.numChallenges : (i+1)*s.numChallenges]
 		*pb = packChallengeBits((*pb)[:0], group, width)
 		out := wire.Msg{
@@ -402,6 +438,10 @@ func (s *Server) v2Responses(conn net.Conn, wb *[]byte, m *wire.Msg, streams *[]
 	}
 	s.tel.observeRTT(st.issued)
 	st.trace.Step("device_rtt", time.Since(st.issued))
+	if rtt := s.spans.StartSpanAt(st.span.Context(), "device_rtt", st.issued); rtt != nil {
+		rtt.SetStatus("ok")
+		rtt.End()
+	}
 	mismatches := 0
 	for i := range st.predicted {
 		if wire.Bit(m.Packed, i) != st.predicted[i]&1 {
@@ -432,11 +472,16 @@ func (s *Server) v2Responses(conn net.Conn, wb *[]byte, m *wire.Msg, streams *[]
 	return true
 }
 
-// v2EndStream closes out one stream's telemetry and trace.
+// v2EndStream closes out one stream's telemetry, trace, and session span.
 func (s *Server) v2EndStream(st *v2Stream) {
 	st.trace.TotalSeconds = time.Since(st.start).Seconds()
-	s.tel.sessionEnd(st.start)
+	s.tel.sessionEnd(st.start, st.trace.TraceID)
+	if st.batched {
+		s.tel.observePipelined(st.start, st.trace.TraceID)
+	}
 	s.recordTrace(st.trace)
+	s.endSessionSpan(st.span, &st.trace, "v2")
+	st.span = nil
 }
 
 // v2DropStream removes index idx, reusing the slice's capacity.
@@ -472,10 +517,16 @@ func (s *Server) keyexSessionV2(conn net.Conn, br *bufio.Reader, rd *wire.Reader
 	s.tel.sessionStart()
 	s.tel.sessionVersion(2)
 	trace := telemetry.SessionTrace{Start: start, ChipID: init.ChipID, Verdict: "error"}
+	var span *dtrace.Span
+	if tc, ok := dtrace.ParseContext(init.Trace); ok {
+		span = s.spans.StartSpanAt(tc, "netauth.keyex", start)
+		trace.TraceID = tc.Trace.String()
+	}
 	defer func() {
 		trace.TotalSeconds = time.Since(start).Seconds()
-		s.tel.sessionEnd(start)
+		s.tel.sessionEnd(start, trace.TraceID)
 		s.recordTrace(trace)
+		s.endSessionSpan(span, &trace, "v2")
 	}()
 
 	entry, ref := s.admitChip(init.ChipID)
@@ -505,10 +556,13 @@ func (s *Server) keyexSessionV2(conn net.Conn, br *bufio.Reader, rd *wire.Reader
 	}
 
 	deriveStart := time.Now()
-	cs, predicted, err := entry.IssueKey(cfg.N(), 0)
+	deriveSpan := s.spans.StartSpanAt(span.Context(), "keyex.derive", deriveStart)
+	cs, predicted, err := entry.IssueKeyCtx(dtrace.Inject(context.Background(), deriveSpan.Context()), cfg.N(), 0)
 	s.tel.observeSelect(deriveStart)
 	trace.Step("select", time.Since(deriveStart))
 	if err != nil {
+		deriveSpan.SetStatus("error:" + errCode(err))
+		deriveSpan.End()
 		code, retryable := CodeSelectionFailed, false
 		if errors.Is(err, registry.ErrMigrating) {
 			code, retryable = CodeMigrating, true
@@ -521,6 +575,8 @@ func (s *Server) keyexSessionV2(conn net.Conn, br *bufio.Reader, rd *wire.Reader
 
 	master, helper, err := keyex.Generate(cfg, crand.Reader, predicted)
 	if err != nil {
+		deriveSpan.SetStatus("error:" + CodeSelectionFailed)
+		deriveSpan.End()
 		trace.DenialCode = CodeSelectionFailed
 		s.v2Fail(conn, wb, init.Stream, CodeSelectionFailed, false,
 			"helper data generation failed: %v", err)
@@ -544,6 +600,8 @@ func (s *Server) keyexSessionV2(conn net.Conn, br *bufio.Reader, rd *wire.Reader
 	keyex.Zeroize(master[:])
 	s.tel.observeKeyDerive(deriveStart)
 	trace.Step("derive", time.Since(deriveStart))
+	deriveSpan.SetStatus("ok")
+	deriveSpan.End()
 
 	// The v2 offer carries the session id in its 8 raw bytes and the
 	// challenges/helper as packed bits; the device reconstructs the same
@@ -618,7 +676,7 @@ func (s *Server) keyexSessionV2(conn net.Conn, br *bufio.Reader, rd *wire.Reader
 	defer ch.Close()
 	// Inside the channel the inner frames are binary too (secureConn in
 	// v2 mode), but the session logic is the shared secureLoop.
-	s.secureLoop(&secureConn{s: s, conn: conn, ch: ch, v2: true}, entry, init.ChipID, &trace)
+	s.secureLoop(&secureConn{s: s, conn: conn, ch: ch, v2: true}, entry, init.ChipID, &trace, span.Context())
 }
 
 // messageToWire converts a v1 envelope to its v2 frame for the encrypted

@@ -59,6 +59,11 @@ type V2Client struct {
 	Jitter *rng.Source
 	// Tracer, when non-nil, records one SessionTrace per session.
 	Tracer *telemetry.Tracer
+	// Trace, when set, is a distributed-trace context ("32hex-16hex", see
+	// internal/telemetry/dtrace) carried in the hello frame's trace
+	// extension; the v1 fallback forwards it in the JSON hello.  A server
+	// treats a malformed value as absent.
+	Trace string
 	// RequireV2 turns the v1 fallback into a terminal error — for
 	// deployments (and tests) that must not silently downgrade.
 	RequireV2 bool
@@ -267,6 +272,9 @@ func (c *V2Client) v1Batch(ctx context.Context, k int) ([]Result, error) {
 			Jitter: c.Jitter,
 		}
 	}
+	// The downgrade must not drop the trace: the v1 hello carries the same
+	// context the v2 extension would have.
+	c.v1c.Trace = c.Trace
 	out := make([]Result, 0, k)
 	for i := 0; i < k; i++ {
 		r, err := c.v1c.Authenticate(ctx)
@@ -294,7 +302,7 @@ func (c *V2Client) attemptBatch(ctx context.Context, k int) ([]Result, error) {
 	c.next += uint64(k)
 	hello := wire.Msg{
 		Type: wire.THello, Stream: base, ChipID: c.ChipID,
-		Batch: k, Caps: wire.CapChaCha20Poly1305,
+		Batch: k, Caps: wire.CapChaCha20Poly1305, Trace: c.Trace,
 	}
 	*c.wb = wire.AppendFrame((*c.wb)[:0], &hello)
 	negotiate := c.fresh

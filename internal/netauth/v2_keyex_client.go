@@ -91,7 +91,7 @@ func (c *V2Client) establishV2(ctx context.Context) (*SecureSession, error) {
 
 func (c *V2Client) keyexFrames(conn net.Conn) (*SecureSession, error) {
 	br := bufio.NewReader(conn)
-	init := wire.Msg{Type: wire.TKeyexInit, ChipID: c.ChipID, Caps: wire.CapChaCha20Poly1305}
+	init := wire.Msg{Type: wire.TKeyexInit, ChipID: c.ChipID, Caps: wire.CapChaCha20Poly1305, Trace: c.Trace}
 	buf := wire.AppendFrame(nil, &init)
 	buf = append(buf, wire.Guard)
 	_ = conn.SetWriteDeadline(time.Now().Add(c.Timeout))

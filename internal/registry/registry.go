@@ -30,6 +30,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -400,7 +401,16 @@ func (e *Entry) Admit(now time.Time, throttle time.Duration) (locked, throttled 
 // failure any partially recorded challenges are still journaled — they are
 // burned either way.
 func (e *Entry) Issue(count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
-	return e.issueBurned(recIssued, count, maxExamined)
+	return e.issueBurned(context.Background(), recIssued, count, maxExamined)
+}
+
+// IssueCtx is Issue with a request context.  ctx carries observability state
+// only (a dtrace trace context threads through to the replication quorum
+// wait, which records its ack latency as a child span); it does not cancel
+// the issuance — once the burn is journaled the wait runs to its own
+// verdict, exactly as in Issue.
+func (e *Entry) IssueCtx(ctx context.Context, count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
+	return e.issueBurned(ctx, recIssued, count, maxExamined)
 }
 
 // IssueKey draws challenges for a key-derivation handshake.  They burn from
@@ -409,12 +419,17 @@ func (e *Entry) Issue(count, maxExamined int) ([]challenge.Challenge, []uint8, e
 // the server — but are journaled under their own record type so the WAL
 // stays auditable by workload.
 func (e *Entry) IssueKey(count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
-	return e.issueBurned(recKeyIssued, count, maxExamined)
+	return e.issueBurned(context.Background(), recKeyIssued, count, maxExamined)
+}
+
+// IssueKeyCtx is IssueKey with a request context (see IssueCtx).
+func (e *Entry) IssueKeyCtx(ctx context.Context, count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
+	return e.issueBurned(ctx, recKeyIssued, count, maxExamined)
 }
 
 // issueBurned is the shared issuance path: select, journal under rectype,
 // quorum-commit, and only then release the challenges.
-func (e *Entry) issueBurned(rectype byte, count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
+func (e *Entry) issueBurned(ctx context.Context, rectype byte, count, maxExamined int) ([]challenge.Challenge, []uint8, error) {
 	if e.reg.closed.Load() {
 		return nil, nil, ErrClosed
 	}
@@ -442,7 +457,7 @@ func (e *Entry) issueBurned(rectype byte, count, maxExamined int) ([]challenge.C
 			// the burned words must also be acknowledged by the follower
 			// quorum before they leave the server, so never-reuse holds
 			// across primary loss, not just primary restart.
-			werr = e.reg.waitCommitted(seq)
+			werr = e.reg.waitCommitted(ctx, seq)
 		}
 		if werr != nil {
 			// The words are recorded in memory (and possibly on disk) but

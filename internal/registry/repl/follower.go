@@ -5,10 +5,12 @@ import (
 	"context"
 	"errors"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
 	"xorpuf/internal/registry"
+	"xorpuf/internal/telemetry/dtrace"
 )
 
 // State is a follower's replication state.
@@ -244,6 +246,11 @@ func (f *Follower) session(ctx context.Context) error {
 	}
 
 	// Stream phase: apply, then acknowledge — never the other way around.
+	// lastApply* remember the most recent record's apply timing so a trace
+	// marker arriving right behind it (markers ship after their record on
+	// the same ordered link) can reconstruct the apply+ack span.
+	var lastApplyStart time.Time
+	var lastApplySeconds float64
 	for {
 		conn.SetDeadline(time.Now().Add(f.cfg.IdleTimeout))
 		typ, payload, err := readFrame(br)
@@ -260,6 +267,8 @@ func (f *Follower) session(ctx context.Context) error {
 				start := time.Now()
 				err := f.reg.ApplyReplicated(seq, rectype, rec)
 				replApplySeconds.ObserveSince(start)
+				lastApplyStart = start
+				lastApplySeconds = time.Since(start).Seconds()
 				if err != nil {
 					// Terminal: a WAL append/fsync failure or sequence gap
 					// means this record is not durably ours.  Degrade and
@@ -299,6 +308,36 @@ func (f *Follower) session(ctx context.Context) error {
 			f.mu.Unlock()
 			if err := writeFrame(conn, fAck, u64Payload(applied)); err != nil {
 				return err
+			}
+		case fTraceMark:
+			// Observability only, tolerant end to end: a malformed marker
+			// or unparseable context is dropped, never a link error.  The
+			// marker ships behind its record on the same ordered link, so
+			// by the time it arrives the record is applied (or was covered
+			// by the snapshot) and the follower can record its leg of the
+			// distributed trace in its own process ring.
+			seq, tctx, derr := decodeTraceMark(payload)
+			if derr != nil || seq > applied {
+				break
+			}
+			if tc, ok := dtrace.ParseContext(tctx); ok {
+				start, secs := lastApplyStart, lastApplySeconds
+				if start.IsZero() {
+					start, secs = time.Now(), 0 // record predates this link (snapshot-covered)
+				}
+				dtrace.Default.Record(dtrace.Span{
+					Trace:   tc.Trace,
+					ID:      dtrace.NewSpanID(),
+					Parent:  tc.Span,
+					Name:    "repl.apply_ack",
+					Start:   start,
+					Seconds: secs,
+					Status:  "ok",
+					Attrs: map[string]string{
+						"seq":     strconv.FormatUint(seq, 10),
+						"primary": f.addr,
+					},
+				})
 			}
 		case fError:
 			if le, derr := decodeError(payload); derr == nil {

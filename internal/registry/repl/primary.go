@@ -2,13 +2,16 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xorpuf/internal/registry"
+	"xorpuf/internal/telemetry/dtrace"
 )
 
 // ErrQuorum is returned (wrapped in a LinkError-free path) by WaitCommitted
@@ -108,7 +111,7 @@ func NewPrimary(reg *registry.Registry, cfg PrimaryConfig) *Primary {
 	p.cond = sync.NewCond(&p.mu)
 	p.lastSeq = reg.Seq() // journal position at attach: pre-existing records ship by snapshot
 	reg.SetAppendObserver(p.observe)
-	reg.SetCommitWaiter(p.WaitCommitted)
+	reg.SetCommitWaiter(p.WaitCommittedCtx)
 	return p
 }
 
@@ -312,6 +315,52 @@ func (p *Primary) drop(l *link) {
 // the registry's commit waiter: a non-nil return keeps the issued
 // challenges on the server.
 func (p *Primary) WaitCommitted(seq uint64) error {
+	return p.WaitCommittedCtx(context.Background(), seq)
+}
+
+// WaitCommittedCtx is WaitCommitted carrying request-scoped observability:
+// when ctx holds a dtrace context (injected by the traced issuance path),
+// the quorum wait is recorded as a child span — the ack-latency leg of the
+// session's distributed trace — and an fTraceMark rides the record stream so
+// each follower can record its apply+ack in its own process ring, extending
+// the trace tree across machines.  ctx never cancels the wait: the burn is
+// journaled, so the quorum verdict must be reached either way.
+func (p *Primary) WaitCommittedCtx(ctx context.Context, seq uint64) error {
+	tc := dtrace.FromContext(ctx)
+	var span *dtrace.Span
+	if tc.Valid() {
+		span = dtrace.Default.StartSpan(tc, "repl.quorum_wait")
+		span.SetAttr("seq", strconv.FormatUint(seq, 10))
+		p.shipTraceMark(seq, span.Context())
+	}
+	err := p.waitCommitted(seq)
+	if span != nil {
+		if err != nil {
+			span.SetStatus("error:" + err.Error())
+		} else {
+			span.SetStatus("ok")
+		}
+		span.End()
+	}
+	return err
+}
+
+// shipTraceMark fans a trace marker to every connected follower.  Unlike
+// observe, a full buffer silently drops the marker instead of killing the
+// link: markers are observability, not log.
+func (p *Primary) shipTraceMark(seq uint64, tc dtrace.Context) {
+	frame := encodeFrame(fTraceMark, traceMarkPayload(seq, tc.String()))
+	p.mu.Lock()
+	for l := range p.links {
+		select {
+		case l.ch <- shipped{seq: seq, frame: frame}:
+		default:
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *Primary) waitCommitted(seq uint64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.cfg.Quorum == 0 {

@@ -17,6 +17,14 @@
 //	fAck       f→p  appliedSeq(u64)
 //	fHeartbeat p→f  primarySeq(u64) walBytes(u64)
 //	fError     ↔    code(str16) message(rest)
+//	fTraceMark p→f  seq(u64) trace-context(rest, see internal/telemetry/dtrace)
+//
+// fTraceMark is pure observability: it tags an already-shipped record with
+// the distributed-trace context of the session that burned it, so the
+// follower can record its apply+ack as a span in its own process ring.  A
+// marker is best-effort end to end — dropped under backpressure, ignored
+// when malformed — and is never acknowledged; trace loss is acceptable,
+// log divergence is not.
 //
 // Every session starts hello → snapshot (dataLen 0 when the follower is
 // already at the cut) → record stream.  The follower acknowledges a record
@@ -45,6 +53,7 @@ const (
 	fAck       byte = 6
 	fHeartbeat byte = 7
 	fError     byte = 8
+	fTraceMark byte = 9
 )
 
 const (
@@ -207,6 +216,19 @@ func decodeHeartbeat(p []byte) (primarySeq, walBytes uint64, err error) {
 		return 0, 0, linkErrf(CodeProto, "heartbeat payload %d bytes, want 16", len(p))
 	}
 	return binary.LittleEndian.Uint64(p[0:8]), binary.LittleEndian.Uint64(p[8:16]), nil
+}
+
+func traceMarkPayload(seq uint64, traceCtx string) []byte {
+	buf := make([]byte, 0, 8+len(traceCtx))
+	buf = binary.LittleEndian.AppendUint64(buf, seq)
+	return append(buf, traceCtx...)
+}
+
+func decodeTraceMark(p []byte) (seq uint64, traceCtx string, err error) {
+	if len(p) < 8 {
+		return 0, "", linkErrf(CodeProto, "trace-mark payload %d bytes, want ≥ 8", len(p))
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), string(p[8:]), nil
 }
 
 func errorPayload(code, msg string) []byte {

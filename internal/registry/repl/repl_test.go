@@ -11,6 +11,7 @@ import (
 	"xorpuf/internal/core"
 	"xorpuf/internal/faultnet"
 	"xorpuf/internal/registry"
+	"xorpuf/internal/telemetry/dtrace"
 )
 
 // syntheticModel mirrors the registry tests' cheap deterministic model:
@@ -313,5 +314,63 @@ func TestSeqGapIsTerminal(t *testing.T) {
 	err := reg.ApplyReplicated(5, 4 /* recDeregister */, append([]byte{6, 0}, "chip-a"...))
 	if !errors.Is(err, registry.ErrSeqGap) {
 		t.Fatalf("gap apply returned %v, want ErrSeqGap", err)
+	}
+}
+
+func TestTraceMarkSpansCrossProcesses(t *testing.T) {
+	primReg := openReg(t, "")
+	follReg := openReg(t, "")
+	defer primReg.Close()
+	defer follReg.Close()
+	if err := primReg.Register("chip-a", syntheticModel(2, 16), 0); err != nil {
+		t.Fatal(err)
+	}
+	c := startCluster(t, primReg, follReg, PrimaryConfig{Quorum: 1, Strict: true}, nil)
+	waitFor(t, "snapshot bootstrap", func() bool { return c.follReg.Len() == 1 })
+
+	tid := dtrace.NewTraceID()
+	root := dtrace.Context{Trace: tid, Span: dtrace.NewSpanID()}
+	ctx := dtrace.Inject(context.Background(), root)
+	e := primReg.Lookup("chip-a")
+	if _, _, err := e.IssueCtx(ctx, 3, 0); err != nil {
+		t.Fatalf("traced Issue under strict quorum: %v", err)
+	}
+
+	// The quorum-wait span is recorded synchronously by the primary; the
+	// follower's apply-ack span arrives via the best-effort fTraceMark frame.
+	var wait, ack *dtrace.Span
+	waitFor(t, "quorum_wait and apply_ack spans", func() bool {
+		wait, ack = nil, nil
+		for _, v := range dtrace.Default.ByTrace(tid) {
+			v := v
+			switch v.Name {
+			case "repl.quorum_wait":
+				wait = &v
+			case "repl.apply_ack":
+				ack = &v
+			}
+		}
+		return wait != nil && ack != nil
+	})
+	if wait.Parent != root.Span {
+		t.Fatalf("quorum_wait parent %s, want issuing span %s", wait.Parent, root.Span)
+	}
+	// The follower span nests under the quorum wait, so a collector renders
+	// gateway → shard → follower as one tree.
+	if ack.Parent != wait.ID {
+		t.Fatalf("apply_ack parent %s, want quorum_wait span %s", ack.Parent, wait.ID)
+	}
+	if ack.Attrs["seq"] != wait.Attrs["seq"] {
+		t.Fatalf("seq attrs diverge: ack %q, wait %q", ack.Attrs["seq"], wait.Attrs["seq"])
+	}
+
+	// An untraced issuance must not grow the trace's span set.
+	n := len(dtrace.Default.ByTrace(tid))
+	if _, _, err := e.Issue(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := len(dtrace.Default.ByTrace(tid)); got != n {
+		t.Fatalf("untraced issuance added spans: %d -> %d", n, got)
 	}
 }

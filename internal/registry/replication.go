@@ -17,6 +17,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -36,8 +37,12 @@ type AppendObserver func(seq uint64, typ byte, payload []byte)
 
 // CommitWaiter gates challenge issuance on replication: Entry.Issue calls it
 // with the recIssued record's sequence number and refuses to release the
-// challenges unless it returns nil.
-type CommitWaiter func(seq uint64) error
+// challenges unless it returns nil.  ctx carries request-scoped observability
+// state — a distributed-trace context injected by IssueCtx travels through
+// here so the replication layer can record the quorum wait as a child span —
+// and is never used for cancellation: the burn is already journaled, so the
+// wait must run to its own verdict.
+type CommitWaiter func(ctx context.Context, seq uint64) error
 
 // primaryObsSlot is the reserved slot ID for SetAppendObserver, which keeps
 // its replace-the-one-observer semantics for the replication primary while
@@ -108,9 +113,9 @@ func (r *Registry) SetCommitWaiter(fn CommitWaiter) {
 	r.commitWait.Store(&fn)
 }
 
-func (r *Registry) waitCommitted(seq uint64) error {
+func (r *Registry) waitCommitted(ctx context.Context, seq uint64) error {
 	if w := r.commitWait.Load(); w != nil {
-		return (*w)(seq)
+		return (*w)(ctx, seq)
 	}
 	return nil
 }
@@ -120,7 +125,9 @@ func (r *Registry) waitCommitted(seq uint64) error {
 // attached.  The migration acceptor gates its cutover acknowledgement on
 // this, so an ownership transfer is quorum-safe on the target before the
 // source drops the range.
-func (r *Registry) WaitCommitted(seq uint64) error { return r.waitCommitted(seq) }
+func (r *Registry) WaitCommitted(seq uint64) error {
+	return r.waitCommitted(context.Background(), seq)
+}
 
 // Seq returns the sequence number of the last record in the local log.
 func (r *Registry) Seq() uint64 {

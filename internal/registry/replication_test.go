@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -185,7 +186,7 @@ func TestCommitWaiterGatesIssuance(t *testing.T) {
 	}
 	quorumDown := errors.New("quorum down")
 	var gotSeq uint64
-	reg.SetCommitWaiter(func(seq uint64) error {
+	reg.SetCommitWaiter(func(_ context.Context, seq uint64) error {
 		gotSeq = seq
 		return quorumDown
 	})

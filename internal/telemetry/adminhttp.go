@@ -84,7 +84,28 @@ func AdminMux(reg *Registry, tracer *Tracer, healthz func() any, extra ...Endpoi
 				n = v
 			}
 		}
-		traces := tracer.Recent(n)
+		// Filters select before the ?n= cap is applied, so "the last 5
+		// denied sessions of chip-7" works as expected: fetch everything,
+		// filter, then truncate.
+		chip := r.URL.Query().Get("chip")
+		verdict := r.URL.Query().Get("verdict")
+		traces := tracer.Recent(0)
+		if chip != "" || verdict != "" {
+			kept := traces[:0]
+			for _, tr := range traces {
+				if chip != "" && tr.ChipID != chip {
+					continue
+				}
+				if verdict != "" && tr.Verdict != verdict {
+					continue
+				}
+				kept = append(kept, tr)
+			}
+			traces = kept
+		}
+		if n > 0 && n < len(traces) {
+			traces = traces[:n]
+		}
 		if traces == nil {
 			traces = []SessionTrace{}
 		}

@@ -1,0 +1,61 @@
+package dtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Dump is the JSON document served by /trace/spans and written to
+// spans_final.json: one process's service tag and its recorded spans, newest
+// first.  `puflab trace collect` merges several of these into one
+// cross-process view.
+type Dump struct {
+	Service string `json:"service"`
+	Count   int    `json:"count"`
+	Spans   []View `json:"spans"`
+}
+
+// Snapshot captures the recorder's current contents as a Dump.
+func (r *Recorder) Snapshot() Dump {
+	spans := r.Spans()
+	d := Dump{Service: r.Service(), Count: len(spans), Spans: make([]View, 0, len(spans))}
+	for _, s := range spans {
+		d.Spans = append(d.Spans, s.View())
+	}
+	return d
+}
+
+// MarshalJSONIndent renders the snapshot as indented JSON — the
+// spans_final.json companion to telemetry's metrics_final.json.
+func (r *Recorder) MarshalJSONIndent() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}
+
+// Handler serves the recorder's spans as JSON.  Query parameters, all
+// tolerant of junk (ignored rather than erroring, matching /traces):
+//
+//	?n=N            keep only the N most recent spans
+//	?trace=<32hex>  keep only spans of one trace (full-ring lookup)
+func Handler(r *Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		d := r.Snapshot()
+		if tid, ok := ParseTraceID(req.URL.Query().Get("trace")); ok {
+			kept := d.Spans[:0]
+			for _, v := range d.Spans {
+				if v.TraceID == tid.String() {
+					kept = append(kept, v)
+				}
+			}
+			d.Spans = kept
+		}
+		if n, err := strconv.Atoi(req.URL.Query().Get("n")); err == nil && n >= 0 && n < len(d.Spans) {
+			d.Spans = d.Spans[:n]
+		}
+		d.Count = len(d.Spans)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(d) //nolint:errcheck
+	}
+}

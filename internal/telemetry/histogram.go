@@ -17,6 +17,18 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+
+	// ex is the most recent exemplar — a trace ID attached to one
+	// observation, linking the aggregate back to a concrete session.  An
+	// atomically swapped pointer: ObserveExemplar stays lock-free and the
+	// plain Observe path is untouched.
+	ex atomic.Pointer[exemplar]
+}
+
+// exemplar pairs one observed value with the trace that produced it.
+type exemplar struct {
+	trace string
+	value float64
 }
 
 // NewHistogram creates a histogram with the given strictly increasing
@@ -76,6 +88,33 @@ func (h *Histogram) ObserveSince(start time.Time) {
 	}
 }
 
+// ObserveExemplar records one value and, when trace is non-empty, retains it
+// as the histogram's exemplar: the trace ID of a concrete session behind the
+// aggregate, surfaced in the JSON snapshot and by SLO alerts.  Untraced
+// observations (trace == "") are exactly Observe — they never clobber a
+// retained exemplar.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.Observe(v)
+	if trace != "" {
+		h.ex.Store(&exemplar{trace: trace, value: v})
+	}
+}
+
+// Exemplar returns the most recently retained exemplar trace ID and its
+// observed value, or ("", 0) when no traced observation has occurred.
+func (h *Histogram) Exemplar() (trace string, value float64) {
+	if h == nil {
+		return "", 0
+	}
+	if e := h.ex.Load(); e != nil {
+		return e.trace, e.value
+	}
+	return "", 0
+}
+
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -108,6 +147,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	s.ExemplarTrace, s.ExemplarValue = h.Exemplar()
 	return s
 }
 

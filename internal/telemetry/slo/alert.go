@@ -58,6 +58,11 @@ type Event struct {
 	Value float64 `json:"value"`
 	// Reason is a human-readable explanation.
 	Reason string `json:"reason,omitempty"`
+	// ExemplarTrace is a distributed-trace ID of a concrete recent
+	// observation behind the driving metric (latency rules only, and only
+	// when the engine has an exemplar source): `puflab trace show <id>`
+	// turns the page into one offending session's span tree.
+	ExemplarTrace string `json:"exemplar_trace,omitempty"`
 }
 
 // alertMachine is the per-alert state: shared by burn-rate rules and
@@ -73,6 +78,10 @@ type alertMachine struct {
 	clearSince time.Time
 	lastValue  float64
 	lastReason string
+	// lastExemplar is the most recent exemplar trace ID attached by the
+	// engine's exemplar source (latency rules); carried on events and the
+	// /alerts status so a fired alert names a concrete trace.
+	lastExemplar string
 }
 
 // step advances the machine one evaluation and reports the transition, if
@@ -136,15 +145,19 @@ type Status struct {
 	Value float64 `json:"value"`
 	// Reason explains the most recent non-empty evaluation.
 	Reason string `json:"reason,omitempty"`
+	// ExemplarTrace is the trace ID of a recent observation behind the
+	// driving metric, when one is known (see Event.ExemplarTrace).
+	ExemplarTrace string `json:"exemplar_trace,omitempty"`
 }
 
 func (a *alertMachine) status(name, severity string) Status {
 	return Status{
-		Name:     name,
-		Severity: severity,
-		State:    a.state.String(),
-		Since:    a.since,
-		Value:    a.lastValue,
-		Reason:   a.lastReason,
+		Name:          name,
+		Severity:      severity,
+		State:         a.state.String(),
+		Since:         a.since,
+		Value:         a.lastValue,
+		Reason:        a.lastReason,
+		ExemplarTrace: a.lastExemplar,
 	}
 }

@@ -147,6 +147,10 @@ type Engine struct {
 	external []Evaluator
 	events   []Event
 	onEvent  func(Event)
+	// exemplar, when set, maps a histogram name to the trace ID (and value)
+	// of its most recent traced observation; latency rules consult it each
+	// evaluation so alerts carry a concrete offending trace.
+	exemplar func(hist string) (trace string, value float64)
 }
 
 // maxEventLog bounds the retained transition history.
@@ -186,6 +190,20 @@ func (e *Engine) OnEvent(fn func(Event)) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.onEvent = fn
+}
+
+// SetExemplarSource wires the engine to histogram exemplars: fn maps a
+// histogram name to the trace ID of its most recent traced observation (and
+// the observed value), typically telemetry.Registry.FindHistogram(name).
+// Exemplar().  Latency rules consult it every evaluation; the latest
+// non-empty trace rides the rule's events and /alerts status, so a burning
+// SLO points at a session to pull up with `puflab trace show`.  fn must be
+// safe for concurrent use; an empty trace return means "no exemplar yet"
+// and leaves the previous one in place.
+func (e *Engine) SetExemplarSource(fn func(hist string) (trace string, value float64)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.exemplar = fn
 }
 
 // burnRatio evaluates a ratio objective over one window.
@@ -263,6 +281,7 @@ func (e *Engine) Evaluate() []Event {
 	copy(rules, e.rules)
 	external := make([]Evaluator, len(e.external))
 	copy(external, e.external)
+	exemplar := e.exemplar
 	e.mu.Unlock()
 
 	var out []Event
@@ -273,6 +292,7 @@ func (e *Engine) Evaluate() []Event {
 			okLong, okShort     bool
 			value               float64
 			reason              string
+			exTrace             string
 		)
 		switch r.Objective.Kind {
 		case KindLatency:
@@ -283,6 +303,9 @@ func (e *Engine) Evaluate() []Event {
 			value = longBurn
 			reason = fmt.Sprintf("%s p%g = %.4gs over %v (threshold %.4gs)",
 				r.Objective.Histogram, r.Objective.Quantile*100, qLong, r.LongWindow, r.Objective.Threshold)
+			if exemplar != nil {
+				exTrace, _ = exemplar(r.Objective.Histogram)
+			}
 		case KindGauge:
 			var qLong float64
 			longBurn, qLong, okLong = e.burnGauge(r.Objective, r.LongWindow)
@@ -314,6 +337,10 @@ func (e *Engine) Evaluate() []Event {
 		e.mu.Lock()
 		m := e.alerts[r.AlertName()]
 		from, to, changed := m.step(cond, value, reason, now, r.PendingFor, r.ResolveAfter)
+		if exTrace != "" {
+			m.lastExemplar = exTrace
+		}
+		exNow := m.lastExemplar
 		st.State = to.String()
 		e.last[r.Objective.Name] = st
 		e.mu.Unlock()
@@ -321,7 +348,7 @@ func (e *Engine) Evaluate() []Event {
 			out = append(out, Event{
 				Name: r.AlertName(), Severity: r.Severity,
 				From: from, To: to, FromState: from.String(), ToState: to.String(),
-				At: now, Value: value, Reason: reason,
+				At: now, Value: value, Reason: reason, ExemplarTrace: exNow,
 			})
 		}
 	}

@@ -431,3 +431,55 @@ func TestDefaultRulesCatalog(t *testing.T) {
 		}
 	}
 }
+
+// TestLatencyExemplarTrace: a fired latency alert must carry the histogram's
+// most recent exemplar trace ID on both the transition event and the /alerts
+// status, so the page names a concrete session to pull up.
+func TestLatencyExemplarTrace(t *testing.T) {
+	h := newHarness([]Rule{{
+		Objective: Objective{
+			Name: "latency", Kind: KindLatency,
+			Histogram: "lat_seconds", Quantile: 0.99, Threshold: 0.005,
+		},
+		LongWindow: time.Minute, ShortWindow: 15 * time.Second,
+		Burn: 1, PendingFor: 0, ResolveAfter: 10 * time.Second,
+		Severity: "page",
+	}})
+	lat := h.reg.Histogram("lat_seconds", telemetry.LatencyBuckets)
+	h.engine.SetExemplarSource(func(hist string) (string, float64) {
+		if hi := h.reg.FindHistogram(hist); hi != nil {
+			return hi.Exemplar()
+		}
+		return "", 0
+	})
+
+	const trace = "0123456789abcdef0123456789abcdef"
+	var fired *Event
+	for i := 0; i < 4 && fired == nil; i++ {
+		for j := 0; j < 100; j++ {
+			lat.ObserveExemplar(0.05, trace)
+		}
+		for _, ev := range h.tick(5 * time.Second) {
+			if ev.ToState == "firing" {
+				e := ev
+				fired = &e
+			}
+		}
+	}
+	if fired == nil {
+		t.Fatalf("latency spike never fired; status %+v", h.engine.Status())
+	}
+	if fired.ExemplarTrace != trace {
+		t.Fatalf("firing event exemplar = %q, want %q", fired.ExemplarTrace, trace)
+	}
+	for _, a := range h.engine.Alerts() {
+		if a.Name != "slo:latency" {
+			continue
+		}
+		if a.ExemplarTrace != trace {
+			t.Fatalf("alert status exemplar = %q, want %q", a.ExemplarTrace, trace)
+		}
+		return
+	}
+	t.Fatal("slo:latency alert missing from Alerts()")
+}

@@ -184,6 +184,18 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// FindHistogram returns the histogram registered under name, or nil — a
+// pure lookup for consumers (the SLO engine's exemplar source) that must not
+// create instruments with guessed bucket layouts.
+func (r *Registry) FindHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.histograms[name]
+}
+
 // HistogramSnapshot is the point-in-time state of one histogram.
 type HistogramSnapshot struct {
 	// Count is the total number of observations.
@@ -196,6 +208,12 @@ type HistogramSnapshot struct {
 	// observations v with Bounds[i-1] < v ≤ Bounds[i] (the final entry is
 	// the +Inf overflow bucket).
 	Counts []uint64 `json:"counts"`
+	// ExemplarTrace is the trace ID of the most recent traced observation
+	// (empty when none occurred) — the concrete session behind the
+	// aggregate.  JSON-snapshot only; the text scrape format is unchanged.
+	ExemplarTrace string `json:"exemplar_trace,omitempty"`
+	// ExemplarValue is the value that observation recorded.
+	ExemplarValue float64 `json:"exemplar_value,omitempty"`
 }
 
 // Mean returns Sum/Count, or 0 for an empty histogram.

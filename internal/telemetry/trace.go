@@ -20,6 +20,10 @@ type SessionTrace struct {
 	// Session is the server-assigned session ID (empty when the session
 	// failed before one was assigned).
 	Session string `json:"session,omitempty"`
+	// TraceID is the distributed trace this session belongs to (32 hex
+	// chars, empty for untraced sessions) — the cross-link from the
+	// per-process session ring into the dtrace span trees.
+	TraceID string `json:"trace_id,omitempty"`
 	// ChipID identifies the chip, as claimed in the hello.
 	ChipID string `json:"chip_id,omitempty"`
 	// Start is when the session began.

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"strings"
+	"testing"
+
+	"xorpuf/internal/telemetry/dtrace"
+)
+
+// helloWithExt hand-builds a THello frame whose payload is the canonical
+// hello fields followed by arbitrary extension-area bytes — the attacker's
+// view of the trace extension, unconstrained by AppendFrame.
+func helloWithExt(typ byte, ext []byte) []byte {
+	payload := appendString(nil, "chip-1")
+	payload = appendUvarint(payload, 1) // batch
+	payload = appendUvarint(payload, 0) // caps
+	payload = append(payload, ext...)
+
+	frame := []byte{Magic, typ}
+	frame = appendUvarint(frame, 1) // stream
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	return binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+}
+
+// TestTraceExtensionHostileInput pins the tolerance contract: on
+// THello/TKeyexInit, any extension-area garbage decodes as an untraced but
+// otherwise intact hello — never a frame error.
+func TestTraceExtensionHostileInput(t *testing.T) {
+	valid := "0123456789abcdef0123456789abcdef-0123456789abcdef"
+	cases := []struct {
+		name      string
+		ext       []byte
+		wantTrace string
+	}{
+		{"no extension", nil, ""},
+		{"well-formed context", appendString(nil, valid), valid},
+		{"well-formed plus future extension bytes", append(appendString(nil, valid), 0xDE, 0xAD), valid},
+		// Shape validation is dtrace's job, not the codec's: a bounded
+		// string that isn't a context still decodes (and is then dropped
+		// by ParseContext at the protocol layer).
+		{"bounded junk string", appendString(nil, "not-a-context"), "not-a-context"},
+		{"oversized length prefix", appendString(nil, strings.Repeat("x", MaxTrace+1)), ""},
+		{"huge declared length, no body", appendUvarint(nil, 1<<40), ""},
+		{"truncated string body", appendUvarint(nil, 40), ""},
+		{"bare garbage varint", []byte{0xFF}, ""},
+		{"single zero byte", appendString(nil, ""), ""},
+	}
+	for _, typ := range []byte{THello, TKeyexInit} {
+		for _, tc := range cases {
+			frame := helloWithExt(typ, tc.ext)
+			var m Msg
+			if err := Decode(frame, &m); err != nil {
+				t.Errorf("type 0x%02x %s: decode error %v, want tolerant drop", typ, tc.name, err)
+				continue
+			}
+			if m.ChipID != "chip-1" || m.Batch != 1 {
+				t.Errorf("type 0x%02x %s: hello fields mangled: %+v", typ, tc.name, m)
+			}
+			if m.Trace != tc.wantTrace {
+				t.Errorf("type 0x%02x %s: trace %q, want %q", typ, tc.name, m.Trace, tc.wantTrace)
+			}
+		}
+	}
+}
+
+// TestTrailingBytesStillRejectedElsewhere proves the hello-only tolerance
+// did not loosen any other frame type: trailing bytes remain a frame error.
+func TestTrailingBytesStillRejectedElsewhere(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		if m.Type == THello || m.Type == TKeyexInit {
+			continue
+		}
+		m := m
+		frame := AppendFrame(nil, &m)
+		// Splice one extra payload byte in and rebuild length + CRC.
+		cut := len(frame) - 4
+		body := append([]byte(nil), frame[:cut]...)
+		body = append(body, 0x00)
+		// Payload length field sits right before the payload; recompute it
+		// by re-deriving its offset: magic+type, stream uvarint, then 4
+		// length bytes.
+		c := cursor{b: body[2:]}
+		if _, err := c.uvarint(); err != nil {
+			t.Fatal(err)
+		}
+		lenAt := len(body) - len(c.b)
+		plen := binary.LittleEndian.Uint32(body[lenAt:])
+		binary.LittleEndian.PutUint32(body[lenAt:], plen+1)
+		full := binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+		var got Msg
+		if err := Decode(full, &got); err == nil {
+			t.Errorf("type 0x%02x: trailing byte accepted", m.Type)
+		}
+	}
+}
+
+// FuzzTraceContext drives arbitrary extension-area bytes through the v2
+// hello decode and any recovered trace string through dtrace.ParseContext:
+// the codec must never error on a hello extension, and the parser must stay
+// total. Exercises exactly the hostile path a device or middlebox controls.
+func FuzzTraceContext(f *testing.F) {
+	valid := dtrace.Context{Trace: dtrace.NewTraceID(), Span: dtrace.NewSpanID()}.String()
+	f.Add([]byte{})
+	f.Add(appendString(nil, valid))
+	f.Add(appendString(nil, "garbage"))
+	f.Add(appendString(nil, strings.Repeat("a", MaxTrace+10)))
+	f.Add(appendUvarint(nil, 1<<40))
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Add(append(appendString(nil, valid), 1, 2, 3))
+	f.Fuzz(func(t *testing.T, ext []byte) {
+		for _, typ := range []byte{THello, TKeyexInit} {
+			frame := helloWithExt(typ, ext)
+			var m Msg
+			if err := Decode(frame, &m); err != nil {
+				t.Fatalf("hello with %d-byte extension rejected: %v", len(ext), err)
+			}
+			if m.ChipID != "chip-1" {
+				t.Fatalf("hello fields corrupted by extension: %+v", m)
+			}
+			if len(m.Trace) > MaxTrace {
+				t.Fatalf("decoded trace exceeds cap: %d bytes", len(m.Trace))
+			}
+			// The protocol layer's next step must be total on whatever the
+			// codec let through.
+			if c, ok := dtrace.ParseContext(m.Trace); ok && !c.Valid() {
+				t.Fatalf("ParseContext accepted invalid context from %q", m.Trace)
+			}
+			// A recovered well-formed trace must round-trip through
+			// re-encoding.
+			if m.Trace != "" {
+				re := AppendFrame(nil, &Msg{Type: typ, ChipID: m.ChipID, Batch: m.Batch, Caps: m.Caps, Trace: m.Trace})
+				var back Msg
+				if err := Decode(re, &back); err != nil || back.Trace != m.Trace {
+					t.Fatalf("re-encode round trip failed: err=%v trace=%q want %q", err, back.Trace, m.Trace)
+				}
+			}
+		}
+	})
+}
+
+// TestHelloFrameBackCompat pins that a traceless hello encodes byte-identically
+// to the pre-extension format (no extension area at all).
+func TestHelloFrameBackCompat(t *testing.T) {
+	m := Msg{Type: THello, Stream: 3, ChipID: "chip-9", Batch: 4, Caps: CapChaCha20Poly1305}
+	got := AppendFrame(nil, &m)
+	want := helloFrameLegacy(m)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("traceless hello gained bytes:\n got %x\nwant %x", got, want)
+	}
+}
+
+// helloFrameLegacy builds the PR 9 hello layout (chip, batch, caps — no
+// extension area).
+func helloFrameLegacy(m Msg) []byte {
+	payload := appendString(nil, m.ChipID)
+	payload = appendUvarint(payload, uint64(m.Batch))
+	payload = appendUvarint(payload, m.Caps)
+	frame := []byte{Magic, m.Type}
+	frame = appendUvarint(frame, m.Stream)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	return binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+}

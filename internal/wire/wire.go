@@ -84,6 +84,11 @@ const (
 	SessionLen = 8
 	MACLen     = 32
 	DigestLen  = 32
+	// MaxTrace bounds the optional trace-context extension string on
+	// THello/TKeyexInit. A dtrace context is exactly 49 characters; the
+	// slack leaves room for a future versioned form without admitting
+	// megabyte "contexts".
+	MaxTrace = 64
 )
 
 var (
@@ -109,6 +114,12 @@ type Msg struct {
 	ChipID string
 	Batch  int
 	Caps   uint64
+	// Trace is the optional distributed-trace context ("32hex-16hex",
+	// see internal/telemetry/dtrace), carried as a trailing extension on
+	// THello/TKeyexInit. Opaque at this layer: the codec bounds its
+	// length but does not validate its shape, and a malformed extension
+	// decodes as absent rather than as a frame error.
+	Trace string
 
 	// TChallenges / TResponses / TKeyexOffer: Session is the 8-byte
 	// session id; Count challenges (or response bits) of Width bits each
@@ -208,6 +219,11 @@ func AppendFrame(dst []byte, m *Msg) []byte {
 		dst = appendString(dst, m.ChipID)
 		dst = appendUvarint(dst, uint64(m.Batch))
 		dst = appendUvarint(dst, m.Caps)
+		// Trace context rides as a trailing extension so a pre-extension
+		// peer sees a byte-identical frame when no trace is attached.
+		if m.Trace != "" {
+			dst = appendString(dst, m.Trace)
+		}
 	case TChallenges:
 		dst = append(dst, m.Session...)
 		dst = appendUvarint(dst, uint64(m.Width))
@@ -365,6 +381,19 @@ func decodePayload(c *cursor, m *Msg) error {
 		}
 		if m.Caps, err = c.uvarint(); err != nil {
 			return err
+		}
+		// Anything after Caps is the optional extension area. Unlike every
+		// other frame type, hello tolerates it instead of rejecting
+		// trailing bytes: the first extension field is the trace-context
+		// string, and a malformed or oversized extension is consumed and
+		// dropped — a hostile trace field can cost the trace, never the
+		// session. Bytes after the trace string are reserved for future
+		// extensions and likewise ignored.
+		if len(c.b) != 0 {
+			if tr, terr := c.str(MaxTrace); terr == nil {
+				m.Trace = tr
+			}
+			c.b = nil
 		}
 	case TChallenges:
 		if m.Session, err = c.take(SessionLen); err != nil {

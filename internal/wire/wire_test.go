@@ -20,7 +20,11 @@ func sampleMsgs() []Msg {
 	helper := PackBits(nil, bits[:4])
 	return []Msg{
 		{Type: THello, Stream: 7, ChipID: "chip-0042", Batch: 16, Caps: CapChaCha20Poly1305},
+		{Type: THello, Stream: 8, ChipID: "chip-0042", Batch: 16, Caps: CapChaCha20Poly1305,
+			Trace: "0123456789abcdef0123456789abcdef-0123456789abcdef"},
 		{Type: TKeyexInit, Stream: 1, ChipID: "chip-1", Batch: 1, Caps: CapChaCha20Poly1305},
+		{Type: TKeyexInit, Stream: 2, ChipID: "chip-1", Batch: 1, Caps: CapChaCha20Poly1305,
+			Trace: "ffeeddccbbaa99887766554433221100-aabbccddeeff0011"},
 		{Type: TChallenges, Stream: 9, Session: sess, Width: 64, Count: 4, Packed: packed},
 		{Type: TResponses, Stream: 9, Session: sess, Count: 4, Packed: PackBits(nil, bits[:4])},
 		{Type: TVerdict, Stream: 9, Approved: true, Mismatches: 0},
@@ -41,7 +45,8 @@ func msgEqual(t *testing.T, want, got *Msg) {
 		t.Fatalf("header mismatch: want type=%d stream=%d, got type=%d stream=%d",
 			want.Type, want.Stream, got.Type, got.Stream)
 	}
-	if want.ChipID != got.ChipID || want.Batch != got.Batch || want.Caps != got.Caps {
+	if want.ChipID != got.ChipID || want.Batch != got.Batch || want.Caps != got.Caps ||
+		want.Trace != got.Trace {
 		t.Fatalf("hello fields mismatch: want %+v got %+v", want, got)
 	}
 	if !bytes.Equal(want.Session, got.Session) || want.Width != got.Width || want.Count != got.Count ||
